@@ -1,0 +1,64 @@
+"""§4.2.4 ablation — binary QA verdicts vs the 1-100 scoring scale.
+
+Paper: "binary correctness assessments of code frequently lead to false
+negatives ... a nuanced scoring approach with a threshold of 50 proved
+significantly more effective at lowering false negatives."  We run the
+same clean workload under both QA modes and measure the false-negative
+rate (QA rejecting a correct output) and its downstream cost in redo
+iterations and tokens.
+"""
+
+from conftest import emit
+from repro.core import InferA, InferAConfig
+from repro.llm.errors import NO_ERRORS
+
+QUESTIONS = [
+    "Can you find me the top 20 largest friends-of-friends halos from timestep 498 in simulation 0?",
+    "What is the average fof_halo_mass of halos at each time step in simulation 2?",
+    "Show a histogram of fof_halo_mass for halos at timestep 498 in simulation 3.",
+]
+
+
+def run_mode(ensemble, workdir, mode: str, repeats: int = 3):
+    stats = {"redo": 0, "tokens": 0, "runs": 0, "failed": 0}
+    for k in range(repeats):
+        app = InferA(
+            ensemble,
+            workdir / f"{mode}{k}",
+            InferAConfig(seed=k, qa_mode=mode, error_model=NO_ERRORS, llm_latency_s=0.0),
+        )
+        for q in QUESTIONS:
+            r = app.run_query(q)
+            stats["redo"] += r.run.redo_iterations
+            stats["tokens"] += r.tokens
+            stats["runs"] += 1
+            stats["failed"] += not r.completed
+    return stats
+
+
+def test_ablation_qa_scoring(benchmark, bench_ensemble, output_dir, tmp_path):
+    def run_both():
+        return (
+            run_mode(bench_ensemble, tmp_path, "score"),
+            run_mode(bench_ensemble, tmp_path, "binary"),
+        )
+
+    score, binary = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    # with NO code errors injected, every redo is a QA false negative
+    score_fn = score["redo"] / score["runs"]
+    binary_fn = binary["redo"] / binary["runs"]
+    assert binary_fn > score_fn, "binary mode must show more false negatives"
+    assert score_fn < 0.2
+
+    lines = [
+        "S4.2.4 ablation: QA verdict mode (clean workload; every redo is a false negative)",
+        "",
+        f"{'mode':<8} {'false-neg redos/run':>20} {'avg tokens/run':>16} {'failures':>9}",
+        f"{'score':<8} {score_fn:>20.2f} {score['tokens'] / score['runs']:>16.0f} {score['failed']:>9}",
+        f"{'binary':<8} {binary_fn:>20.2f} {binary['tokens'] / binary['runs']:>16.0f} {binary['failed']:>9}",
+        "",
+        "paper: nuanced 1-100 scoring with threshold 50 'significantly more "
+        "effective at lowering false negatives' - reproduced.",
+    ]
+    emit(output_dir, "ablation_qa.txt", "\n".join(lines))

@@ -1,0 +1,87 @@
+"""§3.1 ablation — fine-grained per-column chunking vs size-based chunking.
+
+Paper: "conventional size-based chunking would merge unrelated column
+descriptions, significantly weakening similarity searches.  Instead, we
+segment each column label into individual documents of at most 80
+tokens."  We measure column-retrieval quality of both strategies on
+NL phrasings of the schema, with and without MMR re-ranking.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.rag import VectorIndex, build_documents, chunk_text, mmr_select
+from repro.sim.schema import COLUMN_DESCRIPTIONS
+
+# natural-language phrasings -> the column a correct retrieval must surface
+PROBES = {
+    "number of particles in each halo": "fof_halo_count",
+    "total mass of the friends of friends halo": "fof_halo_mass",
+    "gas mass enclosed at 500 times critical density": "sod_halo_MGas500c",
+    "velocity dispersion of halo members": "fof_halo_vel_disp",
+    "stellar mass of the galaxy": "gal_stellar_mass",
+    "galaxy star formation rate": "gal_sfr",
+    "x coordinate of the halo center": "fof_halo_center_x",
+    "kinetic energy of the halo": "fof_halo_ke",
+    "radius of the spherical overdensity halo": "sod_halo_R500c",
+    "cold gas mass of the galaxy": "gal_gas_mass",
+}
+
+
+def hit_rate(index: VectorIndex, k: int, use_mmr: bool) -> float:
+    hits = 0
+    matrix = index.embedding_matrix()
+    for query, target in PROBES.items():
+        if use_mmr:
+            sims = index.similarities(query)
+            chosen = mmr_select(sims, matrix, k)
+            docs = [index.documents[i] for i in chosen]
+        else:
+            docs = [d for d, _ in index.search(query, k)]
+        retrieved = set()
+        for d in docs:
+            retrieved.update(d.column.split(";"))
+        hits += target in retrieved
+    return hits / len(PROBES)
+
+
+def test_ablation_rag_chunking(benchmark, output_dir):
+    fine_index = VectorIndex(build_documents(COLUMN_DESCRIPTIONS))
+    coarse_index = VectorIndex(chunk_text(COLUMN_DESCRIPTIONS, chunk_tokens=80))
+
+    def measure():
+        return {
+            ("fine", k, mmr): hit_rate(fine_index, k, mmr)
+            for k in (3, 5, 10)
+            for mmr in (False, True)
+        } | {
+            ("coarse", k, mmr): hit_rate(coarse_index, k, mmr)
+            for k in (3, 5, 10)
+            for mmr in (False, True)
+        }
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # the paper's claim: fine-grained chunking retrieves better at matched k
+    for k in (3, 5):
+        assert rates[("fine", k, True)] >= rates[("coarse", k, True)]
+    assert rates[("fine", 5, True)] >= 0.8  # fine+MMR is a usable retriever
+
+    lines = [
+        "S3.1 ablation: chunking strategy vs retrieval hit rate "
+        f"({len(PROBES)} NL probes over the HACC schema)",
+        "",
+        f"{'strategy':<10} {'k':>3} {'plain':>7} {'MMR':>7}",
+    ]
+    for strategy in ("fine", "coarse"):
+        for k in (3, 5, 10):
+            lines.append(
+                f"{strategy:<10} {k:>3} {rates[(strategy, k, False)]:>7.0%} "
+                f"{rates[(strategy, k, True)]:>7.0%}"
+            )
+    lines.append("")
+    lines.append(
+        "fine-grained <=80-token per-column documents beat size-based chunks, "
+        "as the paper argues; MMR compensates for small-document redundancy."
+    )
+    emit(output_dir, "ablation_rag.txt", "\n".join(lines))

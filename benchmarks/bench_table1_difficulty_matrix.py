@@ -1,0 +1,35 @@
+"""Table 1 — the 20-question difficulty matrix.
+
+Classifies every evaluation question by running the real planner
+(analysis difficulty from plan-step thresholds 4.5/5.5, semantic
+complexity from metadata-term alignment) and renders the matrix.
+Paper-shape checks: the seven populated cells, the two n/a cells
+(no Medium/Easy or Hard/Easy combinations), and the marginal counts
+quoted in Table 2 (analysis 6/6/8, semantic 8/5/7).
+"""
+
+from collections import Counter
+
+from conftest import emit
+from repro.eval.questions import QUESTION_SUITE, classify_suite
+from repro.eval.reporting import format_table1
+
+
+def test_table1_difficulty_matrix(benchmark, output_dir):
+    classifications = benchmark.pedantic(classify_suite, rounds=1, iterations=1)
+
+    ana = Counter(c.analysis_level for c in classifications)
+    sem = Counter(c.semantic_level for c in classifications)
+    assert (ana[0], ana[1], ana[2]) == (6, 6, 8)     # paper Table 2 counts
+    assert (sem[0], sem[1], sem[2]) == (8, 5, 7)
+    for c in classifications:                        # the n/a cells of Table 1
+        if c.analysis_level == 0:
+            assert c.semantic_level == 0
+
+    lines = [format_table1(list(QUESTION_SUITE), classifications), ""]
+    lines.append("question | steps | analysis | semantic | scope")
+    lv = {0: "easy", 1: "medium", 2: "hard"}
+    for q, c in zip(QUESTION_SUITE, classifications):
+        scope = ("multi" if c.multi_run else "single") + "/" + ("multi" if c.multi_step else "single")
+        lines.append(f"{q.qid} | {c.plan_steps} | {lv[c.analysis_level]} | {lv[c.semantic_level]} | {scope}")
+    emit(output_dir, "table1.txt", "\n".join(lines))

@@ -1,0 +1,95 @@
+"""Table 2 — the full evaluation protocol (20 questions x N seeded runs).
+
+The paper runs 10 repetitions per question (200 runs); set
+``REPRO_BENCH_RUNS=10`` for the full protocol (the default of 3 keeps the
+benchmark wall-time short).  Absolute numbers differ (our substrate is a
+seeded simulator, the paper's is GPT-4o over 1.4 TB), but the paper's
+orderings are asserted:
+
+* completion declines with semantic complexity, hard semantic worst;
+* token usage grows with analysis difficulty;
+* failed runs consume more tokens and far more redo iterations than
+  successful ones, yet still finish roughly half their planned tasks;
+* storage overhead is a tiny fraction of the ensemble and is dominated
+  by multi-timestep questions.
+"""
+
+from conftest import RUNS_PER_QUESTION, emit
+from repro.eval import EvaluationHarness, HarnessConfig
+from repro.eval.reporting import format_table2, save_metrics_csv
+
+PAPER_TOTALS = {
+    "pct_satisfactory_data": 76.0,
+    "pct_satisfactory_visual": 72.0,
+    "pct_runs_completed": 85.0,
+    "pct_tasks_complete": 93.0,
+    "redo_iterations": 3.02,
+}
+
+
+def test_table2_evaluation(benchmark, bench_ensemble, output_dir, tmp_path):
+    harness = EvaluationHarness(
+        bench_ensemble, tmp_path / "eval", HarnessConfig(runs_per_question=RUNS_PER_QUESTION)
+    )
+    result = benchmark.pedantic(harness.run_suite, rounds=1, iterations=1)
+
+    rows = result.aggregator.table2_rows()
+    by_label = {r.label: r for r in rows}
+    total = by_label["Total"]
+
+    # ---- paper-shape assertions ---------------------------------------
+    assert 70 <= total.pct_runs_completed <= 98
+    assert total.pct_tasks_complete >= total.pct_runs_completed
+    assert by_label["Analysis Hard"].token_usage > by_label["Analysis Easy"].token_usage
+    assert by_label["Semantic Hard"].token_usage > by_label["Semantic Easy"].token_usage
+    assert (
+        by_label["Semantic Hard"].pct_runs_completed
+        <= by_label["Semantic Easy"].pct_runs_completed
+    )
+    assert (
+        by_label["Semantic Hard"].redo_iterations
+        >= by_label["Semantic Easy"].redo_iterations
+    )
+    success = by_label["Successful runs"]
+    failed = by_label["Unsuccessful runs"]
+    if failed.runs:
+        assert failed.token_usage > success.token_usage
+        assert failed.redo_iterations > success.redo_iterations
+        assert 20 <= failed.pct_tasks_complete <= 80  # partial progress (~53% in paper)
+    # storage: multi-timestep questions dominate, and overhead << ensemble
+    assert (
+        by_label["Multi sim / Multi step"].storage_overhead_gb
+        > by_label["Single sim / Single step"].storage_overhead_gb
+    )
+    ensemble_gb = bench_ensemble.total_data_bytes() / 1e9
+
+    lines = [
+        f"(runs per question: {RUNS_PER_QUESTION}; paper protocol: 10)",
+        f"(ensemble size: {ensemble_gb:.4f} GB synthetic vs paper's 1.4 TB)",
+        "",
+        format_table2(rows),
+        "",
+        "paper vs measured (Total row):",
+        f"  %data satisfactory : {PAPER_TOTALS['pct_satisfactory_data']:.0f} vs {total.pct_satisfactory_data:.0f}",
+        f"  %visual satisfactory: {PAPER_TOTALS['pct_satisfactory_visual']:.0f} vs {total.pct_satisfactory_visual:.0f}",
+        f"  %runs completed     : {PAPER_TOTALS['pct_runs_completed']:.0f} vs {total.pct_runs_completed:.0f}",
+        f"  %tasks complete     : {PAPER_TOTALS['pct_tasks_complete']:.0f} vs {total.pct_tasks_complete:.0f}",
+        f"  redo iterations     : {PAPER_TOTALS['redo_iterations']:.2f} vs {total.redo_iterations:.2f}",
+        f"  storage overhead    : {total.storage_overhead_gb:.6f} GB "
+        f"({total.storage_overhead_gb / ensemble_gb:.2%} of the ensemble; paper <=0.35%)",
+    ]
+    ranges = result.ranges()
+    lines += [
+        "",
+        "per-question average ranges (S4.1.3/S4.1.4; paper: tokens 65k-178k, "
+        "time 96-1412 s, storage 8 MB-4.9 GB):",
+        f"  tokens : {ranges['tokens'][0]:,.0f} - {ranges['tokens'][1]:,.0f}",
+        f"  time   : {ranges['time_s'][0]:.2f} - {ranges['time_s'][1]:.2f} s",
+        f"  storage: {ranges['storage_bytes'][0]:,.0f} - {ranges['storage_bytes'][1]:,.0f} bytes",
+    ]
+    # the paper's >2x spread between cheapest and most expensive questions
+    assert ranges["tokens"][1] > 2 * ranges["tokens"][0]
+    assert ranges["storage_bytes"][1] > 2 * ranges["storage_bytes"][0]
+    save_metrics_csv(result.metrics, output_dir / "table2_runs.csv")
+    lines.append("raw per-run metrics: table2_runs.csv")
+    emit(output_dir, "table2.txt", "\n".join(lines))

@@ -1,0 +1,55 @@
+"""Quickstart: ask InferA a question about a HACC-style ensemble.
+
+Generates a small synthetic ensemble (same file hierarchy and schema as
+the real HACC data products), starts the assistant, and runs the paper's
+"precise" control question end to end.  Everything lands in ./quickstart_out:
+the provenance session (plan, generated SQL/Python, intermediate CSVs) and
+the on-disk analysis database.
+
+Run:  python examples/quickstart.py
+"""
+
+from pathlib import Path
+
+from repro.core import InferA, InferAConfig
+from repro.llm.errors import NO_ERRORS
+from repro.sim import EnsembleSpec, generate_ensemble
+
+OUT = Path(__file__).resolve().parent / "quickstart_out"
+
+
+def main() -> None:
+    print("== generating a synthetic HACC-style ensemble ==")
+    ensemble = generate_ensemble(
+        OUT / "ensemble",
+        EnsembleSpec(n_runs=2, n_particles=3000, timesteps=(0, 249, 498, 624)),
+    )
+    print(ensemble.describe())
+
+    # NO_ERRORS disables the calibrated LLM-error injection so the
+    # quickstart is deterministic; drop it to see the QA repair loop work.
+    assistant = InferA(ensemble, OUT / "workspace", InferAConfig(error_model=NO_ERRORS))
+
+    question = (
+        "Can you find me the top 20 largest friends-of-friends halos "
+        "from timestep 498 in simulation 0?"
+    )
+    print(f"\n== asking ==\n{question}\n")
+    report = assistant.run_query(question)
+
+    print(f"completed: {report.completed}")
+    print(f"plan steps: {report.run.plan_size}  (analysis steps: {report.analysis_steps})")
+    print(f"tokens used: {report.tokens:,}")
+    print(f"storage overhead: {report.storage_bytes:,} bytes "
+          f"(of a {ensemble.total_data_bytes():,}-byte ensemble)")
+    load = report.run.load_report
+    print(f"data selectivity: {load.bytes_selected:,} / {load.bytes_total:,} bytes "
+          f"= {load.selectivity:.3%} of the ensemble read")
+
+    print("\n== result ==")
+    print(report.tables["work"])
+    print(f"\nprovenance session: {report.session_dir}")
+
+
+if __name__ == "__main__":
+    main()

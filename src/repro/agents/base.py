@@ -1,0 +1,63 @@
+"""Shared agent infrastructure.
+
+:class:`AgentContext` bundles everything an agent needs — the metered
+chat model, the column retriever, the analysis database, the sandbox
+client, the provenance tracker and the run configuration — so agents stay
+stateless and testable.
+
+§4.2.5: "each agent operates with limited context awareness, receiving
+only its delegated task without knowledge of upstream processes."
+``build_prompt`` implements exactly that; the full-history mode exists for
+the token-cost ablation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.db import Database
+from repro.llm.base import ChatMessage, ChatResponse, MeteredModel
+from repro.provenance import ProvenanceTracker
+from repro.rag import ColumnRetriever
+from repro.sandbox.client import InProcessClient
+
+
+@dataclass
+class AgentContext:
+    llm: MeteredModel
+    retriever: ColumnRetriever
+    db: Database
+    sandbox: InProcessClient
+    provenance: ProvenanceTracker
+    limited_context: bool = True
+    message_log: list[str] = field(default_factory=list)
+    simulated_latency_s: float = 0.0
+
+    def chat(
+        self,
+        role: str,
+        payload: dict[str, Any],
+        context_text: str = "",
+        step_index: int | None = None,
+    ) -> ChatResponse:
+        """Send one role-directed exchange to the model, metered and logged."""
+        parts = [f"[[ROLE:{role}]]"]
+        if not self.limited_context and self.message_log:
+            parts.append("Conversation so far:\n" + "\n".join(self.message_log))
+        if context_text:
+            parts.append(context_text)
+        parts.append("[[PAYLOAD]]\n" + json.dumps(payload))
+        prompt = "\n\n".join(parts)
+        response = self.llm.chat([ChatMessage("user", prompt)], role=role)
+        self.simulated_latency_s += response.latency_s
+        self.message_log.append(f"[{role}] {response.content[:400]}")
+        self.provenance.record_llm_exchange(
+            role, response.prompt_tokens, response.completion_tokens, step_index
+        )
+        return response
+
+    @property
+    def total_tokens(self) -> int:
+        return self.llm.meter.total

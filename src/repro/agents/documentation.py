@@ -1,0 +1,36 @@
+"""Documentation agent.
+
+"a documentation agent maintains comprehensive records of operations,
+including AI-generated code and the successes and limitations encountered
+by each agent" — here it asks the model to summarize the completed
+workflow and stores the summary in provenance.  §4.1.4 notes this agent
+is a convenience, not required for core analysis, which is why the
+configuration can disable it (one of the token-reduction levers).
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import AgentContext
+
+
+class DocumentationAgent:
+    def __init__(self, context: AgentContext):
+        self.context = context
+
+    def summarize(self, question: str, step_results: list[dict]) -> str:
+        response = self.context.chat(
+            "doc",
+            {
+                "completed_steps": [
+                    {
+                        "index": r.get("index"),
+                        "description": r.get("description"),
+                        "status": r.get("status"),
+                    }
+                    for r in step_results
+                ]
+            },
+            context_text=f"Summarize the workflow that answered: {question}",
+        )
+        self.context.provenance.record_note(response.content, note_kind="summary")
+        return response.content

@@ -1,0 +1,116 @@
+"""Planning agent: multi-turn plan refinement with human feedback.
+
+§3: "The planning stage implements a multi-turn dialogue module between
+the user and a dedicated planning agent [using] chain-of-thought
+prompting ... users [can] review, understand, and modify the plan."
+
+Feedback is abstracted behind :class:`FeedbackProvider` so the evaluation
+can skip it ("ignore missing requirements and continue", the paper's
+lower-bound protocol) while interactive sessions script or type it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.agents.base import AgentContext
+from repro.llm.base import extract_json
+
+
+class FeedbackProvider(Protocol):
+    """Supplies the human's reaction to a proposed plan."""
+
+    def review(self, plan_doc: dict) -> tuple[bool, str]:
+        """Return (approved, feedback_text)."""
+        ...
+
+
+class AutoApprove:
+    """Skip human feedback (the paper's automated-evaluation mode)."""
+
+    def review(self, plan_doc: dict) -> tuple[bool, str]:
+        return True, "ignore missing requirements and continue"
+
+
+@dataclass
+class ScriptedFeedback:
+    """Replay a fixed feedback script, then approve.
+
+    Each entry is a free-text instruction; supported directives are
+    ``drop viz`` (remove visualization steps) and ``limit runs <n>``.
+    """
+
+    script: list[str] = field(default_factory=list)
+    _cursor: int = 0
+
+    def review(self, plan_doc: dict) -> tuple[bool, str]:
+        if self._cursor < len(self.script):
+            text = self.script[self._cursor]
+            self._cursor += 1
+            return False, text
+        return True, "approved"
+
+
+@dataclass
+class PlanningResult:
+    intent: dict
+    steps: list[dict]
+    semantic_level: int
+    reasoning: str
+    rounds: int
+
+
+class PlanningAgent:
+    """Wraps the LLM planner skill with the refinement dialogue."""
+
+    def __init__(self, context: AgentContext, max_rounds: int = 4):
+        self.context = context
+        self.max_rounds = max_rounds
+
+    def plan(self, question: str, feedback: FeedbackProvider | None = None) -> PlanningResult:
+        feedback = feedback or AutoApprove()
+        doc: dict = {}
+        rounds = 0
+        notes: list[str] = []
+        for rounds in range(1, self.max_rounds + 1):
+            refinement = (
+                "" if not notes else "\n" + "\n".join(f"(Refinement request: {n})" for n in notes)
+            )
+            response = self.context.chat(
+                "planner",
+                {"question": question + refinement},
+                context_text="Decompose the user's question into an executable analysis plan.",
+            )
+            doc = extract_json(response.content)
+            for note in notes:  # re-apply all accumulated user directives
+                doc = self._apply_feedback(doc, note)
+            approved, note = feedback.review(doc)
+            if approved:
+                break
+            notes.append(note)
+        self.context.provenance.record_plan(doc)
+        return PlanningResult(
+            intent=doc.get("intent", {}),
+            steps=doc.get("steps", []),
+            semantic_level=int(doc.get("semantic_level", 0)),
+            reasoning=doc.get("reasoning", ""),
+            rounds=rounds,
+        )
+
+    def _apply_feedback(self, doc: dict, note: str) -> dict:
+        """Apply the directives ScriptedFeedback supports."""
+        steps = doc.get("steps", [])
+        lowered = note.lower()
+        if "drop viz" in lowered:
+            steps = [s for s in steps if s.get("kind") != "viz"]
+        if "limit runs" in lowered:
+            try:
+                n = int(lowered.rsplit(" ", 1)[-1])
+                for s in steps:
+                    if s.get("params", {}).get("runs") is None:
+                        s["params"]["runs"] = list(range(n))
+            except ValueError:
+                pass
+        doc["steps"] = [dict(s, index=i) for i, s in enumerate(steps)]
+        return doc

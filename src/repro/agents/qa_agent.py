@@ -1,0 +1,69 @@
+"""Quality assurance agent.
+
+§4.2.4: binary correct/incorrect judgments produced frequent false
+negatives, so the QA agent "assigns a score on a scale of 1-100 without
+rigid criteria ... with a threshold of 50 for correct/incorrect
+determination."  Both modes are implemented; the ablation benchmark
+measures the false-negative difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.base import AgentContext
+from repro.llm.base import extract_json
+
+QA_THRESHOLD = 50
+
+
+@dataclass
+class QAVerdict:
+    passed: bool
+    score: int | None
+    feedback: str
+
+
+class QualityAssuranceAgent:
+    def __init__(self, context: AgentContext, mode: str = "score", threshold: int = QA_THRESHOLD):
+        if mode not in ("score", "binary"):
+            raise ValueError("mode must be 'score' or 'binary'")
+        self.context = context
+        self.mode = mode
+        self.threshold = threshold
+
+    def assess(
+        self,
+        step: dict,
+        step_key: str,
+        attempt: int,
+        result_rows: int,
+        error: str = "",
+        expects_rows: bool = True,
+    ) -> QAVerdict:
+        response = self.context.chat(
+            "qa",
+            {
+                "step_key": step_key,
+                "attempt": attempt,
+                "error": error,
+                "result_rows": result_rows,
+                "expects_rows": expects_rows,
+                "mode": self.mode,
+            },
+            context_text=f"Assess whether this output satisfies the task: {step['description']}",
+            step_index=step["index"],
+        )
+        doc = extract_json(response.content)
+        if self.mode == "binary":
+            passed = bool(doc.get("correct"))
+            verdict = QAVerdict(passed=passed, score=None, feedback=doc.get("feedback", ""))
+        else:
+            score = int(doc.get("score", 0))
+            verdict = QAVerdict(
+                passed=score >= self.threshold, score=score, feedback=doc.get("feedback", "")
+            )
+        self.context.provenance.record_qa(
+            step["index"], verdict.score, verdict.passed, verdict.feedback, attempt
+        )
+        return verdict

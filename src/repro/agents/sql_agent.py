@@ -1,0 +1,94 @@
+"""SQL programming agent.
+
+"an SQL programming agent performs additional filtering through generated
+SQL queries, evaluating whether all loaded columns and rows are necessary
+for immediate computation."
+
+Each attempt asks the model for SQL (the model may typo column names),
+executes it against the analysis database, and reports either the result
+frame or the database's detailed error, which the supervisor's QA loop
+feeds back into the next attempt.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.agents.base import AgentContext
+from repro.db.errors import DBError
+from repro.frame import Frame
+
+_SQL_FENCE_RE = re.compile(r"```sql\s*(.*?)```", re.DOTALL)
+
+
+@dataclass
+class SQLOutcome:
+    ok: bool
+    sql: str
+    result: Frame | None = None
+    secondary: dict[str, Frame] | None = None
+    error: str = ""
+
+
+class SQLProgrammingAgent:
+    def __init__(self, context: AgentContext):
+        self.context = context
+
+    def run_step(
+        self,
+        step: dict,
+        step_key: str,
+        attempt: int,
+        semantic_level: int,
+        previous_error: str = "",
+    ) -> SQLOutcome:
+        params = step["params"]
+        context_text = step["description"]
+        if previous_error:
+            context_text += f"\nThe previous attempt failed: {previous_error}"
+        response = self.context.chat(
+            "sql",
+            {
+                "step_key": step_key,
+                "attempt": attempt,
+                "semantic_level": semantic_level,
+                "params": params,
+            },
+            context_text=context_text,
+            step_index=step["index"],
+        )
+        m = _SQL_FENCE_RE.search(response.content)
+        sql = m.group(1).strip() if m else response.content.strip()
+        self.context.provenance.record_code(step["index"], sql, language="sql", attempt=attempt)
+        try:
+            result = self.context.db.query(sql)
+        except DBError as exc:
+            return SQLOutcome(ok=False, sql=sql, error=f"{type(exc).__name__}: {exc}")
+
+        secondary: dict[str, Frame] = {}
+        for entity in params.get("secondary", []):
+            sec_sql = self._secondary_sql(params, entity)
+            try:
+                secondary[f"work_{entity}"] = self.context.db.query(sec_sql)
+            except DBError as exc:
+                return SQLOutcome(ok=False, sql=sec_sql, error=f"{type(exc).__name__}: {exc}")
+        return SQLOutcome(ok=True, sql=sql, result=result, secondary=secondary)
+
+    def _secondary_sql(self, params: dict, entity: str) -> str:
+        """Deterministic companion query for the secondary entity table."""
+        cols = params.get("secondary_columns", {}).get(entity, [])
+        select = ", ".join(dict.fromkeys(["run", "step", *cols])) if cols else "*"
+        clauses = []
+        runs = params.get("runs")
+        if runs is not None:
+            clauses.append(
+                f"run = {runs[0]}" if len(runs) == 1 else f"run IN ({', '.join(map(str, runs))})"
+            )
+        steps = params.get("steps")
+        if steps is not None:
+            clauses.append(
+                f"step = {steps[0]}" if len(steps) == 1 else f"step IN ({', '.join(map(str, steps))})"
+            )
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return f"SELECT {select} FROM {entity}{where}"

@@ -1,0 +1,510 @@
+"""Supervisor agent: plan-driven orchestration with the QA redo loop.
+
+"the analysis stage begins under the direction of a supervisor agent,
+which orchestrates step-by-step task execution according to the
+established plan, while monitoring overall progress and performance."
+
+Execution is a state graph (Fig. 3): supervisor routes each plan step to
+the matching specialized agent; every code-generating step passes through
+the quality-assurance agent, which can demand up to ``max_revisions``
+regenerations with the error text in context; exhausting the budget fails
+the run (the paper's reliability metric); a documentation agent summarizes
+at the end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.agents.base import AgentContext
+from repro.agents.data_loader import DataLoadingAgent, LoadReport
+from repro.agents.documentation import DocumentationAgent
+from repro.agents.python_agent import PythonProgrammingAgent
+from repro.agents.qa_agent import QualityAssuranceAgent
+from repro.agents.sql_agent import SQLProgrammingAgent
+from repro.agents.viz_agent import VisualizationAgent
+from repro.frame import Frame
+from repro.graph import Channel, StateGraph, END, Checkpointer
+from repro.graph.state import append_reducer, merge_reducer, add_reducer
+
+MAX_REVISIONS = 5
+
+
+@dataclass
+class StepResult:
+    index: int
+    kind: str
+    description: str
+    status: str                 # 'ok' | 'failed' | 'skipped'
+    attempts: int
+    op: str = ""
+    form_intended: str = ""
+    form_used: str = ""
+    result_rows: int = 0
+    result_columns: list[str] = field(default_factory=list)
+    redo_iterations: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class RunReport:
+    question: str
+    completed: bool
+    failed_at_step: int | None
+    steps: list[StepResult]
+    plan_size: int
+    analysis_steps: int          # load/sql/python/viz steps (the paper's count)
+    tokens: int
+    storage_bytes: int
+    time_s: float
+    llm_latency_s: float
+    redo_iterations: int
+    load_report: LoadReport | None
+    tables: dict[str, Frame]
+    figures: list[str]           # SVG strings
+    semantic_level: int
+    intent: dict
+
+    @property
+    def tasks_completed_fraction(self) -> float:
+        if not self.steps:
+            return 0.0
+        done = sum(1 for s in self.steps if s.status == "ok")
+        return done / self.plan_size if self.plan_size else 0.0
+
+
+class Supervisor:
+    def __init__(
+        self,
+        context: AgentContext,
+        data_loader: DataLoadingAgent,
+        max_revisions: int = MAX_REVISIONS,
+        qa_mode: str = "score",
+        enable_documentation: bool = True,
+        supervisor_history: int | None = 6,
+        use_checkpointer: bool = False,
+        parallel_viz: bool = False,
+    ):
+        self.context = context
+        self.data_loader = data_loader
+        self.sql_agent = SQLProgrammingAgent(context)
+        self.python_agent = PythonProgrammingAgent(context)
+        self.viz_agent = VisualizationAgent(context)
+        self.qa_agent = QualityAssuranceAgent(context, mode=qa_mode)
+        self.doc_agent = DocumentationAgent(context)
+        self.max_revisions = max_revisions
+        self.enable_documentation = enable_documentation
+        self.supervisor_history = supervisor_history
+        self.checkpointer = Checkpointer() if use_checkpointer else None
+        self.parallel_viz = parallel_viz
+
+    # ------------------------------------------------------------------
+    def build_graph(self):
+        channels = [
+            Channel("plan", default=[]),
+            Channel("question", default=""),
+            Channel("semantic_level", default=0),
+            Channel("step_index", default=0),
+            Channel("attempt", default=0),
+            Channel("status", default="running"),
+            Channel("last_error", default=""),
+            Channel("last_outcome", default=None),
+            Channel("tables", merge_reducer, default={}),
+            Channel("step_results", append_reducer, default=[]),
+            Channel("figures", append_reducer, default=[]),
+            Channel("redo_iterations", add_reducer, default=0),
+            Channel("load_report", default=None),
+            Channel("resolved_steps", default=None),
+            Channel("failed_at_step", default=None),
+            Channel("summary", default=""),
+        ]
+        g = StateGraph(channels)
+        g.add_node("supervisor", self._node_supervisor)
+        g.add_node("data_loader", self._node_load)
+        g.add_node("sql", self._node_sql)
+        g.add_node("python", self._node_python)
+        g.add_node("viz", self._node_viz)
+        g.add_node("qa", self._node_qa)
+        g.add_node("viz_batch", self._node_viz_batch)
+        g.add_node("documentation", self._node_documentation)
+        g.set_entry_point("supervisor")
+        g.add_conditional_edges("supervisor", self._route)
+        g.add_edge("data_loader", "supervisor")
+        g.add_edge("sql", "qa")
+        g.add_edge("python", "qa")
+        g.add_edge("viz", "qa")
+        g.add_edge("viz_batch", "supervisor")
+        g.add_edge("qa", "supervisor")
+        g.add_edge("documentation", END)
+        return g.compile(checkpointer=self.checkpointer, max_steps=1000)
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+    def _node_supervisor(self, state: dict) -> dict:
+        plan = state["plan"]
+        idx = state["step_index"]
+        if state["status"] == "failed" or idx >= len(plan):
+            return {}
+        step = plan[idx]
+        history = self.context.message_log
+        if self.supervisor_history is not None:
+            history = history[-self.supervisor_history:]
+        self.context.chat(
+            "supervisor",
+            {"next_kind": step["kind"], "step_index": idx},
+            context_text="Progress so far:\n" + "\n".join(history),
+        )
+        return {}
+
+    def _route(self, state: dict) -> str:
+        plan = state["plan"]
+        idx = state["step_index"]
+        if state["status"] == "failed" or idx >= len(plan):
+            return "documentation" if self.enable_documentation else END
+        kind = plan[idx]["kind"]
+        if kind == "viz" and self.parallel_viz:
+            return "viz_batch"
+        return {"load": "data_loader", "sql": "sql", "python": "python", "viz": "viz"}[kind]
+
+    def _step_key(self, state: dict) -> str:
+        return f"q{hash(state['question']) & 0xFFFF:x}.s{state['step_index']}"
+
+    def _node_load(self, state: dict) -> dict:
+        step = state["plan"][state["step_index"]]
+        report = self.data_loader.load(
+            step["params"], state["question"], plan_text=_plan_text(state["plan"])
+        )
+        resolved = report.resolved_steps
+        # propagate the resolved run/snapshot lists into downstream step params
+        for later in state["plan"]:
+            if later["kind"] == "sql":
+                if later["params"].get("steps") is not None:
+                    later["params"]["steps"] = resolved
+                if later["params"].get("runs") is not None:
+                    later["params"]["runs"] = report.resolved_runs
+        result = StepResult(
+            index=step["index"],
+            kind="load",
+            description=step["description"],
+            status="ok",
+            attempts=1,
+            result_rows=sum(report.tables.values()),
+        )
+        return {
+            "step_index": state["step_index"] + 1,
+            "attempt": 0,
+            "load_report": report,
+            "resolved_steps": resolved,
+            "step_results": result.as_dict(),
+        }
+
+    def _node_sql(self, state: dict) -> dict:
+        step = state["plan"][state["step_index"]]
+        outcome = self.sql_agent.run_step(
+            step,
+            self._step_key(state),
+            state["attempt"],
+            state["semantic_level"],
+            previous_error=state["last_error"],
+        )
+        update: dict[str, Any] = {"last_outcome": _sql_summary(step, outcome)}
+        if outcome.ok:
+            tables = {"work": outcome.result}
+            tables.update(outcome.secondary or {})
+            update["tables"] = tables
+            update["last_error"] = ""
+            self.context.provenance.record_result(step["index"], outcome.result, "sql_result")
+        else:
+            update["last_error"] = outcome.error
+        return update
+
+    def _node_python(self, state: dict) -> dict:
+        step = state["plan"][state["step_index"]]
+        outcome = self.python_agent.run_step(
+            step,
+            state["tables"],
+            self._step_key(state),
+            state["attempt"],
+            state["semantic_level"],
+            previous_error=state["last_error"],
+        )
+        update: dict[str, Any] = {
+            "last_outcome": {
+                "ok": outcome.ok,
+                "rows": outcome.execution.result_rows if outcome.execution else 0,
+                "op": step["params"].get("op", ""),
+                "columns": (
+                    outcome.execution.result.columns
+                    if outcome.execution and outcome.execution.result is not None
+                    else []
+                ),
+            }
+        }
+        if outcome.ok and outcome.execution is not None:
+            tables = dict(outcome.execution.tables)
+            result = outcome.execution.result
+            op = step["params"].get("op", "")
+            if result is not None:
+                if op == "top_k_per_cell":
+                    tables["work"] = result
+                elif op == "aggregate":
+                    tables["aggregated"] = result
+                elif op == "track_evolution":
+                    tables[f"track_{step['params'].get('metric', 'metric')}"] = result
+                self.context.provenance.record_result(step["index"], result)
+            update["tables"] = tables
+            update["last_error"] = ""
+        else:
+            update["last_error"] = outcome.error
+        return update
+
+    def _node_viz(self, state: dict) -> dict:
+        step = state["plan"][state["step_index"]]
+        outcome = self.viz_agent.run_step(
+            step,
+            state["tables"],
+            self._step_key(state),
+            state["attempt"],
+            state["semantic_level"],
+            previous_error=state["last_error"],
+        )
+        update: dict[str, Any] = {
+            "last_outcome": {
+                "ok": outcome.ok,
+                "rows": outcome.execution.result_rows if outcome.execution else 0,
+                "op": "viz",
+                "form_intended": step["params"].get("form", ""),
+                "form_used": outcome.form_used,
+            }
+        }
+        if outcome.ok:
+            update["last_error"] = ""
+            if outcome.svg:
+                update["figures"] = outcome.svg
+        else:
+            update["last_error"] = outcome.error
+        return update
+
+    def _node_qa(self, state: dict) -> dict:
+        step = state["plan"][state["step_index"]]
+        outcome = state["last_outcome"] or {}
+        verdict = self.qa_agent.assess(
+            step,
+            self._step_key(state),
+            state["attempt"],
+            result_rows=int(outcome.get("rows", 0)),
+            error=state["last_error"],
+            expects_rows=step["kind"] != "viz",
+        )
+        if verdict.passed and not state["last_error"]:
+            result = StepResult(
+                index=step["index"],
+                kind=step["kind"],
+                description=step["description"],
+                status="ok",
+                attempts=state["attempt"] + 1,
+                op=str(outcome.get("op", "")),
+                form_intended=str(outcome.get("form_intended", "")),
+                form_used=str(outcome.get("form_used", "")),
+                result_rows=int(outcome.get("rows", 0)),
+                result_columns=list(outcome.get("columns", [])),
+                redo_iterations=state["attempt"],
+            )
+            return {
+                "step_index": state["step_index"] + 1,
+                "attempt": 0,
+                "last_error": "",
+                "step_results": result.as_dict(),
+            }
+        attempt = state["attempt"] + 1
+        if attempt > self.max_revisions:
+            result = StepResult(
+                index=step["index"],
+                kind=step["kind"],
+                description=step["description"],
+                status="failed",
+                attempts=attempt,
+                op=str(outcome.get("op", "")),
+                redo_iterations=attempt - 1,
+            )
+            return {
+                "status": "failed",
+                "failed_at_step": state["step_index"],
+                "step_results": result.as_dict(),
+                "redo_iterations": attempt - 1,
+            }
+        return {
+            "attempt": attempt,
+            "redo_iterations": 1,
+            "last_error": state["last_error"] or f"QA rejected output: {verdict.feedback}",
+        }
+
+    def _node_viz_batch(self, state: dict) -> dict:
+        """Execute a run of consecutive viz steps with parallel sandboxing.
+
+        The paper's stated future work ("investigate parallelized workflow
+        execution to reduce execution runtime"): visualization steps are
+        mutually independent, so their code generation stays serial (the
+        LLM and provenance are shared) while the sandbox executions — the
+        dominant cost — run concurrently.  QA still gates each step, with
+        the same per-step revision budget.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        plan = state["plan"]
+        start = state["step_index"]
+        batch: list[dict] = []
+        while start + len(batch) < len(plan) and plan[start + len(batch)]["kind"] == "viz":
+            batch.append(plan[start + len(batch)])
+
+        pending = {step["index"]: 0 for step in batch}  # step index -> attempt
+        errors: dict[int, str] = {}
+        done: dict[int, StepResult] = {}
+        figures: list[str] = []
+        redo_total = 0
+        failed_at: int | None = None
+
+        while pending and failed_at is None:
+            # serial generation (shared LLM/provenance), parallel execution
+            generated = []
+            for step in batch:
+                if step["index"] not in pending:
+                    continue
+                attempt = pending[step["index"]]
+                generated.append((step, attempt))
+
+            def run_one(item):
+                step, attempt = item
+                return step, attempt, self.viz_agent.run_step(
+                    step,
+                    state["tables"],
+                    f"{self._step_key(state)}.v{step['index']}",
+                    attempt,
+                    state["semantic_level"],
+                    previous_error=errors.get(step["index"], ""),
+                )
+
+            with ThreadPoolExecutor(max_workers=max(len(generated), 1)) as pool:
+                outcomes = list(pool.map(run_one, generated))
+
+            for step, attempt, outcome in outcomes:
+                verdict = self.qa_agent.assess(
+                    step,
+                    f"{self._step_key(state)}.v{step['index']}",
+                    attempt,
+                    result_rows=outcome.execution.result_rows if outcome.execution else 0,
+                    error=outcome.error,
+                    expects_rows=False,
+                )
+                if outcome.ok and verdict.passed:
+                    if outcome.svg:
+                        figures.append(outcome.svg)
+                    done[step["index"]] = StepResult(
+                        index=step["index"],
+                        kind="viz",
+                        description=step["description"],
+                        status="ok",
+                        attempts=attempt + 1,
+                        op="viz",
+                        form_intended=step["params"].get("form", ""),
+                        form_used=outcome.form_used,
+                        redo_iterations=attempt,
+                    )
+                    del pending[step["index"]]
+                else:
+                    errors[step["index"]] = outcome.error or verdict.feedback
+                    redo_total += 1
+                    pending[step["index"]] = attempt + 1
+                    if pending[step["index"]] > self.max_revisions:
+                        done[step["index"]] = StepResult(
+                            index=step["index"],
+                            kind="viz",
+                            description=step["description"],
+                            status="failed",
+                            attempts=attempt + 1,
+                            op="viz",
+                            redo_iterations=attempt,
+                        )
+                        failed_at = state["step_index"]
+                        break
+
+        update: dict[str, Any] = {
+            "step_index": start + len(batch),
+            "attempt": 0,
+            "step_results": [done[i].as_dict() for i in sorted(done)],
+            "redo_iterations": redo_total,
+        }
+        if figures:
+            update["figures"] = figures
+        if failed_at is not None:
+            update["status"] = "failed"
+            update["failed_at_step"] = failed_at
+        return update
+
+    def _node_documentation(self, state: dict) -> dict:
+        summary = self.doc_agent.summarize(state["question"], state["step_results"])
+        return {"summary": summary}
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        question: str,
+        plan_steps: list[dict],
+        semantic_level: int,
+        intent: dict,
+        thread_id: str = "main",
+    ) -> RunReport:
+        graph = self.build_graph()
+        t0 = time.time()
+        latency0 = self.context.simulated_latency_s
+        result = graph.invoke(
+            {
+                "plan": [dict(s) for s in plan_steps],
+                "question": question,
+                "semantic_level": semantic_level,
+            },
+            thread_id=thread_id,
+        )
+        wall = time.time() - t0
+        latency = self.context.simulated_latency_s - latency0
+        state = result.state
+        steps = [StepResult(**r) for r in state["step_results"]]
+        analysis_steps = sum(1 for s in plan_steps if s["kind"] in ("load", "sql", "python", "viz"))
+        self._last_graph = graph
+        self._last_events = result.events
+        return RunReport(
+            question=question,
+            completed=state["status"] != "failed",
+            failed_at_step=state["failed_at_step"],
+            steps=steps,
+            plan_size=len(plan_steps),
+            analysis_steps=analysis_steps,
+            tokens=self.context.total_tokens,
+            storage_bytes=self.context.provenance.storage_bytes(),
+            time_s=wall + latency,
+            llm_latency_s=latency,
+            redo_iterations=state["redo_iterations"],
+            load_report=state["load_report"],
+            tables=state["tables"],
+            figures=state["figures"],
+            semantic_level=semantic_level,
+            intent=intent,
+        )
+
+
+def _plan_text(plan: list[dict]) -> str:
+    return "\n".join(f"{s['index']}. [{s['kind']}] {s['description']}" for s in plan)
+
+
+def _sql_summary(step: dict, outcome) -> dict:
+    return {
+        "ok": outcome.ok,
+        "rows": outcome.result.num_rows if outcome.result is not None else 0,
+        "op": "sql",
+        "columns": outcome.result.columns if outcome.result is not None else [],
+    }

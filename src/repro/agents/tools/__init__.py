@@ -1,0 +1,39 @@
+"""Custom domain tools exposed to the code-generating agents.
+
+§3: "custom algorithmic functions operating on pandas dataframes can be
+added to the system, and the agents will be able to apply these custom
+functions when appropriate.  In our HACC dataset workflow, custom tooling
+enables halo tracking across time steps and facilitates ParaView
+time-series visualization generation."
+"""
+
+from repro.agents.tools.halo_tracking import (
+    track_halo_characteristic,
+    track_halo_positions,
+)
+from repro.agents.tools.paraview import paraview_scene, paraview_time_series
+from repro.sim.tracking import match_halos
+from repro.viz.umap_lite import umap_embed
+
+
+def default_toolset() -> dict:
+    """The tool namespace injected into the sandbox."""
+    return {
+        "track_halo_characteristic": track_halo_characteristic,
+        "track_halo_positions": track_halo_positions,
+        "paraview_scene": paraview_scene,
+        "paraview_time_series": paraview_time_series,
+        "umap_embed": umap_embed,
+        "match_halos": match_halos,
+    }
+
+
+__all__ = [
+    "track_halo_characteristic",
+    "track_halo_positions",
+    "paraview_scene",
+    "paraview_time_series",
+    "umap_embed",
+    "match_halos",
+    "default_toolset",
+]

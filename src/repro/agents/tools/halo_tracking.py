@@ -1,0 +1,81 @@
+"""Halo tracking across timesteps.
+
+HACC halo tags are persistent within a run, so tracking reduces to
+selecting the target halos at a reference timestep and following their
+tags through the other snapshots.  Two variants exist because the paper's
+most common *analysis* failure is the LLM confusing them: tracking a
+characteristic (mass, count — what evolution questions need) versus
+tracking particle/halo coordinates (what trajectory questions need).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame import Frame, concat
+
+
+def _tag_column(work: Frame) -> str:
+    """Galaxies track by their own tag; halos by the FoF tag."""
+    return "gal_tag" if "gal_tag" in work else "fof_halo_tag"
+
+
+def _top_tags_per_run(work: Frame, metric: str, top_k: int) -> dict[int, np.ndarray]:
+    """Tags of the top-k entities (by metric, at each run's latest step)."""
+    tag_col = _tag_column(work)
+    out: dict[int, np.ndarray] = {}
+    runs = np.unique(work["run"]) if "run" in work else np.asarray([0])
+    for run in runs:
+        sel = work.filter(work["run"] == run) if "run" in work else work
+        last_step = sel["step"].max()
+        at_last = sel.filter(sel["step"] == last_step)
+        top = at_last.nlargest(min(top_k, at_last.num_rows), metric)
+        out[int(run)] = np.asarray(top[tag_col])
+    return out
+
+
+def track_halo_characteristic(work: Frame, metric: str, top_k: int = 1) -> Frame:
+    """Follow a scalar characteristic of the top halos across timesteps.
+
+    Input must hold multi-timestep rows with ``run``, ``step``,
+    ``fof_halo_tag`` and the metric column.  Output: one row per
+    (run, step, tag) with the metric value — ready for a line chart of
+    evolution.
+    """
+    tag_col = _tag_column(work)
+    for required in ("step", tag_col, metric):
+        work.column(required)  # raise with candidates if missing
+    targets = _top_tags_per_run(work, metric, top_k)
+    pieces = []
+    for run, tags in targets.items():
+        sel = work.filter(work["run"] == run) if "run" in work else work
+        mask = np.isin(sel[tag_col], tags)
+        tracked = sel.filter(mask)
+        pieces.append(
+            tracked.select(
+                [c for c in ("run", "step", tag_col, metric) if c in tracked]
+            )
+        )
+    result = concat(pieces) if pieces else work.head(0)
+    return result.sort_values([c for c in ("run", tag_col, "step") if c in result])
+
+
+def track_halo_positions(work: Frame, top_k: int = 1) -> Frame:
+    """Follow the *coordinates* of the top halos across timesteps.
+
+    The correct tool for trajectory questions — and the wrong one for
+    characteristic-evolution questions, which is precisely the misuse the
+    paper observed producing valid-but-unsatisfactory output.
+    """
+    metric = "fof_halo_count" if "fof_halo_count" in work else "fof_halo_mass"
+    coords = [f"fof_halo_center_{a}" for a in "xyz"]
+    targets = _top_tags_per_run(work, metric, top_k)
+    pieces = []
+    for run, tags in targets.items():
+        sel = work.filter(work["run"] == run) if "run" in work else work
+        mask = np.isin(sel["fof_halo_tag"], tags)
+        tracked = sel.filter(mask)
+        keep = [c for c in ("run", "step", "fof_halo_tag", *coords) if c in tracked]
+        pieces.append(tracked.select(keep))
+    result = concat(pieces) if pieces else work.head(0)
+    return result.sort_values([c for c in ("run", "fof_halo_tag", "step") if c in result])

@@ -1,0 +1,90 @@
+"""Visualization agent.
+
+Same generate-execute contract as the Python agent, but the code must
+produce a ``figure`` (SVG Figure or 3D Scene).  The agent records the
+rendered figure in provenance and reports which chart form the model
+actually chose — the evaluation's visualization-appropriateness oracle
+compares that against the plan's intended form.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+
+from repro.agents.base import AgentContext
+from repro.agents.python_agent import PythonProgrammingAgent
+from repro.frame import Frame
+from repro.sandbox.executor import ExecutionResult
+from repro.viz import Figure, Scene3D
+
+_PY_FENCE_RE = re.compile(r"```python\s*(.*?)```", re.DOTALL)
+
+
+@dataclass
+class VizOutcome:
+    ok: bool
+    code: str
+    form_used: str
+    execution: ExecutionResult | None = None
+    error: str = ""
+    svg: str = ""
+
+
+class VisualizationAgent:
+    def __init__(self, context: AgentContext):
+        self.context = context
+        self._python = PythonProgrammingAgent(context)
+
+    def run_step(
+        self,
+        step: dict,
+        tables: dict[str, Frame],
+        step_key: str,
+        attempt: int,
+        semantic_level: int,
+        previous_error: str = "",
+    ) -> VizOutcome:
+        context_text = step["description"]
+        if previous_error:
+            context_text += f"\nThe previous attempt failed: {previous_error}"
+        response = self.context.chat(
+            "viz",
+            {
+                "step_key": step_key,
+                "attempt": attempt,
+                "semantic_level": semantic_level,
+                "params": step["params"],
+            },
+            context_text=context_text,
+            step_index=step["index"],
+        )
+        form_used = step["params"].get("form", "")
+        header_line = response.content.splitlines()[0] if response.content else "{}"
+        try:
+            form_used = json.loads(header_line).get("form", form_used)
+        except json.JSONDecodeError:
+            pass
+        m = _PY_FENCE_RE.search(response.content)
+        code = m.group(1).strip() if m else response.content
+        self.context.provenance.record_code(step["index"], code, attempt=attempt)
+        execution = self.context.sandbox.execute(code, tables)
+        if not execution.ok:
+            return VizOutcome(
+                ok=False,
+                code=code,
+                form_used=form_used,
+                execution=execution,
+                error=f"{execution.error_type}: {execution.error_message}",
+            )
+        svg = ""
+        fig = execution.figure
+        if isinstance(fig, (Figure, Scene3D)):
+            svg = fig.to_svg()
+        elif execution.meta.get("figure_svg"):
+            # HTTP-gateway sandboxes serialize the figure as SVG text
+            svg = execution.meta["figure_svg"]
+        if svg:
+            self.context.provenance.record_figure(step["index"], svg, form_used)
+        return VizOutcome(ok=True, code=code, form_used=form_used, execution=execution, svg=svg)

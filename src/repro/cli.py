@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``generate`` — write a synthetic HACC-style ensemble
+* ``info``     — describe an ensemble
+* ``query``    — run one natural-language question end to end
+* ``eval``     — run the 20-question evaluation suite and print Table 2
+* ``sql``      — run SQL directly against an analysis database
+
+All commands are plain functions over the library API; the CLI adds no
+behaviour of its own, so scripted use and the Python API stay equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import InferA, InferAConfig
+from repro.db import Database
+from repro.eval import EvaluationHarness, HarnessConfig, format_table2
+from repro.llm.errors import NO_ERRORS, ErrorModel
+from repro.sim import EnsembleSpec, generate_ensemble
+from repro.sim.ensemble import Ensemble
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="InferA reproduction: a smart assistant for cosmological ensemble data",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic ensemble")
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--runs", type=int, default=4)
+    gen.add_argument("--particles", type=int, default=4000)
+    gen.add_argument("--steps", default="0,124,249,374,498,624",
+                     help="comma-separated timesteps in [0, 624]")
+    gen.add_argument("--seed", type=int, default=20250)
+    gen.add_argument("--no-particles", action="store_true",
+                     help="skip writing particle files (catalogs only)")
+
+    info = sub.add_parser("info", help="describe an ensemble")
+    info.add_argument("--ensemble", required=True)
+
+    query = sub.add_parser("query", help="answer one natural-language question")
+    query.add_argument("question")
+    query.add_argument("--ensemble", required=True)
+    query.add_argument("--workdir", default="infera_workspace")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--no-errors", action="store_true",
+                       help="disable the calibrated LLM-error injection")
+    query.add_argument("--parallel-viz", action="store_true")
+    query.add_argument("--qa-mode", choices=("score", "binary"), default="score")
+
+    evaluate = sub.add_parser("eval", help="run the 20-question evaluation (Table 2)")
+    evaluate.add_argument("--ensemble", required=True)
+    evaluate.add_argument("--workdir", default="infera_eval")
+    evaluate.add_argument("--runs-per-question", type=int, default=3)
+    evaluate.add_argument("--seed", type=int, default=7)
+
+    sql = sub.add_parser("sql", help="run SQL against an analysis database")
+    sql.add_argument("statement")
+    sql.add_argument("--db", required=True)
+
+    chat = sub.add_parser(
+        "chat", help="interactive session with plan review (the paper's intended mode)"
+    )
+    chat.add_argument("--ensemble", required=True)
+    chat.add_argument("--workdir", default="infera_chat")
+    chat.add_argument("--seed", type=int, default=0)
+    chat.add_argument("--no-errors", action="store_true")
+
+    return parser
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    steps = tuple(int(s) for s in args.steps.split(","))
+    spec = EnsembleSpec(
+        n_runs=args.runs,
+        n_particles=args.particles,
+        timesteps=steps,
+        seed=args.seed,
+        write_particles=not args.no_particles,
+    )
+    ensemble = generate_ensemble(args.out, spec)
+    print(ensemble.describe())
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    print(Ensemble(args.ensemble).describe())
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    config = InferAConfig(
+        seed=args.seed,
+        error_model=NO_ERRORS if args.no_errors else ErrorModel(),
+        parallel_viz=args.parallel_viz,
+        qa_mode=args.qa_mode,
+    )
+    app = InferA(Ensemble(args.ensemble), args.workdir, config)
+    report = app.run_query(args.question)
+    print(f"completed: {report.completed}")
+    print(f"steps: {sum(1 for s in report.run.steps if s.status == 'ok')}/{report.run.plan_size} ok")
+    print(f"tokens: {report.tokens:,}  storage: {report.storage_bytes:,} bytes  "
+          f"time: {report.time_s:.1f} s")
+    if report.run.load_report:
+        print(f"ensemble bytes read: {report.run.load_report.bytes_selected:,} "
+              f"({report.run.load_report.selectivity:.3%})")
+    work = report.tables.get("work")
+    if work is not None:
+        print(work)
+    for i, svg in enumerate(report.figures):
+        path = Path(args.workdir) / f"figure_{i}.svg"
+        path.write_text(svg)
+        print(f"figure: {path}")
+    print(f"provenance: {report.session_dir}")
+    return 0 if report.completed else 1
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    harness = EvaluationHarness(
+        Ensemble(args.ensemble),
+        args.workdir,
+        HarnessConfig(runs_per_question=args.runs_per_question, seed=args.seed),
+    )
+    result = harness.run_suite()
+    print(format_table2(result.aggregator.table2_rows()))
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    db = Database(args.db)
+    result = db.query(args.statement)
+    print(result)
+    stats = db.last_scan_stats
+    if stats.row_groups_total:
+        print(f"(scanned {stats.row_groups_total - stats.row_groups_skipped}"
+              f"/{stats.row_groups_total} row groups)")
+    return 0
+
+
+class _StdinFeedback:
+    """Human plan review on the terminal.
+
+    Shows the proposed plan; an empty line (or 'y') approves, anything
+    else is treated as a refinement directive for the next planning round.
+    """
+
+    def __init__(self, prompt_fn=None, echo=print):
+        # resolve `input` lazily so test monkeypatching takes effect
+        self._prompt = prompt_fn or (lambda text: input(text))
+        self._echo = echo
+
+    def review(self, plan_doc: dict) -> tuple[bool, str]:
+        self._echo("\nproposed plan:")
+        for step in plan_doc.get("steps", []):
+            self._echo(f"  {step['index']}. [{step['kind']}] {step['description']}")
+        answer = self._prompt("approve? [enter=yes / feedback]: ").strip()
+        if answer.lower() in ("", "y", "yes"):
+            return True, "approved"
+        return False, answer
+
+
+def cmd_chat(args: argparse.Namespace) -> int:
+    config = InferAConfig(
+        seed=args.seed,
+        error_model=NO_ERRORS if args.no_errors else ErrorModel(),
+    )
+    app = InferA(Ensemble(args.ensemble), args.workdir, config)
+    print("InferA interactive session. Empty question quits.")
+    while True:
+        try:
+            question = input("\nquestion> ").strip()
+        except EOFError:
+            break
+        if not question:
+            break
+        report = app.run_query(question, feedback=_StdinFeedback())
+        status = "completed" if report.completed else "FAILED"
+        print(f"[{status}] {report.tokens:,} tokens, "
+              f"{report.storage_bytes:,} bytes provenance")
+        work = report.tables.get("work")
+        if work is not None:
+            print(work)
+        for i, svg in enumerate(report.figures):
+            path = Path(args.workdir) / f"chat_figure_{i}.svg"
+            path.write_text(svg)
+            print(f"figure: {path}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "info": cmd_info,
+    "query": cmd_query,
+    "eval": cmd_eval,
+    "sql": cmd_sql,
+    "chat": cmd_chat,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""InferA public API.
+
+>>> from repro.core import InferA, InferAConfig
+>>> assistant = InferA(ensemble, workdir="analysis")
+>>> report = assistant.run_query(
+...     "Can you find me the top 20 largest friends-of-friends halos "
+...     "from timestep 498 in simulation 0?"
+... )
+>>> report.completed
+True
+"""
+
+from repro.core.config import InferAConfig
+from repro.core.app import InferA, QueryReport
+from repro.core.session import Session, SessionManager
+
+__all__ = ["InferA", "InferAConfig", "QueryReport", "Session", "SessionManager"]

@@ -1,0 +1,197 @@
+"""The InferA assistant façade.
+
+Wires the full two-stage workflow over a HACC-style ensemble:
+
+1. *Planning* — the planning agent interprets the question (chain of
+   thought + structured intent), proposes a step-by-step plan, and loops
+   on human feedback until approval.
+2. *Analysis* — the supervisor executes the approved plan through the
+   specialized agents with sandboxed execution, QA revision loops, and
+   full provenance tracking.
+
+Each query gets its own provenance session directory and its own on-disk
+analysis database; ``QueryReport`` carries every number the paper's
+evaluation tables are computed from.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.agents import (
+    AgentContext,
+    DataLoadingAgent,
+    PlanningAgent,
+    Supervisor,
+)
+from repro.agents.planner import FeedbackProvider, PlanningResult
+from repro.agents.supervisor import RunReport
+from repro.agents.tools import default_toolset
+from repro.db import Database
+from repro.frame import Frame
+from repro.llm import HashedEmbedder, MockLLM
+from repro.llm.base import MeteredModel
+from repro.provenance import ProvenanceTracker
+from repro.rag import ColumnRetriever
+from repro.sandbox import InProcessClient, SandboxClient, SandboxExecutor
+from repro.sim.ensemble import Ensemble
+from repro.sim.schema import (
+    COLUMN_DESCRIPTIONS,
+    FILE_STRUCTURE_DESCRIPTIONS,
+    IMPORTANT_COLUMNS,
+)
+from repro.core.config import InferAConfig
+
+
+@dataclass
+class QueryReport:
+    """Everything one query produced."""
+
+    run: RunReport
+    plan: PlanningResult
+    session_dir: Path
+    db_bytes: int
+
+    # convenience passthroughs -----------------------------------------
+    @property
+    def completed(self) -> bool:
+        return self.run.completed
+
+    @property
+    def tokens(self) -> int:
+        return self.run.tokens
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.run.storage_bytes
+
+    @property
+    def time_s(self) -> float:
+        return self.run.time_s
+
+    @property
+    def figures(self) -> list[str]:
+        return self.run.figures
+
+    @property
+    def tables(self) -> dict[str, Frame]:
+        return self.run.tables
+
+    @property
+    def analysis_steps(self) -> int:
+        return self.run.analysis_steps
+
+
+class InferA:
+    """A smart assistant for cosmological ensemble data."""
+
+    def __init__(
+        self,
+        ensemble: Ensemble,
+        workdir: str | Path,
+        config: InferAConfig | None = None,
+        llm=None,
+    ):
+        self.ensemble = ensemble
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.config = config or InferAConfig()
+        self._llm_factory = llm
+        self._query_count = 0
+        # the metadata dictionaries come straight from the ensemble manifest
+        # when present (new datasets plug in by shipping their own)
+        manifest = ensemble.manifest
+        self.column_descriptions = manifest.get("column_descriptions", COLUMN_DESCRIPTIONS)
+        self.structure = manifest.get("structure", FILE_STRUCTURE_DESCRIPTIONS)
+
+    # ------------------------------------------------------------------
+    def _build_context(self, session_id: str) -> tuple[AgentContext, Database]:
+        cfg = self.config
+        base_llm = self._llm_factory or MockLLM(
+            seed=cfg.seed + self._query_count,
+            error_model=cfg.error_model,
+            latency_per_call_s=cfg.llm_latency_s,
+        )
+        if callable(self._llm_factory):
+            base_llm = self._llm_factory(cfg.seed + self._query_count)
+        retriever = ColumnRetriever(
+            self.column_descriptions,
+            self.structure,
+            important=IMPORTANT_COLUMNS,
+            embedder=HashedEmbedder(cfg.embedder_dim),
+        )
+        provenance = ProvenanceTracker(self.workdir, session_id)
+        db = Database(self.workdir / session_id / "analysis.db")
+        provenance.register_external(db.path)
+        if cfg.sandbox_url:
+            sandbox = SandboxClient(cfg.sandbox_url)
+        else:
+            sandbox = InProcessClient(SandboxExecutor(tools=default_toolset()))
+        context = AgentContext(
+            llm=MeteredModel(base_llm),
+            retriever=retriever,
+            db=db,
+            sandbox=sandbox,
+            provenance=provenance,
+            limited_context=cfg.limited_context,
+        )
+        return context, db
+
+    # ------------------------------------------------------------------
+    def run_query(
+        self,
+        question: str,
+        feedback: FeedbackProvider | None = None,
+        session_id: str | None = None,
+        plan_transform=None,
+    ) -> QueryReport:
+        """Run one natural-language query end to end.
+
+        ``plan_transform`` (steps -> steps) rewrites the approved plan
+        before execution; used by the §4.4.1 architecture baselines to
+        force e.g. a static linear workflow through the same machinery.
+        """
+        self._query_count += 1
+        session_id = session_id or f"query_{self._query_count:03d}_{_slug(question)}"
+        context, db = self._build_context(session_id)
+        context.provenance.record_query(question)
+
+        planner = PlanningAgent(context)
+        plan_result = planner.plan(question, feedback=feedback)
+        if plan_transform is not None:
+            transformed = plan_transform([dict(s) for s in plan_result.steps])
+            plan_result.steps = [dict(s, index=i) for i, s in enumerate(transformed)]
+
+        loader = DataLoadingAgent(context, self.ensemble)
+        supervisor = Supervisor(
+            context,
+            loader,
+            max_revisions=self.config.max_revisions,
+            qa_mode=self.config.qa_mode,
+            enable_documentation=self.config.enable_documentation,
+            supervisor_history=self.config.supervisor_history,
+            use_checkpointer=self.config.use_checkpointer,
+            parallel_viz=self.config.parallel_viz,
+        )
+        self._last_supervisor = supervisor
+        self._last_context = context
+        run = supervisor.execute(
+            question,
+            plan_result.steps,
+            plan_result.semantic_level,
+            plan_result.intent,
+            thread_id=session_id,
+        )
+        return QueryReport(
+            run=run,
+            plan=plan_result,
+            session_dir=context.provenance.root,
+            db_bytes=db.nbytes(),
+        )
+
+
+def _slug(text: str, max_len: int = 24) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")
+    return slug[:max_len]

@@ -1,0 +1,35 @@
+"""InferA configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.errors import ErrorModel
+
+
+@dataclass
+class InferAConfig:
+    """All knobs of the assistant in one place.
+
+    Defaults reproduce the paper's evaluation protocol: five revision
+    attempts, 1-100 QA scoring thresholded at 50, limited per-agent
+    context with a short supervisor history, documentation agent on, and
+    the calibrated generation-error model.
+    """
+
+    seed: int = 0
+    max_revisions: int = 5
+    qa_mode: str = "score"               # 'score' | 'binary' (the §4.2.4 ablation)
+    qa_threshold: int = 50
+    limited_context: bool = True         # per-agent context isolation (§4.2.5)
+    supervisor_history: int | None = 6   # messages of history the supervisor sees
+    enable_documentation: bool = True
+    use_checkpointer: bool = False       # stateful branching support (§4.2.1)
+    parallel_viz: bool = False           # parallel viz execution (§5 future work)
+    error_model: ErrorModel = field(default_factory=ErrorModel)
+    llm_latency_s: float = 1.2           # simulated per-invocation latency
+    embedder_dim: int = 384
+    row_group_size: int = 65536
+    # when set, generated code executes on a remote sandbox gateway (the
+    # paper's ASGI-server deployment) instead of in-process
+    sandbox_url: str | None = None

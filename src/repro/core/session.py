@@ -1,0 +1,65 @@
+"""Stateful sessions with checkpoint branching (§4.2.1).
+
+A :class:`Session` runs queries with the checkpointer enabled, exposes
+the checkpoint history of each run, and can branch a new analysis thread
+from any checkpoint — rerunning only the steps after the branch point,
+the paper's "explore different analytical paths [without] rerunning
+entire workflows".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.app import InferA, QueryReport
+from repro.core.config import InferAConfig
+from repro.graph.checkpoint import Checkpoint
+from repro.sim.ensemble import Ensemble
+
+
+@dataclass
+class Session:
+    """One stateful analysis thread."""
+
+    app: InferA
+    thread_id: str
+    reports: list[QueryReport] = field(default_factory=list)
+
+    def run(self, question: str, feedback=None) -> QueryReport:
+        report = self.app.run_query(question, feedback=feedback, session_id=self.thread_id)
+        self.reports.append(report)
+        return report
+
+    def checkpoints(self) -> list[Checkpoint]:
+        supervisor = getattr(self.app, "_last_supervisor", None)
+        if supervisor is None or supervisor.checkpointer is None:
+            return []
+        return supervisor.checkpointer.history(self.thread_id)
+
+    def branch_from(self, checkpoint_id: str, new_thread_id: str):
+        """Branch at a checkpoint and re-run the remaining steps.
+
+        Returns the graph RunResult of the branched thread; earlier steps
+        are *not* re-executed — their state is restored from the snapshot.
+        """
+        supervisor = getattr(self.app, "_last_supervisor", None)
+        if supervisor is None or supervisor.checkpointer is None:
+            raise RuntimeError("session has no checkpointed run to branch from")
+        graph = supervisor._last_graph
+        return graph.resume_from_branch(checkpoint_id, new_thread_id)
+
+
+class SessionManager:
+    """Creates sessions over one ensemble + workspace."""
+
+    def __init__(self, ensemble: Ensemble, workdir: str | Path, config: InferAConfig | None = None):
+        config = config or InferAConfig()
+        if not config.use_checkpointer:
+            config = InferAConfig(**{**config.__dict__, "use_checkpointer": True})
+        self.app = InferA(ensemble, workdir, config)
+        self._count = 0
+
+    def new_session(self, name: str | None = None) -> Session:
+        self._count += 1
+        return Session(self.app, thread_id=name or f"session_{self._count:03d}")

@@ -1,0 +1,139 @@
+"""Public Database façade.
+
+Usage::
+
+    db = Database(workdir / "analysis.db")
+    db.create_table("halos", frame)            # or append multiple frames
+    top = db.query("SELECT fof_halo_tag, fof_halo_count FROM halos "
+                   "ORDER BY fof_halo_count DESC LIMIT 20")
+
+The database is a directory; every table is a column-segmented subdirectory
+(see :mod:`repro.db.storage`).  All query execution streams from disk.
+``nbytes()`` reports exact on-disk footprint — the paper's storage-overhead
+metric counts these bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.db.errors import DBError, UnknownTableError
+from repro.db.sql.ast import CreateTableAs, SelectStatement
+from repro.db.sql.executor import execute
+from repro.db.sql.parser import parse_sql
+from repro.db.storage import DEFAULT_ROW_GROUP_SIZE, TableStore
+from repro.frame import Frame
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+
+
+class Database:
+    """An embedded, directory-backed columnar SQL database."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._catalog_path = self.path / "catalog.json"
+        if self._catalog_path.exists():
+            self._tables: dict[str, dict] = json.loads(self._catalog_path.read_text())
+        else:
+            self._tables = {}
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+    def list_tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def store(self, name: str) -> TableStore:
+        if name not in self._tables:
+            raise UnknownTableError(name, self.list_tables())
+        return TableStore(self.path / name)
+
+    def schema(self, name: str) -> dict[str, str]:
+        """Column name -> dtype string for a table."""
+        store = self.store(name)
+        return {c: store.dtype_of(c).name for c in store.columns}
+
+    def _flush_catalog(self) -> None:
+        self._catalog_path.write_text(json.dumps(self._tables, indent=1))
+
+    # ------------------------------------------------------------------
+    # DDL / loading
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        frame: Frame | None = None,
+        row_group_size: int = DEFAULT_ROW_GROUP_SIZE,
+    ) -> None:
+        """Create (and optionally populate) a table."""
+        if not _NAME_RE.match(name):
+            raise DBError(f"invalid table name {name!r}")
+        if name in self._tables:
+            raise DBError(f"table {name!r} already exists")
+        self._tables[name] = {"row_group_size": row_group_size}
+        if frame is not None and frame.num_columns:
+            TableStore(self.path / name).append(frame, row_group_size)
+        self._flush_catalog()
+
+    def append(self, name: str, frame: Frame) -> None:
+        """Append rows to an existing table (schema must match)."""
+        meta = self._tables.get(name)
+        if meta is None:
+            raise UnknownTableError(name, self.list_tables())
+        TableStore(self.path / name).append(frame, meta["row_group_size"])
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise UnknownTableError(name, self.list_tables())
+        TableStore(self.path / name).drop()
+        del self._tables[name]
+        self._flush_catalog()
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, sql: str) -> Frame:
+        """Parse and execute one SQL statement.
+
+        ``CREATE TABLE name AS SELECT ...`` persists the result and returns
+        it; a bare SELECT just returns the result frame.  Zone-map pruning
+        accounting for the scan is exposed as ``last_scan_stats``.
+        """
+        from repro.db.sql.executor import ScanStats
+
+        stmt = parse_sql(sql)
+        self.last_scan_stats = ScanStats()
+        if isinstance(stmt, CreateTableAs):
+            result = execute(self, stmt.select, self.last_scan_stats)
+            self.create_table(stmt.name, result)
+            return result
+        assert isinstance(stmt, SelectStatement)
+        return execute(self, stmt, self.last_scan_stats)
+
+    def table_frame(self, name: str) -> Frame:
+        """Materialize a whole table (result-sized tables only)."""
+        return self.store(name).read_all()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Total on-disk bytes across all tables."""
+        return sum(TableStore(self.path / n).nbytes() for n in self._tables)
+
+    def describe(self) -> str:
+        lines = [f"Database at {self.path} ({self.nbytes():,} bytes)"]
+        for name in self.list_tables():
+            store = self.store(name)
+            lines.append(
+                f"  {name}: {store.num_rows} rows x {len(store.columns)} cols "
+                f"({store.nbytes():,} bytes, {store.num_row_groups} row groups)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Database error hierarchy.
+
+Error messages are deliberately detailed: the sandboxed execution gateway
+forwards them verbatim to the quality-assurance agent, whose error-guided
+repair loop needs to see the candidate identifiers (the paper: "these
+syntactic errors are quickly identified and easily resolved").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class DBError(RuntimeError):
+    """Base class for all database errors."""
+
+
+class SQLSyntaxError(DBError):
+    """Raised by the lexer/parser with position information."""
+
+    def __init__(self, message: str, sql: str = "", position: int | None = None):
+        self.sql = sql
+        self.position = position
+        if position is not None and sql:
+            pointer = sql[:position].count("\n")
+            message = f"{message} (at offset {position}, line {pointer + 1})"
+        super().__init__(message)
+
+
+class UnknownColumnError(DBError):
+    """Unknown column reference, with the valid candidates attached."""
+
+    def __init__(self, name: str, known: Sequence[str]):
+        self.name = name
+        self.known = list(known)
+        super().__init__(
+            f"no column named {name!r}; available columns: {', '.join(self.known)}"
+        )
+
+
+class UnknownTableError(DBError):
+    """Unknown table reference, with the catalog contents attached."""
+
+    def __init__(self, name: str, known: Sequence[str]):
+        self.name = name
+        self.known = list(known)
+        super().__init__(
+            f"no table named {name!r}; available tables: {', '.join(self.known) or '(none)'}"
+        )
+
+
+class UnsupportedSQLError(DBError):
+    """A syntactically valid construct the engine does not implement."""

@@ -1,0 +1,6 @@
+"""SQL frontend: lexer, AST, recursive-descent parser, planner, executor."""
+
+from repro.db.sql.parser import parse_sql
+from repro.db.sql.ast import SelectStatement
+
+__all__ = ["parse_sql", "SelectStatement"]

@@ -1,0 +1,232 @@
+"""Streaming aggregate accumulators.
+
+Aggregation runs over row groups one at a time; each accumulator keeps
+O(#groups) state (Welford-style moments for variance) so a GROUP BY over
+an arbitrarily large table peaks at row-group memory.  MEDIAN is the one
+holdout that must buffer values, documented as such.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+AGGREGATE_NAMES = {"COUNT", "SUM", "AVG", "MEAN", "MIN", "MAX", "STDDEV", "STD", "VAR", "MEDIAN"}
+
+
+class Accumulator:
+    """Base streaming accumulator keyed by dense group index."""
+
+    def update(self, group_idx: np.ndarray, values: np.ndarray | None, n_groups: int) -> None:
+        raise NotImplementedError
+
+    def finalize(self, n_groups: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class CountAcc(Accumulator):
+    def __init__(self) -> None:
+        self.counts = np.zeros(0, dtype=np.int64)
+
+    def update(self, group_idx, values, n_groups):
+        self.counts = _grow(self.counts, n_groups)
+        if values is None:  # COUNT(*)
+            self.counts += np.bincount(group_idx, minlength=n_groups)
+        else:
+            valid = ~_nan_mask(values)
+            self.counts += np.bincount(group_idx[valid], minlength=n_groups)
+
+    def finalize(self, n_groups):
+        return _grow(self.counts, n_groups)
+
+
+class SumAcc(Accumulator):
+    def __init__(self) -> None:
+        self.sums = np.zeros(0)
+
+    def update(self, group_idx, values, n_groups):
+        self.sums = _grow(self.sums, n_groups)
+        self.sums += np.bincount(group_idx, weights=_clean(values), minlength=n_groups)
+
+    def finalize(self, n_groups):
+        return _grow(self.sums, n_groups)
+
+
+class MeanAcc(Accumulator):
+    def __init__(self) -> None:
+        self.sums = np.zeros(0)
+        self.counts = np.zeros(0, dtype=np.int64)
+
+    def update(self, group_idx, values, n_groups):
+        self.sums = _grow(self.sums, n_groups)
+        self.counts = _grow(self.counts, n_groups)
+        valid = ~_nan_mask(values)
+        self.sums += np.bincount(group_idx[valid], weights=values[valid].astype(np.float64), minlength=n_groups)
+        self.counts += np.bincount(group_idx[valid], minlength=n_groups)
+
+    def finalize(self, n_groups):
+        sums = _grow(self.sums, n_groups)
+        counts = _grow(self.counts, n_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return sums / counts
+
+
+class MinMaxAcc(Accumulator):
+    def __init__(self, is_min: bool) -> None:
+        self.is_min = is_min
+        self.best: np.ndarray | None = None
+
+    def update(self, group_idx, values, n_groups):
+        fill = np.inf if self.is_min else -np.inf
+        if self.best is None:
+            self.best = np.full(n_groups, fill)
+        elif len(self.best) < n_groups:
+            self.best = np.concatenate([self.best, np.full(n_groups - len(self.best), fill)])
+        op = np.minimum if self.is_min else np.maximum
+        reducer = op.reduceat
+        order = np.argsort(group_idx, kind="stable")
+        gi = group_idx[order]
+        vals = values[order].astype(np.float64)
+        starts = np.flatnonzero(np.concatenate(([True], gi[1:] != gi[:-1])))
+        per_group = reducer(vals, starts)
+        self.best[gi[starts]] = op(self.best[gi[starts]], per_group)
+
+    def finalize(self, n_groups):
+        fill = np.inf if self.is_min else -np.inf
+        best = self.best if self.best is not None else np.full(n_groups, fill)
+        if len(best) < n_groups:
+            best = np.concatenate([best, np.full(n_groups - len(best), fill)])
+        return best
+
+
+class MomentsAcc(Accumulator):
+    """Chan et al. parallel-merge mean/M2 for VAR/STDDEV."""
+
+    def __init__(self, want_std: bool) -> None:
+        self.want_std = want_std
+        self.n = np.zeros(0)
+        self.mean = np.zeros(0)
+        self.m2 = np.zeros(0)
+
+    def update(self, group_idx, values, n_groups):
+        self.n = _grow(self.n, n_groups)
+        self.mean = _grow(self.mean, n_groups)
+        self.m2 = _grow(self.m2, n_groups)
+        vals = values.astype(np.float64)
+        nb = np.bincount(group_idx, minlength=n_groups).astype(np.float64)
+        sb = np.bincount(group_idx, weights=vals, minlength=n_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mb = np.where(nb > 0, sb / np.maximum(nb, 1), 0.0)
+        dev = vals - mb[group_idx]
+        m2b = np.bincount(group_idx, weights=dev * dev, minlength=n_groups)
+        na = self.n
+        delta = mb - self.mean
+        tot = na + nb
+        with np.errstate(invalid="ignore", divide="ignore"):
+            self.mean = np.where(tot > 0, self.mean + delta * np.where(tot > 0, nb / np.maximum(tot, 1), 0), self.mean)
+            self.m2 = self.m2 + m2b + delta**2 * na * nb / np.maximum(tot, 1)
+        self.n = tot
+
+    def finalize(self, n_groups):
+        n = _grow(self.n, n_groups)
+        m2 = _grow(self.m2, n_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            var = np.where(n > 1, m2 / np.maximum(n - 1, 1), 0.0)
+        return np.sqrt(var) if self.want_std else var
+
+
+class DistinctCountAcc(Accumulator):
+    """COUNT(DISTINCT col): per-group distinct sets, any value dtype.
+
+    Each chunk is deduplicated vectorially (factorize values, unique the
+    (group, value-code) pairs) before touching the per-group sets, so
+    memory and Python-level work scale with *distinct* pairs, not rows.
+    """
+
+    def __init__(self) -> None:
+        self.sets: dict[int, set] = {}
+
+    def update(self, group_idx, values, n_groups):
+        if values is None:
+            raise ValueError("COUNT(DISTINCT *) is not valid")
+        uvals, inverse = np.unique(values, return_inverse=True)
+        pair_codes = group_idx.astype(np.int64) * (len(uvals) + 1) + inverse
+        unique_pairs = np.unique(pair_codes)
+        groups = unique_pairs // (len(uvals) + 1)
+        codes = unique_pairs % (len(uvals) + 1)
+        for g, c in zip(groups.tolist(), codes.tolist()):
+            self.sets.setdefault(g, set()).add(uvals[c])
+
+    def finalize(self, n_groups):
+        out = np.zeros(n_groups, dtype=np.int64)
+        for g, s in self.sets.items():
+            if g < n_groups:
+                out[g] = len(s)
+        return out
+
+
+class MedianAcc(Accumulator):
+    """Buffers values; exact medians require a full pass by nature."""
+
+    def __init__(self) -> None:
+        self.values: list[np.ndarray] = []
+        self.groups: list[np.ndarray] = []
+
+    def update(self, group_idx, values, n_groups):
+        self.values.append(values.astype(np.float64))
+        self.groups.append(group_idx)
+
+    def finalize(self, n_groups):
+        if not self.values:
+            return np.full(n_groups, np.nan)
+        vals = np.concatenate(self.values)
+        groups = np.concatenate(self.groups)
+        out = np.full(n_groups, np.nan)
+        order = np.argsort(groups, kind="stable")
+        gs, vs = groups[order], vals[order]
+        starts = np.flatnonzero(np.concatenate(([True], gs[1:] != gs[:-1])))
+        for seg, grp in zip(np.split(vs, starts[1:]), gs[starts]):
+            out[grp] = float(np.median(seg))
+        return out
+
+
+def make_accumulator(name: str, distinct: bool = False) -> Accumulator:
+    name = name.upper()
+    if name == "COUNT" and distinct:
+        return DistinctCountAcc()
+    if distinct:
+        raise ValueError(f"DISTINCT is only supported for COUNT, not {name}")
+    if name == "COUNT":
+        return CountAcc()
+    if name == "SUM":
+        return SumAcc()
+    if name in ("AVG", "MEAN"):
+        return MeanAcc()
+    if name == "MIN":
+        return MinMaxAcc(is_min=True)
+    if name == "MAX":
+        return MinMaxAcc(is_min=False)
+    if name in ("STDDEV", "STD"):
+        return MomentsAcc(want_std=True)
+    if name == "VAR":
+        return MomentsAcc(want_std=False)
+    if name == "MEDIAN":
+        return MedianAcc()
+    raise ValueError(f"unknown aggregate {name!r}")
+
+
+def _grow(arr: np.ndarray, n: int) -> np.ndarray:
+    if len(arr) >= n:
+        return arr
+    pad = np.zeros(n - len(arr), dtype=arr.dtype)
+    return np.concatenate([arr, pad])
+
+
+def _nan_mask(values: np.ndarray) -> np.ndarray:
+    if np.issubdtype(values.dtype, np.floating):
+        return np.isnan(values)
+    return np.zeros(len(values), dtype=bool)
+
+
+def _clean(values: np.ndarray) -> np.ndarray:
+    vals = values.astype(np.float64)
+    return np.where(np.isnan(vals), 0.0, vals)

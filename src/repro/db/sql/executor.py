@@ -1,0 +1,449 @@
+"""Vectorized streaming executor for the SQL subset.
+
+Execution strategy by query shape:
+
+* plain SELECT (no grouping): stream row groups through WHERE + projection,
+  with early termination when an un-ordered LIMIT is satisfied;
+* grouped / aggregate SELECT: stream row groups through WHERE into
+  per-aggregate accumulators keyed by a global dense group registry, then
+  evaluate SELECT expressions over the per-group frame (aggregate nodes
+  substituted for materialized columns) and apply HAVING;
+* JOIN queries materialize both sides column-pruned, merge via the Frame
+  sort-merge join, then follow one of the two paths above in-memory.
+
+ORDER BY / LIMIT run last over the (result-sized) output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import replace
+
+import numpy as np
+
+from dataclasses import dataclass as _dataclass
+
+from repro.db.errors import UnsupportedSQLError
+from repro.db.sql import ast
+from repro.db.sql.aggregates import Accumulator, make_accumulator
+from repro.db.sql.expressions import evaluate, expr_name
+from repro.db.sql.pruning import can_skip_row_group
+from repro.frame import Frame, concat
+from repro.frame.join import merge
+
+
+@_dataclass
+class ScanStats:
+    """Row-group pruning accounting for one query."""
+
+    row_groups_total: int = 0
+    row_groups_skipped: int = 0
+
+    @property
+    def skip_fraction(self) -> float:
+        if not self.row_groups_total:
+            return 0.0
+        return self.row_groups_skipped / self.row_groups_total
+
+
+def execute(db, stmt: ast.SelectStatement, scan_stats: ScanStats | None = None) -> Frame:
+    """Run a SELECT against ``db`` (a :class:`repro.db.database.Database`)."""
+    chunks = _source_chunks(db, stmt, scan_stats)
+    needs_group = bool(stmt.group_by) or any(
+        ast.contains_aggregate(item.expr) for item in stmt.items
+    )
+    if needs_group:
+        result = _execute_grouped(stmt, chunks)
+    else:
+        result = _execute_plain(stmt, chunks)
+    if stmt.distinct:
+        result = result.drop_duplicates()
+    result = _order_and_limit(stmt, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# source resolution
+# ----------------------------------------------------------------------
+def _referenced_columns(stmt: ast.SelectStatement) -> set[str] | None:
+    """Bare column names the query touches; None means SELECT * (all)."""
+    names: set[str] = set()
+    exprs: list[ast.Expr] = [item.expr for item in stmt.items]
+    if stmt.where is not None:
+        exprs.append(stmt.where)
+    if stmt.having is not None:
+        exprs.append(stmt.having)
+    exprs.extend(stmt.group_by)
+    exprs.extend(o.expr for o in stmt.order_by)
+    for j in stmt.joins:
+        for lk, rk in j.keys:
+            exprs.append(lk)
+            exprs.append(rk)
+    for e in exprs:
+        for node in ast.walk(e):
+            if isinstance(node, ast.Star):
+                return None
+            if isinstance(node, ast.Column):
+                names.add(node.name)
+    return names
+
+
+def _source_chunks(
+    db, stmt: ast.SelectStatement, scan_stats: ScanStats | None = None
+) -> Iterator[Frame]:
+    needed = _referenced_columns(stmt)
+    if stmt.table.is_subquery and not stmt.joins:
+        inner = execute(db, stmt.table.subquery, scan_stats)
+        return iter([inner])
+    if not stmt.joins:
+        store = db.store(stmt.table.name)
+        columns = None if needed is None else [c for c in store.columns if c in needed]
+        if columns is not None and not columns:
+            # pure COUNT(*)-style query: stream the cheapest column
+            columns = store.columns[:1]
+        return _pruned_scan(store, columns, stmt.where, scan_stats)
+    return iter([_materialize_join(db, stmt, needed)])
+
+
+def _pruned_scan(store, columns, where, scan_stats: ScanStats | None) -> Iterator[Frame]:
+    """Scan skipping row groups whose zone maps refute the WHERE clause."""
+    for i in range(store.num_row_groups):
+        if scan_stats is not None:
+            scan_stats.row_groups_total += 1
+        if where is not None and can_skip_row_group(where, store.zone_map(i)):
+            if scan_stats is not None:
+                scan_stats.row_groups_skipped += 1
+            continue
+        yield store.read_row_group(i, columns)
+
+
+def _materialize_join(db, stmt: ast.SelectStatement, needed: set[str] | None) -> Frame:
+    """Column-pruned two-or-more-way equijoin through Frame merge."""
+    def load(table: ast.TableRef, extra: set[str]) -> Frame:
+        if table.is_subquery:
+            inner = execute(db, table.subquery)
+            if needed is None:
+                return inner
+            keep = [c for c in inner.columns if c in needed or c in extra]
+            return inner.select(keep) if keep else inner
+        store = db.store(table.name)
+        if needed is None:
+            columns = store.columns
+        else:
+            columns = [c for c in store.columns if c in needed or c in extra]
+        return store.read_all(columns)
+
+    left_keys = {lk.name for j in stmt.joins for lk, _ in j.keys}
+    current = load(stmt.table, left_keys)
+    for join in stmt.joins:
+        right = load(join.table, {rk.name for _, rk in join.keys})
+        renames = {rk.name: lk.name for lk, rk in join.keys if rk.name != lk.name}
+        if renames:
+            right = right.rename(renames)
+        on = [lk.name for lk, _ in join.keys]
+        current = merge(current, right, on=on, how=join.kind)
+    return current
+
+
+# ----------------------------------------------------------------------
+# plain (non-grouped) path
+# ----------------------------------------------------------------------
+def _streaming_topk_key(stmt: ast.SelectStatement) -> str | None:
+    """Column name usable for streaming top-k, or None if ineligible.
+
+    Eligible shape: single ORDER BY key that is a bare column also present
+    in the projection (directly or via alias), a LIMIT, and no DISTINCT.
+    Then only limit+offset rows ever need to be held in memory.
+    """
+    if stmt.limit is None or stmt.distinct or len(stmt.order_by) != 1:
+        return None
+    key = stmt.order_by[0].expr
+    if not isinstance(key, ast.Column):
+        return None
+    for item in stmt.items:
+        if isinstance(item.expr, ast.Star):
+            return key.name
+        name = item.alias or expr_name(item.expr)
+        if isinstance(item.expr, ast.Column) and item.expr.name == key.name:
+            return name
+    return None
+
+
+def _execute_plain(stmt: ast.SelectStatement, chunks: Iterator[Frame]) -> Frame:
+    topk_key = _streaming_topk_key(stmt)
+    if topk_key is not None:
+        return _execute_streaming_topk(stmt, chunks, topk_key)
+    pieces: list[Frame] = []
+    gathered = 0
+    want = None
+    if stmt.limit is not None and not stmt.order_by and not stmt.distinct:
+        want = stmt.limit + (stmt.offset or 0)
+    for chunk in chunks:
+        if stmt.where is not None:
+            mask = evaluate(stmt.where, chunk).astype(bool)
+            chunk = chunk.filter(mask)
+        if chunk.num_rows == 0:
+            continue
+        pieces.append(_project(stmt, chunk))
+        gathered += chunk.num_rows
+        if want is not None and gathered >= want:
+            break
+    if not pieces:
+        return _empty_projection(stmt)
+    return concat([_densify(p) for p in pieces])
+
+
+def _execute_streaming_topk(
+    stmt: ast.SelectStatement, chunks: Iterator[Frame], key: str
+) -> Frame:
+    """ORDER BY <col> LIMIT k with O(k) memory: fold chunks through a
+    running top-k buffer instead of materializing the whole filtered set."""
+    k = stmt.limit + (stmt.offset or 0)
+    ascending = stmt.order_by[0].ascending
+    running: Frame | None = None
+    for chunk in chunks:
+        if stmt.where is not None:
+            mask = evaluate(stmt.where, chunk).astype(bool)
+            chunk = chunk.filter(mask)
+        if chunk.num_rows == 0:
+            continue
+        projected = _densify(_project(stmt, chunk))
+        merged = projected if running is None else concat([running, projected])
+        if merged.num_rows > k:
+            # keep order stability: sort, then truncate
+            merged = merged.sort_values(key, ascending=ascending)[:k]
+        running = merged
+    return running if running is not None else _empty_projection(stmt)
+
+
+def _densify(frame: Frame) -> Frame:
+    """Copy memory-mapped columns so downstream concat owns its data."""
+    return Frame({n: np.asarray(frame.column(n)) for n in frame.columns})
+
+
+def _project(stmt: ast.SelectStatement, chunk: Frame) -> Frame:
+    out: dict[str, np.ndarray] = {}
+    for item in stmt.items:
+        if isinstance(item.expr, ast.Star):
+            for n in chunk.columns:
+                out[n] = chunk.column(n)
+            continue
+        name = item.alias or expr_name(item.expr)
+        out[name] = evaluate(item.expr, chunk)
+    return Frame(out)
+
+
+def _empty_projection(stmt: ast.SelectStatement) -> Frame:
+    cols: dict[str, np.ndarray] = {}
+    for item in stmt.items:
+        if isinstance(item.expr, ast.Star):
+            continue
+        cols[item.alias or expr_name(item.expr)] = np.empty(0)
+    return Frame(cols)
+
+
+# ----------------------------------------------------------------------
+# grouped / aggregate path
+# ----------------------------------------------------------------------
+class _GroupRegistry:
+    """Maps group-key tuples to stable dense indices across row groups."""
+
+    def __init__(self) -> None:
+        self.index: dict[tuple, int] = {}
+        self.keys: list[tuple] = []
+
+    def codes_for(self, key_arrays: list[np.ndarray]) -> np.ndarray:
+        n = len(key_arrays[0]) if key_arrays else 0
+        codes = np.empty(n, dtype=np.int64)
+        # chunk-local unique first, then one dict probe per unique key
+        stacked = list(zip(*[a.tolist() for a in key_arrays]))
+        for i, key in enumerate(stacked):
+            idx = self.index.get(key)
+            if idx is None:
+                idx = len(self.keys)
+                self.index[key] = idx
+                self.keys.append(key)
+            codes[i] = idx
+        return codes
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.keys)
+
+
+def _collect_aggregates(stmt: ast.SelectStatement) -> list[ast.FuncCall]:
+    """Distinct aggregate calls across SELECT items, HAVING and ORDER BY."""
+    seen: dict[ast.FuncCall, None] = {}
+    exprs = [item.expr for item in stmt.items]
+    if stmt.having is not None:
+        exprs.append(stmt.having)
+    exprs.extend(o.expr for o in stmt.order_by)
+    for e in exprs:
+        for node in ast.walk(e):
+            if isinstance(node, ast.FuncCall) and node.is_aggregate:
+                if node.distinct and node.name != "COUNT":
+                    raise UnsupportedSQLError(
+                        "DISTINCT aggregates are only supported for COUNT"
+                    )
+                seen.setdefault(node)
+    return list(seen)
+
+
+def _substitute(expr: ast.Expr, mapping: dict[ast.FuncCall, str]) -> ast.Expr:
+    """Rewrite aggregate calls to references of materialized agg columns."""
+    if isinstance(expr, ast.FuncCall) and expr in mapping:
+        return ast.Column(mapping[expr])
+    if isinstance(expr, ast.Unary):
+        return replace(expr, operand=_substitute(expr.operand, mapping))
+    if isinstance(expr, ast.Binary):
+        return replace(
+            expr,
+            left=_substitute(expr.left, mapping),
+            right=_substitute(expr.right, mapping),
+        )
+    if isinstance(expr, ast.FuncCall):
+        return replace(expr, args=tuple(_substitute(a, mapping) for a in expr.args))
+    if isinstance(expr, ast.InList):
+        return replace(
+            expr,
+            operand=_substitute(expr.operand, mapping),
+            options=tuple(_substitute(o, mapping) for o in expr.options),
+        )
+    if isinstance(expr, ast.Between):
+        return replace(
+            expr,
+            operand=_substitute(expr.operand, mapping),
+            low=_substitute(expr.low, mapping),
+            high=_substitute(expr.high, mapping),
+        )
+    return expr
+
+
+def _execute_grouped(stmt: ast.SelectStatement, chunks: Iterator[Frame]) -> Frame:
+    agg_calls = _collect_aggregates(stmt)
+    agg_names = {call: f"__agg{k}" for k, call in enumerate(agg_calls)}
+    accumulators: dict[ast.FuncCall, Accumulator] = {
+        call: make_accumulator(call.name, distinct=call.distinct) for call in agg_calls
+    }
+    registry = _GroupRegistry()
+    group_exprs = list(stmt.group_by)
+
+    saw_rows = False
+    for chunk in chunks:
+        if stmt.where is not None:
+            mask = evaluate(stmt.where, chunk).astype(bool)
+            chunk = chunk.filter(mask)
+        if chunk.num_rows == 0:
+            continue
+        saw_rows = True
+        if group_exprs:
+            key_arrays = [np.asarray(evaluate(g, chunk)) for g in group_exprs]
+            codes = registry.codes_for(key_arrays)
+        else:
+            codes = np.zeros(chunk.num_rows, dtype=np.int64)
+            if registry.n_groups == 0:
+                registry.index[()] = 0
+                registry.keys.append(())
+        n_groups = registry.n_groups
+        for call, acc in accumulators.items():
+            if call.args and not isinstance(call.args[0], ast.Star):
+                values = np.asarray(evaluate(call.args[0], chunk))
+            else:
+                values = None
+            if values is None and call.name != "COUNT":
+                raise UnsupportedSQLError(f"{call.name}(*) is not valid")
+            acc.update(codes, values, n_groups)
+
+    n_groups = registry.n_groups
+    if n_groups == 0:
+        if group_exprs or saw_rows:
+            return _empty_projection(stmt)
+        # global aggregate over an empty table still yields one row
+        registry.index[()] = 0
+        registry.keys.append(())
+        n_groups = 1
+
+    # per-group frame: group-key columns + materialized aggregate columns
+    group_cols: dict[str, np.ndarray] = {}
+    for gi, gexpr in enumerate(group_exprs):
+        name = expr_name(gexpr)
+        group_cols[name] = np.asarray([key[gi] for key in registry.keys])
+    for call, acc in accumulators.items():
+        group_cols[agg_names[call]] = acc.finalize(n_groups)
+    group_frame = Frame(group_cols)
+
+    if stmt.having is not None:
+        mask = evaluate(_substitute(stmt.having, agg_names), group_frame).astype(bool)
+        group_frame = group_frame.filter(mask)
+
+    out: dict[str, np.ndarray] = {}
+    for item in stmt.items:
+        if isinstance(item.expr, ast.Star):
+            raise UnsupportedSQLError("SELECT * cannot be combined with GROUP BY")
+        name = item.alias or expr_name(item.expr)
+        out[name] = evaluate(_substitute(item.expr, agg_names), group_frame)
+    result = Frame(out)
+    # stash substituted order-by keys for _order_and_limit
+    result = _attach_order_keys(stmt, agg_names, group_frame, result)
+    return result
+
+
+_ORDER_PREFIX = "__order"
+
+
+def _attach_order_keys(stmt, agg_names, group_frame, result: Frame) -> Frame:
+    extra = {}
+    for k, item in enumerate(stmt.order_by):
+        if ast.contains_aggregate(item.expr):
+            extra[f"{_ORDER_PREFIX}{k}"] = evaluate(
+                _substitute(item.expr, agg_names), group_frame
+            )
+    return result.assign(**extra) if extra else result
+
+
+def _order_and_limit(stmt: ast.SelectStatement, result: Frame) -> Frame:
+    if stmt.order_by:
+        keys: list[str] = []
+        orders: list[bool] = []
+        helper = result
+        for k, item in enumerate(stmt.order_by):
+            hidden = f"{_ORDER_PREFIX}{k}"
+            if hidden in helper:
+                keys.append(hidden)
+            else:
+                name = expr_name(item.expr)
+                if name not in helper:
+                    # ORDER BY may reference a source column that the
+                    # projection exposed under an alias
+                    alias_hit = None
+                    if isinstance(item.expr, ast.Column):
+                        if item.expr.name in helper:
+                            alias_hit = item.expr.name
+                        else:
+                            for sel in stmt.items:
+                                if (
+                                    isinstance(sel.expr, ast.Column)
+                                    and sel.expr.name == item.expr.name
+                                    and sel.alias
+                                    and sel.alias in helper
+                                ):
+                                    alias_hit = sel.alias
+                                    break
+                    if alias_hit is None:
+                        helper = helper.assign(**{hidden: evaluate(item.expr, helper)})
+                        name = hidden
+                    else:
+                        name = alias_hit
+                keys.append(name)
+            orders.append(item.ascending)
+        helper = helper.sort_values(keys, ascending=orders)
+        result = helper.drop([c for c in helper.columns if c.startswith(_ORDER_PREFIX)]) \
+            if any(c.startswith(_ORDER_PREFIX) for c in helper.columns) else helper
+    elif any(c.startswith(_ORDER_PREFIX) for c in result.columns):
+        result = result.drop([c for c in result.columns if c.startswith(_ORDER_PREFIX)])
+    start = stmt.offset or 0
+    if stmt.limit is not None:
+        return result[start : start + stmt.limit]
+    if start:
+        return result[start:]
+    return result

@@ -1,0 +1,89 @@
+"""SQL tokenizer.
+
+A small hand-written scanner producing a flat token list for the
+recursive-descent parser.  Keywords are case-insensitive; identifiers keep
+their case (HACC columns are case-sensitive, e.g. ``sod_halo_MGas500c``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.db.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "ASC", "DESC", "JOIN", "INNER", "LEFT", "ON",
+    "IN", "BETWEEN", "DISTINCT", "CREATE", "TABLE", "NULL", "LIKE", "IS",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "OFFSET",
+}
+
+
+class TokType(Enum):
+    KEYWORD = auto()
+    IDENT = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OP = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokType
+    value: str
+    pos: int
+
+    def is_kw(self, *names: str) -> bool:
+        return self.type is TokType.KEYWORD and self.value in names
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<dquoted>"(?:[^"])*")
+  | (?P<op><=|>=|<>|!=|=|<|>|\|\|)
+  | (?P<punct>[(),.*/+\-%;])
+    """,
+    re.VERBOSE,
+)
+
+
+def lex(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SQLSyntaxError` on junk."""
+    tokens: list[Token] = []
+    pos = 0
+    n = len(sql)
+    while pos < n:
+        m = _TOKEN_RE.match(sql, pos)
+        if m is None:
+            raise SQLSyntaxError(f"unexpected character {sql[pos]!r}", sql, pos)
+        if m.lastgroup == "ws":
+            pos = m.end()
+            continue
+        text = m.group(0)
+        if m.lastgroup == "number":
+            tokens.append(Token(TokType.NUMBER, text, pos))
+        elif m.lastgroup == "ident":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokType.KEYWORD, upper, pos))
+            else:
+                tokens.append(Token(TokType.IDENT, text, pos))
+        elif m.lastgroup == "string":
+            tokens.append(Token(TokType.STRING, text[1:-1].replace("''", "'"), pos))
+        elif m.lastgroup == "dquoted":
+            tokens.append(Token(TokType.IDENT, text[1:-1], pos))
+        elif m.lastgroup == "op":
+            tokens.append(Token(TokType.OP, text, pos))
+        else:
+            tokens.append(Token(TokType.PUNCT, text, pos))
+        pos = m.end()
+    tokens.append(Token(TokType.EOF, "", n))
+    return tokens

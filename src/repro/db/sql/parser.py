@@ -1,0 +1,360 @@
+"""Recursive-descent SQL parser.
+
+Grammar (roughly)::
+
+    statement   := select | create_table_as
+    create      := CREATE TABLE ident AS select
+    select      := SELECT [DISTINCT] items FROM table_ref join*
+                   [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+                   [ORDER BY order_list] [LIMIT n [OFFSET m]]
+    join        := [INNER|LEFT] JOIN table_ref ON column = column
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | comparison
+    comparison  := additive ((=|!=|<>|<|<=|>|>=|LIKE) additive
+                   | [NOT] IN (list) | [NOT] BETWEEN additive AND additive
+                   | IS [NOT] NULL)?
+    additive    := multiplicative ((+|-|'||') multiplicative)*
+    multiplicative := unary ((*|/|%) unary)*
+    unary       := - unary | primary
+    primary     := NUMBER | STRING | NULL | '*' | func(args) | CASE ...
+                   | ident[.ident] | ( expr )
+"""
+
+from __future__ import annotations
+
+from repro.db.errors import SQLSyntaxError
+from repro.db.sql import ast
+from repro.db.sql.lexer import Token, TokType, lex
+
+
+def parse_sql(sql: str) -> ast.SelectStatement | ast.CreateTableAs:
+    """Parse one statement; trailing semicolon allowed."""
+    return _Parser(sql).parse_statement()
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = lex(sql)
+        self.i = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.i]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.i += 1
+        return tok
+
+    def accept_kw(self, *names: str) -> bool:
+        if self.cur.is_kw(*names):
+            self.advance()
+            return True
+        return False
+
+    def expect_kw(self, name: str) -> None:
+        if not self.accept_kw(name):
+            self.fail(f"expected {name}, found {self.cur.value or 'end of input'}")
+
+    def accept_punct(self, ch: str) -> bool:
+        if self.cur.type is TokType.PUNCT and self.cur.value == ch:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, ch: str) -> None:
+        if not self.accept_punct(ch):
+            self.fail(f"expected {ch!r}, found {self.cur.value or 'end of input'}")
+
+    def expect_ident(self) -> str:
+        if self.cur.type is not TokType.IDENT:
+            self.fail(f"expected identifier, found {self.cur.value or 'end of input'}")
+        return self.advance().value
+
+    def fail(self, message: str) -> None:
+        raise SQLSyntaxError(message, self.sql, self.cur.pos)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> ast.SelectStatement | ast.CreateTableAs:
+        if self.accept_kw("CREATE"):
+            self.expect_kw("TABLE")
+            name = self.expect_ident()
+            self.expect_kw("AS")
+            select = self.parse_select()
+            stmt: ast.SelectStatement | ast.CreateTableAs = ast.CreateTableAs(name, select)
+        else:
+            stmt = self.parse_select()
+        self.accept_punct(";")
+        if self.cur.type is not TokType.EOF:
+            self.fail(f"unexpected trailing input: {self.cur.value!r}")
+        return stmt
+
+    def parse_select(self) -> ast.SelectStatement:
+        self.expect_kw("SELECT")
+        distinct = self.accept_kw("DISTINCT")
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+        self.expect_kw("FROM")
+        table = self.parse_table_ref()
+        joins: list[ast.Join] = []
+        while self.cur.is_kw("JOIN", "INNER", "LEFT"):
+            joins.append(self.parse_join())
+        where = self.parse_expr() if self.accept_kw("WHERE") else None
+        group_by: tuple[ast.Expr, ...] = ()
+        if self.accept_kw("GROUP"):
+            self.expect_kw("BY")
+            exprs = [self.parse_expr()]
+            while self.accept_punct(","):
+                exprs.append(self.parse_expr())
+            group_by = tuple(exprs)
+        having = self.parse_expr() if self.accept_kw("HAVING") else None
+        order_by: tuple[ast.OrderItem, ...] = ()
+        if self.accept_kw("ORDER"):
+            self.expect_kw("BY")
+            orders = [self.parse_order_item()]
+            while self.accept_punct(","):
+                orders.append(self.parse_order_item())
+            order_by = tuple(orders)
+        limit = offset = None
+        if self.accept_kw("LIMIT"):
+            limit = self.parse_int("LIMIT")
+            if self.accept_kw("OFFSET"):
+                offset = self.parse_int("OFFSET")
+        return ast.SelectStatement(
+            items=tuple(items),
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def parse_int(self, context: str) -> int:
+        if self.cur.type is not TokType.NUMBER:
+            self.fail(f"{context} expects an integer")
+        text = self.advance().value
+        try:
+            return int(text)
+        except ValueError:
+            self.fail(f"{context} expects an integer, got {text!r}")
+            raise AssertionError  # unreachable
+
+    def parse_select_item(self) -> ast.SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.expect_ident()
+        elif self.cur.type is TokType.IDENT:
+            alias = self.advance().value
+        return ast.SelectItem(expr, alias)
+
+    def parse_table_ref(self) -> ast.TableRef:
+        if self.accept_punct("("):
+            inner = self.parse_select()
+            self.expect_punct(")")
+            alias = None
+            if self.accept_kw("AS"):
+                alias = self.expect_ident()
+            elif self.cur.type is TokType.IDENT:
+                alias = self.advance().value
+            return ast.TableRef(name=None, alias=alias, subquery=inner)
+        name = self.expect_ident()
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.expect_ident()
+        elif self.cur.type is TokType.IDENT:
+            alias = self.advance().value
+        return ast.TableRef(name, alias)
+
+    def parse_join(self) -> ast.Join:
+        kind = "inner"
+        if self.accept_kw("LEFT"):
+            kind = "left"
+        else:
+            self.accept_kw("INNER")
+        self.expect_kw("JOIN")
+        table = self.parse_table_ref()
+        self.expect_kw("ON")
+        condition = self.parse_expr()
+        pairs: list[tuple[ast.Column, ast.Column]] = []
+
+        def collect(node: ast.Expr) -> None:
+            if isinstance(node, ast.Binary) and node.op == "AND":
+                collect(node.left)
+                collect(node.right)
+                return
+            if (
+                isinstance(node, ast.Binary)
+                and node.op == "="
+                and isinstance(node.left, ast.Column)
+                and isinstance(node.right, ast.Column)
+            ):
+                pairs.append((node.left, node.right))
+                return
+            self.fail("JOIN ... ON requires column = column (optionally ANDed)")
+
+        collect(condition)
+        return ast.Join(table=table, kind=kind, keys=tuple(pairs))
+
+    def parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        ascending = True
+        if self.accept_kw("DESC"):
+            ascending = False
+        else:
+            self.accept_kw("ASC")
+        return ast.OrderItem(expr, ascending)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.accept_kw("OR"):
+            left = ast.Binary("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.accept_kw("AND"):
+            left = ast.Binary("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.accept_kw("NOT"):
+            return ast.Unary("NOT", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        if self.cur.type is TokType.OP and self.cur.value in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            op = self.advance().value
+            if op == "<>":
+                op = "!="
+            return ast.Binary(op, left, self.parse_additive())
+        if self.cur.is_kw("LIKE"):
+            self.advance()
+            return ast.Binary("LIKE", left, self.parse_additive())
+        negated = False
+        if self.cur.is_kw("NOT"):
+            nxt = self.tokens[self.i + 1]
+            if nxt.is_kw("IN", "BETWEEN"):
+                self.advance()
+                negated = True
+        if self.accept_kw("IN"):
+            self.expect_punct("(")
+            options = [self.parse_expr()]
+            while self.accept_punct(","):
+                options.append(self.parse_expr())
+            self.expect_punct(")")
+            return ast.InList(left, tuple(options), negated)
+        if self.accept_kw("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_kw("AND")
+            high = self.parse_additive()
+            return ast.Between(left, low, high, negated)
+        if self.accept_kw("IS"):
+            is_not = self.accept_kw("NOT")
+            self.expect_kw("NULL")
+            op = "IS NOT NULL" if is_not else "IS NULL"
+            return ast.Unary(op, left)
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while True:
+            if self.cur.type is TokType.PUNCT and self.cur.value in ("+", "-"):
+                op = self.advance().value
+                left = ast.Binary(op, left, self.parse_multiplicative())
+            elif self.cur.type is TokType.OP and self.cur.value == "||":
+                self.advance()
+                left = ast.Binary("||", left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.cur.type is TokType.PUNCT and self.cur.value in ("*", "/", "%"):
+            op = self.advance().value
+            left = ast.Binary(op, left, self.parse_unary())
+        return left
+
+    def parse_case(self) -> ast.Expr:
+        self.expect_kw("CASE")
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_kw("WHEN"):
+            cond = self.parse_expr()
+            self.expect_kw("THEN")
+            whens.append((cond, self.parse_expr()))
+        if not whens:
+            self.fail("CASE requires at least one WHEN clause")
+        default = self.parse_expr() if self.accept_kw("ELSE") else None
+        self.expect_kw("END")
+        return ast.Case(tuple(whens), default)
+
+    def parse_unary(self) -> ast.Expr:
+        if self.cur.type is TokType.PUNCT and self.cur.value == "-":
+            self.advance()
+            return ast.Unary("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.type is TokType.NUMBER:
+            self.advance()
+            text = tok.value
+            if "." in text or "e" in text.lower():
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+        if tok.type is TokType.STRING:
+            self.advance()
+            return ast.Literal(tok.value)
+        if tok.is_kw("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if tok.is_kw("CASE"):
+            return self.parse_case()
+        if tok.type is TokType.PUNCT and tok.value == "*":
+            self.advance()
+            return ast.Star()
+        if tok.type is TokType.PUNCT and tok.value == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_punct(")")
+            return inner
+        if tok.type is TokType.IDENT:
+            name = self.advance().value
+            # function call?
+            if self.cur.type is TokType.PUNCT and self.cur.value == "(":
+                self.advance()
+                distinct = self.accept_kw("DISTINCT")
+                args: list[ast.Expr] = []
+                if not self.accept_punct(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_punct(","):
+                        args.append(self.parse_expr())
+                    self.expect_punct(")")
+                return ast.FuncCall(name.upper(), tuple(args), distinct)
+            # qualified column?
+            if self.accept_punct("."):
+                col = self.expect_ident()
+                return ast.Column(col, table=name)
+            return ast.Column(name)
+        self.fail(f"unexpected token {tok.value!r}")
+        raise AssertionError  # unreachable

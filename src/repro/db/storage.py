@@ -1,0 +1,145 @@
+"""Row-group columnar storage.
+
+A table lives in its own directory::
+
+    <db>/<table>/
+      meta.json                 # columns, dtypes, row-group row counts
+      rg00000/<column>.npy      # one contiguous array per column per group
+
+Row groups bound executor memory: a scan yields one group at a time, so a
+filter over a table of any size peaks at ``row_group_size`` rows — the
+"on disk rather than in memory" property the paper gets from DuckDB.
+``.npy`` is used as the segment container because NumPy memory-maps it for
+free, giving zero-copy selective column reads.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.db.errors import DBError, UnknownColumnError
+from repro.frame import Frame
+
+DEFAULT_ROW_GROUP_SIZE = 65536
+
+
+class TableStore:
+    """On-disk storage of one table."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._meta: dict = {"columns": {}, "row_groups": []}
+        meta_path = self.path / "meta.json"
+        if meta_path.exists():
+            self._meta = json.loads(meta_path.read_text())
+
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        return list(self._meta["columns"])
+
+    @property
+    def num_rows(self) -> int:
+        return int(sum(self._meta["row_groups"]))
+
+    @property
+    def num_row_groups(self) -> int:
+        return len(self._meta["row_groups"])
+
+    def dtype_of(self, name: str) -> np.dtype:
+        try:
+            return np.dtype(self._meta["columns"][name])
+        except KeyError:
+            raise UnknownColumnError(name, self.columns) from None
+
+    def nbytes(self) -> int:
+        """Bytes on disk across all segments (storage-overhead metric)."""
+        return sum(f.stat().st_size for f in self.path.rglob("*.npy"))
+
+    # ------------------------------------------------------------------
+    def append(self, frame: Frame, row_group_size: int = DEFAULT_ROW_GROUP_SIZE) -> None:
+        """Append a frame, splitting into row groups."""
+        if frame.num_columns == 0:
+            return
+        if not self._meta["columns"]:
+            self._meta["columns"] = {
+                n: np.asarray(frame.column(n)).dtype.str for n in frame.columns
+            }
+        else:
+            expected = set(self._meta["columns"])
+            got = set(frame.columns)
+            if expected != got:
+                raise DBError(
+                    f"append schema mismatch: table has {sorted(expected)}, "
+                    f"frame has {sorted(got)}"
+                )
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._meta.setdefault("zone_maps", [])
+        for start in range(0, frame.num_rows, row_group_size):
+            chunk = frame[start : start + row_group_size]
+            rg_index = len(self._meta["row_groups"])
+            rg_dir = self.path / f"rg{rg_index:05d}"
+            rg_dir.mkdir(parents=True, exist_ok=True)
+            zone_map: dict[str, list[float]] = {}
+            for name in self._meta["columns"]:
+                col = np.asarray(chunk.column(name))
+                if col.dtype == object:
+                    col = col.astype(str)
+                elif np.issubdtype(col.dtype, np.number) and len(col):
+                    finite = col[np.isfinite(col.astype(np.float64))]
+                    if len(finite):
+                        zone_map[name] = [float(finite.min()), float(finite.max())]
+                np.save(rg_dir / f"{name}.npy", col, allow_pickle=False)
+            self._meta["row_groups"].append(chunk.num_rows)
+            self._meta["zone_maps"].append(zone_map)
+        self._flush_meta()
+
+    def _flush_meta(self) -> None:
+        self.path.mkdir(parents=True, exist_ok=True)
+        (self.path / "meta.json").write_text(json.dumps(self._meta))
+
+    # ------------------------------------------------------------------
+    def read_row_group(
+        self, index: int, columns: Sequence[str] | None = None, mmap: bool = True
+    ) -> Frame:
+        """Read one row group; columns not requested are never touched."""
+        if not (0 <= index < self.num_row_groups):
+            raise DBError(f"row group {index} out of range [0, {self.num_row_groups})")
+        names = list(columns) if columns is not None else self.columns
+        for n in names:
+            self.dtype_of(n)  # validate with a helpful error
+        rg_dir = self.path / f"rg{index:05d}"
+        mode = "r" if mmap else None
+        return Frame(
+            {n: np.load(rg_dir / f"{n}.npy", mmap_mode=mode, allow_pickle=False) for n in names}
+        )
+
+    def zone_map(self, index: int) -> dict[str, tuple[float, float]]:
+        """Per-column (min, max) of one row group (empty for legacy tables)."""
+        maps = self._meta.get("zone_maps", [])
+        if index >= len(maps):
+            return {}
+        return {k: (v[0], v[1]) for k, v in maps[index].items()}
+
+    def scan(self, columns: Sequence[str] | None = None) -> Iterator[Frame]:
+        """Stream the table one row group at a time."""
+        for i in range(self.num_row_groups):
+            yield self.read_row_group(i, columns)
+
+    def read_all(self, columns: Sequence[str] | None = None) -> Frame:
+        """Materialize the whole table (only for result-sized tables)."""
+        from repro.frame import concat
+
+        groups = list(self.scan(columns))
+        if not groups:
+            return Frame()
+        return concat([Frame({n: np.asarray(g.column(n)) for n in g.columns}) for g in groups])
+
+    def drop(self) -> None:
+        if self.path.exists():
+            shutil.rmtree(self.path)

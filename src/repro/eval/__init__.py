@@ -1,0 +1,25 @@
+"""Evaluation suite reproducing the paper's §3.3/§4 protocol.
+
+Twenty questions spanning the Table 1 difficulty matrix, ten seeded runs
+each with human feedback skipped, six objective metrics, and the grouped
+aggregations of Table 2; plus the §4.4 baselines (direct chat,
+PandasAI-style full ingestion) and the §4.5 variability study.
+"""
+
+from repro.eval.questions import QUESTION_SUITE, EvalQuestion, classify_suite
+from repro.eval.metrics import RunMetrics, MetricsAggregator, oracle_assess
+from repro.eval.harness import EvaluationHarness, HarnessConfig
+from repro.eval.reporting import format_table2, format_table1
+
+__all__ = [
+    "QUESTION_SUITE",
+    "EvalQuestion",
+    "classify_suite",
+    "RunMetrics",
+    "MetricsAggregator",
+    "oracle_assess",
+    "EvaluationHarness",
+    "HarnessConfig",
+    "format_table2",
+    "format_table1",
+]

@@ -1,0 +1,172 @@
+"""Comparative baselines (§4.4).
+
+Two non-agentic comparators the paper contrasts against:
+
+* **Direct chat** — paste the data into the prompt.  Context is finite and
+  numeric fidelity degrades with prompt size; the paper found a 20x5
+  dataframe "already resulted in hallucinated values and relationships".
+  :class:`DirectChatBaseline` models exactly that: values round-trip
+  through a token-budgeted prompt with a hallucination probability that
+  rises with the fraction of the context window consumed, and anything
+  past the window is silently truncated.
+* **PandasAI-style full ingestion** — load the whole dataset into memory,
+  then analyze.  :class:`FullIngestionBaseline` actually performs the full
+  read (every column of every file), so its measured footprint *is* the
+  ensemble size; a memory budget makes the paper's infeasibility argument
+  quantitative.
+
+Both run against the same synthetic ensemble as InferA, so the benchmark
+compares like with like: correctness on matched queries, bytes touched,
+and peak in-memory bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.frame import Frame, concat
+from repro.sim.ensemble import Ensemble
+from repro.util.rngs import SeedSequenceFactory
+from repro.util.tokens import count_tokens
+
+
+class ContextWindowExceeded(RuntimeError):
+    """Prompt would not fit the model's context window."""
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    """Full ingestion exceeds the available memory budget."""
+
+
+def frame_to_prompt(frame: Frame, max_rows: int | None = None) -> str:
+    """Serialize a frame the way chat users paste tables."""
+    rows = frame.num_rows if max_rows is None else min(max_rows, frame.num_rows)
+    lines = [", ".join(frame.columns)]
+    cols = [frame.column(c) for c in frame.columns]
+    for i in range(rows):
+        lines.append(", ".join(str(col[i]) for col in cols))
+    return "\n".join(lines)
+
+
+@dataclass
+class DirectChatAnswer:
+    value: float
+    hallucinated: bool
+    prompt_tokens: int
+    truncated_rows: int
+
+
+@dataclass
+class DirectChatBaseline:
+    """Paste-the-data chat model with context-driven degradation."""
+
+    context_window: int = 128_000
+    # hallucination probability grows with context fill; even tiny tables
+    # have a floor probability per the paper's 20x5 observation
+    base_hallucination: float = 0.35
+    seed: int = 0
+    _seeds: SeedSequenceFactory = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._seeds = SeedSequenceFactory(self.seed)
+
+    def ask_mean(self, frame: Frame, column: str) -> DirectChatAnswer:
+        """Ask for the mean of a column over a pasted table."""
+        prompt = frame_to_prompt(frame)
+        tokens = count_tokens(prompt)
+        truncated_rows = 0
+        working = frame
+        if tokens > self.context_window:
+            # silent truncation: the model only sees what fits
+            fit_fraction = self.context_window / tokens
+            keep = max(1, int(frame.num_rows * fit_fraction))
+            truncated_rows = frame.num_rows - keep
+            working = frame[:keep]
+            tokens = self.context_window
+        true_mean = float(np.mean(working.column(column)))
+        fill = tokens / self.context_window
+        p_hallucinate = min(0.98, self.base_hallucination + 0.6 * fill)
+        rng = self._seeds.stream("chat", frame.num_rows, column)
+        if rng.uniform() < p_hallucinate:
+            # plausible-looking but wrong: right magnitude, wrong digits
+            value = true_mean * float(rng.lognormal(0.0, 0.35)) + float(
+                rng.normal(0.0, abs(true_mean) * 0.05 + 1e-9)
+            )
+            return DirectChatAnswer(value, True, tokens, truncated_rows)
+        return DirectChatAnswer(true_mean, False, tokens, truncated_rows)
+
+
+@dataclass
+class IngestionReport:
+    peak_bytes: int
+    rows: int
+    answer: float | None
+    seconds_estimate: float
+
+
+@dataclass
+class FullIngestionBaseline:
+    """PandasAI-style: everything in memory before any analysis."""
+
+    memory_budget_bytes: int = 8 << 30   # one compute node's RAM
+
+    def ingest_and_mean(
+        self, ensemble: Ensemble, kind: str, column: str
+    ) -> IngestionReport:
+        """Load the *entire* ensemble's ``kind`` catalog, then aggregate.
+
+        Raises :class:`MemoryBudgetExceeded` the moment the running total
+        passes the budget — mirroring the OOM a real full-ingestion tool
+        hits on a terabyte-scale dataset.
+        """
+        frames: list[Frame] = []
+        peak = 0
+        for run in range(ensemble.n_runs):
+            for step in ensemble.timesteps:
+                gio = ensemble.open_file(run, step, kind)
+                frame = gio.read()  # all columns: full ingestion by definition
+                frames.append(frame)
+                peak += frame.nbytes()
+                if peak > self.memory_budget_bytes:
+                    raise MemoryBudgetExceeded(
+                        f"ingested {peak:,} bytes of {kind!r} data; "
+                        f"budget is {self.memory_budget_bytes:,}"
+                    )
+        table = concat(frames)
+        return IngestionReport(
+            peak_bytes=peak,
+            rows=table.num_rows,
+            answer=float(np.mean(table.column(column))),
+            seconds_estimate=peak / (200e6),  # ~200 MB/s sustained read
+        )
+
+    def projected_peak_bytes(self, ensemble: Ensemble) -> int:
+        """Bytes a full ingestion would need, without performing it."""
+        return ensemble.total_data_bytes()
+
+
+def static_linear_plan(steps: list[dict]) -> list[dict]:
+    """Coerce a dynamic plan into the §4.4.1 "static linear workflow".
+
+    One fixed pipeline — load, one SQL filter, one Python computation, one
+    visualization — with no supervisor adaptivity beyond that.  Complex
+    questions whose correct decomposition needs several analysis steps
+    lose everything past the first, which is exactly the limitation the
+    paper attributes to static-workflow designs.
+    """
+    fixed: list[dict] = []
+    seen_kinds: set[str] = set()
+    for step in steps:
+        kind = step["kind"]
+        if kind in ("load", "sql") and kind not in seen_kinds:
+            fixed.append(step)
+            seen_kinds.add(kind)
+        elif kind == "python" and "python" not in seen_kinds:
+            fixed.append(step)
+            seen_kinds.add("python")
+        elif kind == "viz" and "viz" not in seen_kinds:
+            fixed.append(step)
+            seen_kinds.add("viz")
+    return fixed

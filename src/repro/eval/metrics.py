@@ -1,0 +1,232 @@
+"""Objective run metrics and the Table 2 aggregator.
+
+§3.3 defines six metrics; the first two need a ground-truth judgment that
+the paper made by hand.  Here the oracle is programmatic: it knows, from
+the structured intent, which terminal artifact a correct analysis must
+produce (e.g. a per-seed-mass scatter table with a best-parameter row for
+the SMHM question; a per-(run, step) track of the requested metric for
+evolution questions) and checks the run's actual output tables against
+that expectation — so valid-but-off-topic outputs (the tool-misuse and
+viz-misselection failure modes) are scored unsatisfactory even though the
+run completed, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.app import QueryReport
+from repro.frame import Frame
+
+
+@dataclass
+class RunMetrics:
+    """One evaluation run's outcomes (a row of the raw results)."""
+
+    qid: str
+    run_index: int
+    completed: bool
+    tasks_fraction: float
+    data_ok: bool
+    visual_ok: bool
+    tokens: int
+    storage_bytes: int
+    time_s: float
+    redo_iterations: int
+    plan_steps: int
+    semantic_level: int
+    analysis_level: int
+    multi_run: bool
+    multi_step: bool
+
+
+# ----------------------------------------------------------------------
+# the oracle
+# ----------------------------------------------------------------------
+def oracle_assess(report: QueryReport) -> tuple[bool, bool]:
+    """Return (data_satisfactory, visual_satisfactory) for one run."""
+    intent = report.run.intent
+    tables = report.tables
+    data_ok = _assess_data(intent, tables, report)
+    visual_ok = _assess_visual(intent, report)
+    return data_ok, visual_ok
+
+
+def _nonempty(tables: dict[str, Frame], name: str, columns: list[str] | None = None) -> bool:
+    frame = tables.get(name)
+    if frame is None or frame.num_rows == 0:
+        return False
+    if columns:
+        return all(c in frame for c in columns)
+    return True
+
+
+def _assess_data(intent: dict, tables: dict[str, Frame], report: QueryReport) -> bool:
+    analyses = intent.get("analyses", [])
+    checks: list[bool] = []
+    metric_terms = [
+        t for t in intent.get("metric_terms", []) if t.startswith(("fof_", "sod_", "gal_"))
+    ]
+    entities = intent.get("entities", ["halos"])
+    primary = "halos" if "halos" in entities else (entities[0] if entities else "halos")
+    prefixes = ("gal_",) if primary == "galaxies" else ("fof_", "sod_")
+    entity_terms = [t for t in metric_terms if t.startswith(prefixes)]
+    default_metric = (
+        (intent.get("rank_metric") if str(intent.get("rank_metric") or "").startswith(prefixes) else None)
+        or (entity_terms[0] if entity_terms else None)
+        or ("gal_stellar_mass" if primary == "galaxies" else "fof_halo_count")
+    )
+
+    if "relation_by_param" in analyses:
+        checks.append(_nonempty(tables, "fit_by_param", ["scatter", "slope"]))
+        checks.append(_nonempty(tables, "best_param"))
+    elif "relation_fit" in analyses:
+        rel = intent.get("relation") or {}
+        checks.append(_nonempty(tables, "fit", ["slope", "normalization"]))
+        if rel.get("per_step"):
+            checks.append(_nonempty(tables, "evolution", ["earliest", "latest"]))
+    if "track_evolution" in analyses:
+        # the metric column must actually be in the track output: the
+        # position-tool misuse produces a track without it
+        track_metrics = entity_terms or [default_metric]
+        for tm in track_metrics:
+            checks.append(_nonempty(tables, f"track_{tm}", [tm, "step"]))
+    if "aggregate" in analyses:
+        agg = tables.get("aggregated")
+        checks.append(
+            agg is not None
+            and agg.num_rows > 0
+            and f"{default_metric}_mean" in agg.columns
+        )
+    if "interestingness" in analyses:
+        checks.append(_nonempty(tables, "scored", ["interestingness"]))
+    if "compare_groups" in analyses:
+        comparison = tables.get("comparison")
+        checks.append(
+            comparison is not None
+            and comparison.num_rows >= 2
+            and "mean" in comparison
+            and len(np.unique(comparison["group"])) >= 2
+        )
+    if "parameter_inference" in analyses:
+        checks.append(_nonempty(tables, "inference", ["direction"]))
+    if "correlation" in analyses:
+        checks.append(
+            _nonempty(tables, "alignment", ["alignment_offset"])
+            or _nonempty(tables, "correlation")
+        )
+    if "neighborhood" in analyses:
+        checks.append(_nonempty(tables, "neighborhood", ["is_target", "distance"]))
+    if "top_k" in analyses and not checks:
+        work = tables.get("work")
+        k = intent.get("top_k") or 1
+        checks.append(work is not None and 0 < work.num_rows)
+        if work is not None and not intent.get("runs") and not intent.get("steps"):
+            pass  # per-cell counts checked below only for single-cell scope
+        elif work is not None and intent.get("runs") and intent.get("steps"):
+            checks.append(work.num_rows <= k * 4)
+    if not checks:  # pure extraction fallback
+        work = tables.get("work")
+        checks.append(work is not None and work.num_rows > 0)
+    return all(checks)
+
+
+_COMPATIBLE_FORMS = {
+    "line": {"line"},
+    "scatter": {"scatter"},
+    "hist": {"hist"},
+    "umap": {"umap"},
+    "paraview3d": {"paraview3d"},
+    "heatmap": {"heatmap"},
+}
+
+
+def _assess_visual(intent: dict, report: QueryReport) -> bool:
+    viz_steps = [s for s in report.run.steps if s.kind == "viz"]
+    planned_viz = sum(1 for s in report.plan.steps if s.get("kind") == "viz")
+    if planned_viz == 0:
+        return report.completed
+    if not viz_steps:
+        return False
+    ok_steps = [s for s in viz_steps if s.status == "ok"]
+    if len(ok_steps) < planned_viz:
+        return False
+    for s in ok_steps:
+        intended = s.form_intended or s.form_used
+        if s.form_used not in _COMPATIBLE_FORMS.get(intended, {intended}):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# aggregation (the Table 2 machinery)
+# ----------------------------------------------------------------------
+@dataclass
+class AggregateRow:
+    label: str
+    count: int                  # questions in the bucket
+    runs: int
+    pct_satisfactory_data: float
+    pct_satisfactory_visual: float
+    pct_runs_completed: float
+    pct_tasks_complete: float
+    token_usage: float
+    storage_overhead_gb: float
+    time_s: float
+    redo_iterations: float
+
+
+@dataclass
+class MetricsAggregator:
+    rows: list[RunMetrics] = field(default_factory=list)
+
+    def add(self, metrics: RunMetrics) -> None:
+        self.rows.append(metrics)
+
+    def bucket(self, label: str, predicate: Callable[[RunMetrics], bool]) -> AggregateRow:
+        selected = [r for r in self.rows if predicate(r)]
+        n = len(selected)
+        qids = {r.qid for r in selected}
+        if n == 0:
+            return AggregateRow(label, 0, 0, *([float("nan")] * 8))
+        return AggregateRow(
+            label=label,
+            count=len(qids),
+            runs=n,
+            pct_satisfactory_data=100.0 * sum(r.data_ok for r in selected) / n,
+            pct_satisfactory_visual=100.0 * sum(r.visual_ok for r in selected) / n,
+            pct_runs_completed=100.0 * sum(r.completed for r in selected) / n,
+            pct_tasks_complete=100.0 * sum(r.tasks_fraction for r in selected) / n,
+            token_usage=sum(r.tokens for r in selected) / n,
+            storage_overhead_gb=sum(r.storage_bytes for r in selected) / n / 1e9,
+            time_s=sum(r.time_s for r in selected) / n,
+            redo_iterations=sum(r.redo_iterations for r in selected) / n,
+        )
+
+    def table2_rows(self) -> list[AggregateRow]:
+        """All row groups of the paper's Table 2, in order."""
+        lv = {0: "Easy", 1: "Medium", 2: "Hard"}
+        out: list[AggregateRow] = []
+        for level in (0, 1, 2):
+            out.append(
+                self.bucket(
+                    f"Analysis {lv[level]}", lambda r, L=level: r.analysis_level == L
+                )
+            )
+        for level in (0, 1, 2):
+            out.append(
+                self.bucket(
+                    f"Semantic {lv[level]}", lambda r, L=level: r.semantic_level == L
+                )
+            )
+        out.append(self.bucket("Single sim / Single step", lambda r: not r.multi_run and not r.multi_step))
+        out.append(self.bucket("Single sim / Multi step", lambda r: not r.multi_run and r.multi_step))
+        out.append(self.bucket("Multi sim / Single step", lambda r: r.multi_run and not r.multi_step))
+        out.append(self.bucket("Multi sim / Multi step", lambda r: r.multi_run and r.multi_step))
+        out.append(self.bucket("Total", lambda r: True))
+        out.append(self.bucket("Successful runs", lambda r: r.completed))
+        out.append(self.bucket("Unsuccessful runs", lambda r: not r.completed))
+        return out

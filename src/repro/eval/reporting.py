@@ -1,0 +1,75 @@
+"""Plain-text rendering of the paper's tables, plus raw-metrics export."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval.metrics import AggregateRow, RunMetrics
+from repro.eval.questions import EvalQuestion, QuestionClassification
+from repro.frame import Frame
+from repro.frame.io import write_csv
+
+_LV = {0: "Easy", 1: "Medium", 2: "Hard"}
+
+
+def format_table1(
+    questions: list[EvalQuestion], classifications: list[QuestionClassification]
+) -> str:
+    """The difficulty matrix: questions bucketed by semantic x analysis."""
+    grid: dict[tuple[int, int], list[str]] = {}
+    for q, c in zip(questions, classifications):
+        grid.setdefault((c.semantic_level, c.analysis_level), []).append(q.qid)
+    lines = ["Table 1: difficulty matrix (rows = semantic complexity, cols = analysis difficulty)"]
+    header = f"{'':>10} | {'Easy':^18} | {'Medium':^18} | {'Hard':^18}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for sem in (0, 1, 2):
+        cells = []
+        for ana in (0, 1, 2):
+            qids = grid.get((sem, ana), [])
+            cells.append(",".join(qids) if qids else "n/a")
+        lines.append(f"{_LV[sem]:>10} | {cells[0]:^18} | {cells[1]:^18} | {cells[2]:^18}")
+    return "\n".join(lines)
+
+
+def metrics_to_frame(metrics: list[RunMetrics]) -> Frame:
+    """Raw per-run metrics as a Frame (one row per evaluation run)."""
+    if not metrics:
+        return Frame()
+    fields = [
+        "qid", "run_index", "completed", "tasks_fraction", "data_ok", "visual_ok",
+        "tokens", "storage_bytes", "time_s", "redo_iterations", "plan_steps",
+        "semantic_level", "analysis_level", "multi_run", "multi_step",
+    ]
+    columns: dict[str, np.ndarray] = {}
+    for name in fields:
+        values = [getattr(m, name) for m in metrics]
+        dtype = object if isinstance(values[0], str) else None
+        columns[name] = np.asarray(values, dtype=dtype)
+    return Frame(columns)
+
+
+def save_metrics_csv(metrics: list[RunMetrics], path: str | Path) -> int:
+    """Persist raw run metrics for downstream analysis; returns bytes written."""
+    return write_csv(metrics_to_frame(metrics), path)
+
+
+def format_table2(rows: list[AggregateRow]) -> str:
+    header = (
+        f"{'Group':<28} {'(n)':>4} {'%Data':>6} {'%Vis':>6} {'%Compl':>7} "
+        f"{'%Tasks':>7} {'Tokens':>9} {'Stor(GB)':>9} {'Time(s)':>8} {'Redo':>6}"
+    )
+    lines = ["Table 2: performance evaluation", header, "-" * len(header)]
+    for r in rows:
+        if r.runs == 0:
+            lines.append(f"{r.label:<28} {'0':>4} {'-':>6}")
+            continue
+        lines.append(
+            f"{r.label:<28} {r.count:>4} {r.pct_satisfactory_data:>6.0f} "
+            f"{r.pct_satisfactory_visual:>6.0f} {r.pct_runs_completed:>7.0f} "
+            f"{r.pct_tasks_complete:>7.0f} {r.token_usage:>9.0f} "
+            f"{r.storage_overhead_gb:>9.4f} {r.time_s:>8.1f} {r.redo_iterations:>6.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Frame-level utilities: concatenation and summary statistics."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.frame.frame import Frame
+
+
+def concat(frames: Sequence[Frame]) -> Frame:
+    """Row-wise concatenation of frames sharing the same column set.
+
+    Column order follows the first frame; extra/missing columns raise, as
+    silent NaN-filling would hide agent bugs the QA loop needs to see.
+    """
+    frames = [f for f in frames if f.num_columns > 0]
+    if not frames:
+        return Frame()
+    names = frames[0].columns
+    for f in frames[1:]:
+        if set(f.columns) != set(names):
+            raise ValueError(
+                f"cannot concat frames with differing columns: {names} vs {f.columns}"
+            )
+    return Frame({n: np.concatenate([f.column(n) for f in frames]) for n in names})
+
+
+def describe(frame: Frame) -> Frame:
+    """Per-numeric-column summary (count/mean/std/min/max) as a Frame."""
+    stats: dict[str, list] = {"column": [], "count": [], "mean": [], "std": [], "min": [], "max": []}
+    for name in frame.columns:
+        col = frame.column(name)
+        if not np.issubdtype(col.dtype, np.number):
+            continue
+        stats["column"].append(name)
+        stats["count"].append(len(col))
+        stats["mean"].append(float(np.mean(col)) if len(col) else float("nan"))
+        stats["std"].append(float(np.std(col, ddof=1)) if len(col) > 1 else 0.0)
+        stats["min"].append(float(np.min(col)) if len(col) else float("nan"))
+        stats["max"].append(float(np.max(col)) if len(col) else float("nan"))
+    return Frame({k: np.asarray(v) for k, v in stats.items()})

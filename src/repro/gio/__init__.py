@@ -1,0 +1,15 @@
+"""A GenericIO-like blocked columnar binary format.
+
+HACC writes its data products (particles, halo catalogs, galaxy catalogs)
+with GenericIO: self-describing column-oriented binary files with CRC
+protection, designed so readers can fetch *individual variables* without
+touching the rest of the file.  That selective-read property is exactly
+what lets InferA's data-loading agent reduce terabytes to gigabytes, so we
+reproduce it: the on-disk layout stores each column contiguously, the JSON
+header records byte offsets, and :meth:`GIOFile.read` seeks straight to
+the requested columns.
+"""
+
+from repro.gio.format import GIOFile, write_gio, GIOFormatError, GIO_MAGIC
+
+__all__ = ["GIOFile", "write_gio", "GIOFormatError", "GIO_MAGIC"]

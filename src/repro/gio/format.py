@@ -1,0 +1,181 @@
+"""On-disk layout and reader/writer for the mini-GenericIO format.
+
+Layout::
+
+    offset 0   : magic b"MGIO1\\n"
+    offset 6   : header length as 8-byte little-endian unsigned
+    offset 14  : UTF-8 JSON header
+    thereafter : column blobs, each contiguous, in header order
+
+The JSON header carries ``num_rows``, free-form ``attrs`` (simulation
+run id, timestep, sub-grid parameters, ...), and per-column entries with
+``name``, ``dtype`` (NumPy dtype string), ``offset`` (absolute file
+offset), ``nbytes`` and ``crc32``.  Columns are independently seekable
+and CRC-verified on read.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.frame import Frame
+
+GIO_MAGIC = b"MGIO1\n"
+_HEADER_LEN_BYTES = 8
+
+
+class GIOFormatError(RuntimeError):
+    """Raised on magic/CRC/structure violations."""
+
+
+def write_gio(
+    path: str | Path,
+    columns: Mapping[str, np.ndarray],
+    attrs: Mapping[str, object] | None = None,
+) -> int:
+    """Write columns to ``path``; returns total bytes written.
+
+    All columns must share one length.  dtypes are preserved exactly;
+    object/string columns are stored as fixed-width UTF-32 (``<U``) blobs.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    arrays: dict[str, np.ndarray] = {}
+    num_rows: int | None = None
+    for name, values in columns.items():
+        arr = np.ascontiguousarray(values)
+        if arr.dtype == object:
+            arr = arr.astype(str)
+        if arr.ndim != 1:
+            raise GIOFormatError(f"column {name!r} must be 1-D")
+        if num_rows is None:
+            num_rows = len(arr)
+        elif len(arr) != num_rows:
+            raise GIOFormatError(
+                f"column {name!r} has {len(arr)} rows, expected {num_rows}"
+            )
+        arrays[name] = arr
+    if num_rows is None:
+        num_rows = 0
+
+    # two passes: first compute blob sizes so header offsets are exact
+    entries = []
+    blobs = []
+    for name, arr in arrays.items():
+        blob = arr.tobytes()
+        entries.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "nbytes": len(blob),
+                "crc32": zlib.crc32(blob) & 0xFFFFFFFF,
+            }
+        )
+        blobs.append(blob)
+
+    def header_bytes(with_offsets: bool) -> bytes:
+        doc = {
+            "num_rows": num_rows,
+            "attrs": dict(attrs or {}),
+            "columns": entries,
+        }
+        return json.dumps(doc, sort_keys=True).encode("utf-8") if with_offsets else b""
+
+    # Fix-point the header size (offsets appear inside the JSON header, so
+    # the header length depends on the offsets' digit counts).  After the
+    # loop, pad with whitespace — legal trailing JSON whitespace — so the
+    # recorded offsets are guaranteed consistent even if the loop did not
+    # fully converge.
+    prefix = len(GIO_MAGIC) + _HEADER_LEN_BYTES
+    data_start = 0
+    for _ in range(4):
+        proposed = prefix + len(header_bytes(True))
+        if proposed <= data_start:
+            break
+        data_start = proposed
+        cursor = data_start
+        for entry in entries:
+            entry["offset"] = cursor
+            cursor += entry["nbytes"]
+    header = header_bytes(True)
+    if len(header) > data_start - prefix:  # pragma: no cover - defensive
+        raise GIOFormatError("header offset fix-point failed to converge")
+    header = header + b" " * (data_start - prefix - len(header))
+
+    with path.open("wb") as fh:
+        fh.write(GIO_MAGIC)
+        fh.write(len(header).to_bytes(_HEADER_LEN_BYTES, "little"))
+        fh.write(header)
+        for blob in blobs:
+            fh.write(blob)
+        total = fh.tell()
+    return total
+
+
+class GIOFile:
+    """Read handle over a mini-GenericIO file.
+
+    Only the header is parsed at open time; column payloads are read
+    lazily and selectively, so opening a large ensemble costs kilobytes.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        with self.path.open("rb") as fh:
+            magic = fh.read(len(GIO_MAGIC))
+            if magic != GIO_MAGIC:
+                raise GIOFormatError(f"{self.path}: bad magic {magic!r}")
+            header_len = int.from_bytes(fh.read(_HEADER_LEN_BYTES), "little")
+            try:
+                doc = json.loads(fh.read(header_len).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise GIOFormatError(f"{self.path}: corrupt header: {exc}") from exc
+        self.num_rows: int = int(doc["num_rows"])
+        self.attrs: dict = dict(doc["attrs"])
+        self._entries: dict[str, dict] = {e["name"]: e for e in doc["columns"]}
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._entries)
+
+    def column_nbytes(self, name: str) -> int:
+        return int(self._entry(name)["nbytes"])
+
+    def total_data_nbytes(self) -> int:
+        """Bytes of column payload (the 'dataset size' used in storage ratios)."""
+        return sum(int(e["nbytes"]) for e in self._entries.values())
+
+    def _entry(self, name: str) -> dict:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise GIOFormatError(
+                f"{self.path}: no column {name!r}; available: {self.columns}"
+            ) from None
+
+    def read_column(self, name: str, verify: bool = True) -> np.ndarray:
+        """Read a single column, seeking directly to its blob."""
+        entry = self._entry(name)
+        with self.path.open("rb") as fh:
+            fh.seek(entry["offset"])
+            blob = fh.read(entry["nbytes"])
+        if len(blob) != entry["nbytes"]:
+            raise GIOFormatError(f"{self.path}: truncated column {name!r}")
+        if verify and (zlib.crc32(blob) & 0xFFFFFFFF) != entry["crc32"]:
+            raise GIOFormatError(f"{self.path}: CRC mismatch in column {name!r}")
+        return np.frombuffer(blob, dtype=np.dtype(entry["dtype"])).copy()
+
+    def read(self, columns: Sequence[str] | None = None, verify: bool = True) -> Frame:
+        """Read the selected columns (default: all) into a Frame."""
+        names = list(columns) if columns is not None else self.columns
+        return Frame({n: self.read_column(n, verify=verify) for n in names})
+
+    def bytes_for(self, columns: Sequence[str]) -> int:
+        """Payload bytes a selective read of ``columns`` would touch."""
+        return sum(self.column_nbytes(n) for n in columns)

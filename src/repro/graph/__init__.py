@@ -1,0 +1,32 @@
+"""Typed-state workflow graph engine (LangGraph substitute).
+
+The paper implements agent routing and "state-based workflow management"
+with LangGraph.  This package reproduces the parts InferA relies on:
+
+* a state dict flowing through named nodes, merged by per-key reducers,
+* static and conditional edges (the supervisor's routing decisions),
+* interrupts for human-in-the-loop pauses (plan approval),
+* a checkpointer that snapshots state after every node, enabling the
+  paper's stateful branch-from-checkpoint exploration (§4.2.1).
+"""
+
+from repro.graph.state import Channel, replace_reducer, append_reducer, merge_reducer, add_reducer
+from repro.graph.graph import StateGraph, CompiledGraph, END, GraphError, GraphInterrupt
+from repro.graph.checkpoint import Checkpointer, Checkpoint
+from repro.graph.events import ExecutionEvent
+
+__all__ = [
+    "Channel",
+    "replace_reducer",
+    "append_reducer",
+    "merge_reducer",
+    "add_reducer",
+    "StateGraph",
+    "CompiledGraph",
+    "END",
+    "GraphError",
+    "GraphInterrupt",
+    "Checkpointer",
+    "Checkpoint",
+    "ExecutionEvent",
+]

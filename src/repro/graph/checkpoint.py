@@ -1,0 +1,96 @@
+"""State checkpointing and branch-from-checkpoint.
+
+§4.2.1: "by capturing and preserving the exact computational state from
+each analysis agent, the system enables efficient workflow branching ...
+analysts can load from specific checkpoints and alter follow-up steps."
+
+Checkpoints snapshot the full state dict after every node.  Snapshots are
+deep copies, so later mutation cannot corrupt history; branching copies a
+checkpoint chain onto a new thread id and execution resumes from there.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Checkpoint:
+    checkpoint_id: str
+    thread_id: str
+    seq: int
+    node: str
+    next_node: str | None
+    state: dict[str, Any]
+
+
+@dataclass
+class Checkpointer:
+    """In-memory checkpoint store keyed by thread id."""
+
+    _threads: dict[str, list[Checkpoint]] = field(default_factory=dict)
+
+    def save(
+        self,
+        thread_id: str,
+        seq: int,
+        node: str,
+        next_node: str | None,
+        state: dict[str, Any],
+    ) -> Checkpoint:
+        cp = Checkpoint(
+            checkpoint_id=f"{thread_id}:{seq}",
+            thread_id=thread_id,
+            seq=seq,
+            node=node,
+            next_node=next_node,
+            state=copy.deepcopy(state),
+        )
+        self._threads.setdefault(thread_id, []).append(cp)
+        return cp
+
+    def history(self, thread_id: str) -> list[Checkpoint]:
+        return list(self._threads.get(thread_id, []))
+
+    def latest(self, thread_id: str) -> Checkpoint | None:
+        chain = self._threads.get(thread_id)
+        return chain[-1] if chain else None
+
+    def get(self, checkpoint_id: str) -> Checkpoint:
+        thread_id = checkpoint_id.rsplit(":", 1)[0]
+        for cp in self._threads.get(thread_id, []):
+            if cp.checkpoint_id == checkpoint_id:
+                return cp
+        raise KeyError(f"no checkpoint {checkpoint_id!r}")
+
+    def branch(self, checkpoint_id: str, new_thread_id: str) -> Checkpoint:
+        """Copy history up to ``checkpoint_id`` onto a fresh thread.
+
+        The returned checkpoint is the new thread's head; resuming a graph
+        with this thread id continues from the branched state without
+        re-running any earlier step (the paper's cost-saving exploration).
+        """
+        source = self.get(checkpoint_id)
+        if new_thread_id in self._threads:
+            raise ValueError(f"thread {new_thread_id!r} already exists")
+        chain = []
+        for cp in self._threads[source.thread_id]:
+            if cp.seq > source.seq:
+                break
+            chain.append(
+                Checkpoint(
+                    checkpoint_id=f"{new_thread_id}:{cp.seq}",
+                    thread_id=new_thread_id,
+                    seq=cp.seq,
+                    node=cp.node,
+                    next_node=cp.next_node,
+                    state=copy.deepcopy(cp.state),
+                )
+            )
+        self._threads[new_thread_id] = chain
+        return chain[-1]
+
+    def threads(self) -> list[str]:
+        return sorted(self._threads)

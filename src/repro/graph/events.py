@@ -1,0 +1,28 @@
+"""Execution trace events emitted by the graph engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExecutionEvent:
+    """One node execution in a graph run."""
+
+    seq: int
+    node: str
+    status: str                 # 'ok' | 'error' | 'interrupt'
+    updated_keys: list[str] = field(default_factory=list)
+    detail: str = ""
+    checkpoint_id: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "node": self.node,
+            "status": self.status,
+            "updated_keys": self.updated_keys,
+            "detail": self.detail,
+            "checkpoint_id": self.checkpoint_id,
+        }

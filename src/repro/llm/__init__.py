@@ -1,0 +1,30 @@
+"""Language-model substrate: chat interface, mock LLM, embeddings.
+
+The paper runs on GPT-4o + text-embedding-3-small.  Offline, this package
+provides the same *interfaces* with deterministic implementations:
+
+* :class:`MockLLM` — a seeded rule/template model with per-role skills
+  (planning, SQL generation, Python generation, visualization code,
+  quality scoring).  Its outputs are plain text/JSON completions, token
+  usage is metered on real prompt/completion text, and a calibrated
+  error model injects exactly the failure taxonomy the paper reports
+  (near-miss column names, tool misuse, inappropriate chart forms).
+* :class:`HashedEmbedder` — character-n-gram hashed embeddings whose
+  cosine geometry ranks column descriptions against query terms, the
+  only property the RAG layer needs.
+"""
+
+from repro.llm.base import ChatMessage, ChatResponse, ChatModel
+from repro.llm.embeddings import HashedEmbedder
+from repro.llm.errors import ErrorModel, NO_ERRORS
+from repro.llm.mock import MockLLM
+
+__all__ = [
+    "ChatMessage",
+    "ChatResponse",
+    "ChatModel",
+    "HashedEmbedder",
+    "ErrorModel",
+    "NO_ERRORS",
+    "MockLLM",
+]

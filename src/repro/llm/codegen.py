@@ -1,0 +1,579 @@
+"""Code-generation skills of the mock LLM.
+
+Each function renders executable code for one plan-step kind from the
+step's structured parameters.  A ``name`` mapping routes every column
+reference through the error model's corruption map, so generated code can
+carry exactly the near-miss identifiers the paper reports; the code is
+otherwise correct, which matches the paper's observation that failures
+are dominated by identifier errors rather than logic errors.
+
+Generated Python runs in the sandbox namespace: ``tables`` (dict of
+Frames), ``Frame``, ``np``, ``tools`` (custom domain tools) and must set
+``result`` (a Frame); visualization code must set ``figure``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+
+def _namer(corruptions: Mapping[str, str]) -> Callable[[str], str]:
+    return lambda col: corruptions.get(col, col)
+
+
+# ----------------------------------------------------------------------
+# SQL generation
+# ----------------------------------------------------------------------
+def generate_sql(params: dict, corruptions: Mapping[str, str]) -> str:
+    """SQL for the filtering step.
+
+    ``params`` carries: table, columns, runs, steps, top_k, rank_metric,
+    order ('desc'), target_table.
+    """
+    c = _namer(corruptions)
+    cols = [c(col) for col in params["columns"]]
+    param_cols = [f"param_{name}" for name in params.get("param_columns", [])]
+    if params.get("join_galaxies"):
+        gal_cols = [
+            c(col)
+            for col in params.get("galaxy_columns", [])
+            if col not in ("gal_tag", "fof_halo_tag")
+        ]
+        select = ", ".join(dict.fromkeys(["run", "step", *gal_cols, *cols, *param_cols]))
+        clauses = _sql_where_clauses(params)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return (
+            f"SELECT {select} FROM galaxies JOIN {params['table']} "
+            f"ON run = run AND step = step AND fof_halo_tag = fof_halo_tag{where}"
+        )
+    select = ", ".join(dict.fromkeys(["run", "step", *cols, *param_cols]))
+    clauses = _sql_where_clauses(params)
+    where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+    order = ""
+    limit = ""
+    if params.get("top_k") and params.get("rank_metric"):
+        order = f" ORDER BY {c(params['rank_metric'])} DESC"
+        # ranking must apply per (run, step) cell when several are in scope;
+        # that refinement happens in Python, so SQL keeps all rows then.
+        if params.get("per_cell_rank"):
+            order = ""
+        else:
+            limit = f" LIMIT {params['top_k']}"
+    return f"SELECT {select} FROM {params['table']}{where}{order}{limit}"
+
+
+def _sql_where_clauses(params: dict) -> list[str]:
+    clauses = []
+    runs = params.get("runs")
+    if runs is not None:
+        clauses.append(
+            f"run = {runs[0]}" if len(runs) == 1 else f"run IN ({', '.join(map(str, runs))})"
+        )
+    steps = params.get("steps")
+    if steps is not None:
+        clauses.append(
+            f"step = {steps[0]}" if len(steps) == 1 else f"step IN ({', '.join(map(str, steps))})"
+        )
+    return clauses
+
+
+# ----------------------------------------------------------------------
+# Python analysis generation
+# ----------------------------------------------------------------------
+def generate_python(params: dict, corruptions: Mapping[str, str]) -> str:
+    op = params["op"]
+    generator = _PY_GENERATORS.get(op)
+    if generator is None:
+        raise ValueError(f"no code generator for analysis op {op!r}")
+    return generator(params, _namer(corruptions))
+
+
+def _py_aggregate(params: dict, c) -> str:
+    metric = c(params["metric"])
+    keys = params.get("group_keys") or ["step"]
+    keys_py = ", ".join(repr(k) for k in keys)
+    return f"""\
+work = tables['work']
+result = work.groupby([{keys_py}]).agg({{'{metric}': 'mean'}})
+result = result.sort_values([{keys_py}])
+"""
+
+
+def _py_top_k_per_cell(params: dict, c) -> str:
+    metric = c(params["metric"])
+    k = params["top_k"]
+    return f"""\
+import numpy as np
+work = tables['work']
+pieces = []
+for run in np.unique(work['run']):
+    for step in np.unique(work['step']):
+        cell = work.filter((work['run'] == run) & (work['step'] == step))
+        if cell.num_rows:
+            pieces.append(cell.nlargest({k}, '{metric}'))
+result = concat(pieces)
+"""
+
+
+def _py_track(params: dict, c) -> str:
+    metric = c(params["metric"])
+    k = params.get("top_k") or 1
+    if params.get("misuse_position_tool"):
+        # tool misuse: tracks coordinates instead of the characteristic
+        return f"""\
+work = tables['work']
+result = tools['track_halo_positions'](work, top_k={k})
+"""
+    return f"""\
+work = tables['work']
+result = tools['track_halo_characteristic'](work, metric='{metric}', top_k={k})
+"""
+
+
+def _py_clean(params: dict, c) -> str:
+    cols = [c(col) for col in params["columns"]]
+    checks = " & ".join(f"(work['{col}'] > 0)" for col in cols)
+    drop = ", ".join(repr(col) for col in cols)
+    return f"""\
+work = tables['work'].dropna([{drop}])
+mask = {checks}
+result = work.filter(mask)
+tables['work'] = result
+"""
+
+
+def _py_relation_fit(params: dict, c) -> str:
+    y = c(params["y_column"])
+    x = c(params["x_column"])
+    ratio = params.get("y_is_fraction", False)
+    per_step = params.get("per_step", False)
+    y_expr = f"np.log10(work['{y}'] / work['{x}'])" if ratio else f"np.log10(work['{y}'])"
+    group = "np.unique(work['step'])" if per_step else "[-1]"
+    filter_line = (
+        "sel = work.filter(work['step'] == step) if step >= 0 else work"
+    )
+    return f"""\
+import numpy as np
+work = tables['work']
+rows = {{'step': [], 'slope': [], 'normalization': [], 'scatter': []}}
+for step in {group}:
+    {filter_line}
+    if sel.num_rows < 3:
+        continue
+    lx = np.log10(sel['{x}'])
+    ly = {y_expr.replace("work[", "sel[")}
+    ok = np.isfinite(lx) & np.isfinite(ly)
+    lx, ly = lx[ok], ly[ok]
+    if len(lx) < 3:
+        continue
+    slope, intercept = np.polyfit(lx, ly, 1)
+    residual = ly - (slope * lx + intercept)
+    rows['step'].append(int(step))
+    rows['slope'].append(float(slope))
+    rows['normalization'].append(float(intercept))
+    rows['scatter'].append(float(np.std(residual)))
+result = Frame({{k: np.asarray(v) for k, v in rows.items()}})
+tables['fit'] = result
+"""
+
+
+def _py_relation_by_param(params: dict, c) -> str:
+    y = c(params["y_column"])
+    x = c(params["x_column"])
+    param = params["param"]
+    return f"""\
+import numpy as np
+work = tables['work']
+rows = {{'{param}': [], 'slope': [], 'normalization': [], 'scatter': [], 'n': []}}
+for value in np.unique(work['param_{param}']):
+    sel = work.filter(work['param_{param}'] == value)
+    lx = np.log10(sel['{x}'])
+    ly = np.log10(sel['{y}'])
+    ok = np.isfinite(lx) & np.isfinite(ly)
+    lx, ly = lx[ok], ly[ok]
+    if len(lx) < 3:
+        continue
+    slope, intercept = np.polyfit(lx, ly, 1)
+    residual = ly - (slope * lx + intercept)
+    rows['{param}'].append(float(value))
+    rows['slope'].append(float(slope))
+    rows['normalization'].append(float(intercept))
+    rows['scatter'].append(float(np.std(residual)))
+    rows['n'].append(int(len(lx)))
+result = Frame({{k: np.asarray(v) for k, v in rows.items()}})
+tables['fit_by_param'] = result
+"""
+
+
+def _py_find_best_param(params: dict, c) -> str:
+    param = params["param"]
+    return f"""\
+import numpy as np
+fit = tables['fit_by_param']
+best_idx = int(np.argmin(fit['scatter']))
+threshold = float(fit['{param}'][best_idx])
+result = Frame({{
+    '{param}': np.asarray([threshold]),
+    'scatter': np.asarray([float(fit['scatter'][best_idx])]),
+    'slope': np.asarray([float(fit['slope'][best_idx])]),
+}})
+tables['best_param'] = result
+"""
+
+
+def _py_select_group_members(params: dict, c) -> str:
+    """Top-k galaxies of the previously selected halos (join by halo tag)."""
+    k = params.get("top_k") or 10
+    per_halo = params.get("per_halo", True)
+    stellar = c("gal_stellar_mass")
+    if per_halo:
+        return f"""\
+import numpy as np
+halos = tables['work']
+galaxies = tables['work_galaxies']
+pieces = []
+for tag in np.unique(halos['fof_halo_tag']):
+    members = galaxies.filter(galaxies['fof_halo_tag'] == tag)
+    if members.num_rows:
+        pieces.append(members.nlargest(min({k}, members.num_rows), '{stellar}'))
+result = concat(pieces) if pieces else galaxies.head(0)
+tables['work_galaxies'] = result
+"""
+    return f"""\
+import numpy as np
+halos = tables['work']
+galaxies = tables['work_galaxies']
+members = galaxies.filter(np.isin(galaxies['fof_halo_tag'], halos['fof_halo_tag']))
+result = members.nlargest(min({k}, members.num_rows), '{stellar}')
+tables['work_galaxies'] = result
+"""
+
+
+def _py_umap_embed(params: dict, c) -> str:
+    cols = [c(col) for col in params["columns"]]
+    cols_py = ", ".join(repr(col) for col in cols)
+    source = params.get("source", "work")
+    return f"""\
+import numpy as np
+data = tables['{source}'] if '{source}' in tables else tables['work']
+names = [n for n in [{cols_py}] if n in data]
+if not names:
+    names = [c0 for c0 in data.columns if c0 not in ('run', 'step')][:3]
+features = np.vstack([np.asarray(data[n], dtype=np.float64) for n in names]).T
+emb = tools['umap_embed'](features)
+result = data.assign(umap_x=emb[:, 0], umap_y=emb[:, 1])
+tables['{source}'] = result
+"""
+
+
+def _py_relation_evolution_compare(params: dict, c) -> str:
+    return """\
+import numpy as np
+fit = tables['fit']
+if fit.num_rows < 2:
+    result = fit
+else:
+    first = fit.row(0)
+    last = fit.row(fit.num_rows - 1)
+    result = Frame({
+        'quantity': np.asarray(['slope', 'normalization', 'scatter'], dtype=object),
+        'earliest': np.asarray([first['slope'], first['normalization'], first['scatter']]),
+        'latest': np.asarray([last['slope'], last['normalization'], last['scatter']]),
+        'change': np.asarray([last['slope'] - first['slope'],
+                              last['normalization'] - first['normalization'],
+                              last['scatter'] - first['scatter']]),
+    })
+tables['evolution'] = result
+"""
+
+
+def _py_scatter_by_param(params: dict, c) -> str:
+    y = c(params["y_column"])
+    x = c(params["x_column"])
+    param = params["param"]
+    return f"""\
+import numpy as np
+work = tables['work']
+rows = {{'{param}': [], 'scatter': []}}
+for value in np.unique(work['param_{param}']):
+    sel = work.filter(work['param_{param}'] == value)
+    lx = np.log10(sel['{x}'])
+    ly = np.log10(sel['{y}'])
+    ok = np.isfinite(lx) & np.isfinite(ly)
+    lx, ly = lx[ok], ly[ok]
+    if len(lx) < 3:
+        continue
+    slope, intercept = np.polyfit(lx, ly, 1)
+    residual = ly - (slope * lx + intercept)
+    rows['{param}'].append(float(value))
+    rows['scatter'].append(float(np.std(residual)))
+result = Frame({{k: np.asarray(v) for k, v in rows.items()}})
+if 'fit_by_param' in tables:
+    prior = tables['fit_by_param']
+    if prior.num_rows == result.num_rows:
+        merged = prior.drop('scatter') if 'scatter' in prior else prior
+        result = merged.assign(scatter=result['scatter'])
+tables['fit_by_param'] = result
+"""
+
+
+def _py_correlation(params: dict, c) -> str:
+    cols = [c(col) for col in params["columns"]]
+    cols_py = ", ".join(repr(col) for col in cols)
+    return f"""\
+import numpy as np
+work = tables['work']
+names = [{cols_py}]
+matrix = np.vstack([np.asarray(work[n], dtype=np.float64) for n in names])
+corr = np.corrcoef(matrix)
+rows = {{'column': np.asarray(names, dtype=object)}}
+for j, n in enumerate(names):
+    rows['corr_' + n] = corr[:, j]
+result = Frame(rows)
+tables['correlation'] = result
+"""
+
+
+def _py_alignment(params: dict, c) -> str:
+    """Spatial alignment between ranked galaxies and halos (shared tags)."""
+    return """\
+import numpy as np
+halos = tables['work']
+galaxies = tables['work_galaxies']
+joined = galaxies.merge(halos, on='fof_halo_tag', how='inner')
+if joined.num_rows:
+    dx = joined['gal_x'] - joined['fof_halo_center_x']
+    dy = joined['gal_y'] - joined['fof_halo_center_y']
+    dz = joined['gal_z'] - joined['fof_halo_center_z']
+    offset = np.sqrt(dx**2 + dy**2 + dz**2)
+    result = joined.assign(alignment_offset=offset)
+else:
+    result = joined
+tables['alignment'] = result
+"""
+
+
+def _py_interestingness(params: dict, c) -> str:
+    cols = [c(col) for col in params["columns"]]
+    cols_py = ", ".join(repr(col) for col in cols)
+    k = params.get("top_k") or 1000
+    return f"""\
+import numpy as np
+work = tables['work']
+names = [{cols_py}]
+score = np.zeros(work.num_rows)
+for n in names:
+    v = np.asarray(work[n], dtype=np.float64)
+    sd = v.std() or 1.0
+    score = score + np.abs(v - v.mean()) / sd
+scored = work.assign(interestingness=score)
+result = scored.nlargest(min({k}, scored.num_rows), 'interestingness')
+tables['scored'] = result
+"""
+
+
+def _py_compare_groups(params: dict, c) -> str:
+    cols = [c(col) for col in params["columns"]]
+    cols_py = ", ".join(repr(col) for col in cols)
+    group_key = params.get("group_key", "fof_halo_tag")
+    limit = "[:2]" if group_key == "fof_halo_tag" else ""
+    return f"""\
+import numpy as np
+groups = tables['work_galaxies'] if 'work_galaxies' in tables else tables['work']
+keys = np.unique(groups['{group_key}']){limit}
+names = [n for n in [{cols_py}] if n in groups]
+rows = {{'group': [], 'column': [], 'mean': [], 'std': []}}
+for key in keys:
+    sel = groups.filter(groups['{group_key}'] == key)
+    for n in names:
+        v = np.asarray(sel[n], dtype=np.float64)
+        rows['group'].append(int(key))
+        rows['column'].append(n)
+        rows['mean'].append(float(v.mean()) if len(v) else float('nan'))
+        rows['std'].append(float(v.std()) if len(v) else 0.0)
+result = Frame({{
+    'group': np.asarray(rows['group'], dtype=np.int64),
+    'column': np.asarray(rows['column'], dtype=object),
+    'mean': np.asarray(rows['mean']),
+    'std': np.asarray(rows['std']),
+}})
+tables['comparison'] = result
+"""
+
+
+def _py_parameter_inference(params: dict, c) -> str:
+    metric = c(params.get("metric") or "fof_halo_count")
+    names = params.get("params_of_interest") or ["f_SN", "log_vSN"]
+    names_py = ", ".join(repr(n) for n in names)
+    return f"""\
+import numpy as np
+work = tables['work']
+rows = {{'parameter': [], 'correlation': [], 'direction': []}}
+for pname in [{names_py}]:
+    pv = np.asarray(work['param_' + pname], dtype=np.float64)
+    mv = np.asarray(work['{metric}'], dtype=np.float64)
+    if len(np.unique(pv)) < 2:
+        continue
+    r = float(np.corrcoef(pv, mv)[0, 1])
+    rows['parameter'].append(pname)
+    rows['correlation'].append(r)
+    rows['direction'].append('increase' if r > 0 else 'decrease')
+result = Frame({{k: np.asarray(v, dtype=object) if k != 'correlation' else np.asarray(v) for k, v in rows.items()}})
+tables['inference'] = result
+"""
+
+
+def _py_neighborhood(params: dict, c) -> str:
+    radius = params.get("radius_mpc") or 20.0
+    cx, cy, cz = (c(f"fof_halo_center_{a}") for a in "xyz")
+    metric = c(params.get("metric") or "fof_halo_count")
+    return f"""\
+import numpy as np
+work = tables['work']
+target_idx = int(np.argmax(work['{metric}']))
+tx, ty, tz = (float(work['{cx}'][target_idx]),
+              float(work['{cy}'][target_idx]),
+              float(work['{cz}'][target_idx]))
+d = np.sqrt((work['{cx}'] - tx)**2 + (work['{cy}'] - ty)**2 + (work['{cz}'] - tz)**2)
+selected = work.filter(d <= {radius})
+is_target = np.asarray(selected['{cx}'] == tx) & np.asarray(selected['{cy}'] == ty)
+result = selected.assign(is_target=is_target, distance=d[d <= {radius}])
+tables['neighborhood'] = result
+"""
+
+
+_PY_GENERATORS = {
+    "aggregate": _py_aggregate,
+    "top_k_per_cell": _py_top_k_per_cell,
+    "track_evolution": _py_track,
+    "data_cleaning": _py_clean,
+    "relation_fit": _py_relation_fit,
+    "relation_by_param": _py_relation_by_param,
+    "find_best_param": _py_find_best_param,
+    "correlation": _py_correlation,
+    "alignment": _py_alignment,
+    "interestingness": _py_interestingness,
+    "compare_groups": _py_compare_groups,
+    "parameter_inference": _py_parameter_inference,
+    "neighborhood": _py_neighborhood,
+    "select_group_members": _py_select_group_members,
+    "umap_embed": _py_umap_embed,
+    "relation_evolution_compare": _py_relation_evolution_compare,
+    "scatter_by_param": _py_scatter_by_param,
+}
+
+
+# ----------------------------------------------------------------------
+# Visualization generation
+# ----------------------------------------------------------------------
+def generate_viz(params: dict, corruptions: Mapping[str, str]) -> str:
+    c = _namer(corruptions)
+    form = params["form"]
+    source = params.get("source", "work")
+    title = params.get("title", "")
+    if form == "line":
+        metric = c(params.get("metric") or "value")
+        return f"""\
+import numpy as np
+data = tables['{source}']
+figure = Figure(width=700, height=430)
+ax = figure.axes(0)
+ax.title = {title!r}
+series_key = 'run' if 'run' in data and len(np.unique(data['run'])) > 1 else None
+xcol = 'step' if 'step' in data else data.columns[0]
+ycol = '{metric}' if '{metric}' in data else [c0 for c0 in data.columns if c0 not in ('run', 'step')][0]
+if series_key:
+    for i, run in enumerate(np.unique(data[series_key])):
+        sel = data.filter(data[series_key] == run).sort_values(xcol)
+        ax.plot(sel[xcol], sel[ycol], label=f'sim {{int(run)}}')
+else:
+    sel = data.sort_values(xcol)
+    ax.plot(sel[xcol], sel[ycol])
+ax.set_xlabel(xcol)
+ax.set_ylabel(ycol)
+result = data
+"""
+    if form == "scatter":
+        x = c(params.get("x") or "step")
+        y = c(params.get("y") or "value")
+        return f"""\
+import numpy as np
+data = tables['{source}']
+figure = Figure(width=640, height=460)
+ax = figure.axes(0)
+ax.title = {title!r}
+xcol = '{x}' if '{x}' in data else data.columns[0]
+ycol = '{y}' if '{y}' in data else data.columns[-1]
+xv = np.asarray(data[xcol], dtype=np.float64)
+yv = np.asarray(data[ycol], dtype=np.float64)
+if xv.max() / max(xv[xv > 0].min() if (xv > 0).any() else 1.0, 1e-12) > 1e3:
+    ax.set_xscale('log')
+if (yv > 0).all() and yv.max() / max(yv.min(), 1e-12) > 1e3:
+    ax.set_yscale('log')
+ax.scatter(xv, yv)
+ax.set_xlabel(xcol)
+ax.set_ylabel(ycol)
+result = data
+"""
+    if form == "hist":
+        metric = c(params.get("metric") or "value")
+        return f"""\
+import numpy as np
+data = tables['{source}']
+figure = Figure(width=640, height=420)
+ax = figure.axes(0)
+ax.title = {title!r}
+col = '{metric}' if '{metric}' in data else [c0 for c0 in data.columns if c0 not in ('run', 'step')][-1]
+ax.hist(np.asarray(data[col], dtype=np.float64), bins=24)
+ax.set_xlabel(col)
+ax.set_ylabel('count')
+result = data
+"""
+    if form == "umap":
+        cols = [c(col) for col in params.get("columns", [])]
+        cols_py = ", ".join(repr(col) for col in cols)
+        highlight = params.get("highlight_top") or 20
+        return f"""\
+import numpy as np
+data = tables['{source}']
+if 'umap_x' in data and 'umap_y' in data:
+    emb = np.vstack([np.asarray(data['umap_x']), np.asarray(data['umap_y'])]).T
+else:
+    names = [n for n in [{cols_py}] if n in data] or [c0 for c0 in data.columns if c0 not in ('run', 'step')][:3]
+    features = np.vstack([np.asarray(data[n], dtype=np.float64) for n in names]).T
+    emb = tools['umap_embed'](features)
+figure = Figure(width=640, height=560)
+ax = figure.axes(0)
+ax.title = {title!r}
+score = np.asarray(data['interestingness']) if 'interestingness' in data else features[:, 0]
+order = np.argsort(score)[::-1]
+top = order[:{highlight}]
+rest = order[{highlight}:]
+ax.scatter(emb[rest, 0], emb[rest, 1], label='others', size=2.5)
+ax.scatter(emb[top, 0], emb[top, 1], color='#e34948', label='top {highlight}', size=5.0)
+ax.set_xlabel('umap-1')
+ax.set_ylabel('umap-2')
+result = data.assign(umap_x=emb[:, 0], umap_y=emb[:, 1])
+"""
+    if form == "paraview3d":
+        return f"""\
+import numpy as np
+data = tables['{source}']
+figure = tools['paraview_scene'](data, title={title!r})
+result = data
+"""
+    if form == "heatmap":
+        return f"""\
+import numpy as np
+data = tables['{source}']
+numeric = [c0 for c0 in data.columns if np.issubdtype(np.asarray(data[c0]).dtype, np.number)]
+numeric = [n for n in numeric if np.asarray(data[n], dtype=np.float64).std() > 0] or numeric[:1]
+matrix = np.vstack([np.asarray(data[n], dtype=np.float64) for n in numeric])
+corr = np.corrcoef(matrix) if matrix.shape[1] > 1 else np.ones((len(numeric), len(numeric)))
+figure = Figure(width=560, height=520)
+ax = figure.axes(0)
+ax.title = {title!r}
+ax.heatmap(corr)
+result = data
+"""
+    raise ValueError(f"no viz generator for form {form!r}")

@@ -1,0 +1,65 @@
+"""Hashed character-n-gram embeddings (text-embedding-3-small substitute).
+
+The feature-hashing trick: each word and character trigram hashes to a
+bucket of a fixed-dimension vector; vectors are L2-normalized so cosine
+similarity reduces to a dot product.  Lexically and morphologically
+similar texts (e.g. "halo mass" vs "fof_halo_mass description ...") land
+close together — the property the column-retrieval layer relies on.
+Deterministic across processes (BLAKE2-based bucket hashing).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.util.text import snake_words
+
+
+def _bucket(token: str, dim: int, salt: str) -> tuple[int, float]:
+    digest = hashlib.blake2b(f"{salt}:{token}".encode(), digest_size=8).digest()
+    value = int.from_bytes(digest, "little")
+    sign = 1.0 if value & 1 else -1.0
+    return (value >> 1) % dim, sign
+
+
+class HashedEmbedder:
+    """Deterministic text embedder with a cosine-friendly geometry."""
+
+    def __init__(self, dim: int = 384):
+        if dim < 16:
+            raise ValueError("dim must be >= 16")
+        self.dim = dim
+
+    def _tokens(self, text: str) -> list[str]:
+        words: list[str] = []
+        for raw in text.lower().split():
+            cleaned = "".join(c for c in raw if c.isalnum() or c == "_")
+            if not cleaned:
+                continue
+            words.extend(snake_words(cleaned) or [cleaned])
+        tokens = list(words)
+        joined = " ".join(words)
+        tokens.extend(joined[i : i + 3] for i in range(len(joined) - 2))
+        return tokens
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one text into a unit vector (zeros for empty input)."""
+        vec = np.zeros(self.dim)
+        for token in self._tokens(text):
+            # words weighted above trigrams so exact-term overlap dominates
+            weight = 2.0 if len(token) > 3 or "_" in token else 1.0
+            idx, sign = _bucket(token, self.dim, "emb")
+            vec[idx] += sign * weight
+        norm = np.linalg.norm(vec)
+        return vec / norm if norm > 0 else vec
+
+    def embed_batch(self, texts: list[str]) -> np.ndarray:
+        if not texts:
+            return np.zeros((0, self.dim))
+        return np.vstack([self.embed(t) for t in texts])
+
+    @staticmethod
+    def similarity(a: np.ndarray, b: np.ndarray) -> float:
+        return float(np.dot(a, b))

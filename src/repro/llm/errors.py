@@ -1,0 +1,156 @@
+"""Calibrated generation-error injection.
+
+§4.1.1/§4.1.2 of the paper identify three failure mechanisms, reproduced
+here mechanistically rather than by hard-coding outcome rates:
+
+1. **Column-name corruption** — "using non-existent or slightly incorrect
+   column names"; e.g. ``center_x`` instead of ``fof_halo_center_x``.
+   Probability rises with semantic complexity; repair probability rises
+   once the error message (which lists valid columns) is in context.
+   Multiple simultaneous corruptions can exhaust the 5-revision budget.
+2. **Tool misuse** — asking to track a *characteristic* over time but
+   invoking the particle-coordinate tracking tool: valid code,
+   unsatisfactory analysis output.
+3. **Visualization-form misselection** — e.g. a line chart for a spatial
+   task: valid code, unsatisfactory visualization.
+
+All draws come from a dedicated RNG stream so injection is reproducible
+and independent of the rest of the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.util.text import snake_words
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Probabilities of each generation-failure mechanism."""
+
+    # base chance a generated identifier is corrupted, before complexity scaling
+    column_typo_rate: float = 0.10
+    # additional per-level scaling with semantic complexity (0=easy,1=med,2=hard)
+    semantic_scaling: float = 0.9
+    # chance of a second simultaneous corruption when one occurs
+    double_error_rate: float = 0.35
+    # chance a repair attempt with the error message in context still misses
+    repair_miss_rate: float = 0.30
+    # chance of picking the wrong custom tool on evolution-of-characteristic tasks
+    tool_misuse_rate: float = 0.30
+    # chance of an inappropriate visualization form
+    viz_misselection_rate: float = 0.25
+    # per-code-step chance of a *conceptual* column misunderstanding, by
+    # semantic level; unlike typos these resist error-guided repair
+    # (the model keeps re-deriving the same wrong concept mapping)
+    concept_error_rates: tuple[float, float, float] = (0.05, 0.03, 0.22)
+    # chance a repair attempt under a conceptual error still emits it
+    concept_persistence: float = 0.88
+    # chance of silently planning over a plausible-but-wrong metric column
+    # ("inappropriate analytical technique": valid code, off-target output)
+    wrong_metric_rate: float = 0.12
+    # wrong-metric scaling with semantic level (harder wording, more
+    # contextual inference, more misresolution)
+    wrong_metric_scaling: float = 0.35
+
+    def scaled_typo_rate(self, semantic_level: int) -> float:
+        return min(0.9, self.column_typo_rate * (1.0 + self.semantic_scaling * semantic_level))
+
+    def concept_rate(self, semantic_level: int) -> float:
+        level = min(max(int(semantic_level), 0), 2)
+        return self.concept_error_rates[level]
+
+    def scaled_wrong_metric_rate(self, semantic_level: int) -> float:
+        return min(
+            0.9, self.wrong_metric_rate * (1.0 + self.wrong_metric_scaling * semantic_level)
+        )
+
+    def with_rates(self, **kwargs: float) -> "ErrorModel":
+        return replace(self, **kwargs)
+
+
+NO_ERRORS = ErrorModel(
+    column_typo_rate=0.0,
+    double_error_rate=0.0,
+    repair_miss_rate=0.0,
+    tool_misuse_rate=0.0,
+    viz_misselection_rate=0.0,
+    concept_error_rates=(0.0, 0.0, 0.0),
+    concept_persistence=0.0,
+    wrong_metric_rate=0.0,
+)
+
+# plausible-but-wrong metric substitutions (same entity, related quantity)
+WRONG_METRIC_MAP = {
+    "fof_halo_count": "fof_halo_mass",
+    "fof_halo_mass": "fof_halo_count",
+    "gal_stellar_mass": "gal_gas_mass",
+    "gal_gas_mass": "gal_stellar_mass",
+    "fof_halo_vel_disp": "fof_halo_ke",
+    "sod_halo_MGas500c": "sod_halo_Mstar500c",
+}
+
+
+def corrupt_column_name(name: str, rng: np.random.Generator) -> str:
+    """Produce a plausible near-miss of a column name.
+
+    Mimics the paper's example (``center_x`` for ``fof_halo_center_x``):
+    drop a leading namespace word, drop an underscore word, or typo one
+    character.
+    """
+    words = name.split("_")
+    mode = rng.integers(0, 3)
+    if mode == 0 and len(words) > 2:
+        # drop the leading namespace ('fof', 'sod', 'gal')
+        k = 1 + int(rng.integers(0, min(2, len(words) - 2)))
+        return "_".join(words[k:])
+    if mode == 1 and len(words) > 1:
+        drop = int(rng.integers(0, len(words)))
+        kept = [w for i, w in enumerate(words) if i != drop]
+        return "_".join(kept)
+    # single-character typo (always a *different* character)
+    if len(name) > 2:
+        pos = int(rng.integers(1, len(name) - 1))
+        original = name[pos]
+        repl = original
+        while repl == original:
+            repl = chr(ord("a") + int(rng.integers(0, 26)))
+        return name[:pos] + repl + name[pos + 1 :]
+    return name + "x"
+
+
+def choose_corruptions(
+    columns: list[str],
+    rng: np.random.Generator,
+    model: ErrorModel,
+    semantic_level: int,
+    already_repaired: set[str] | None = None,
+) -> dict[str, str]:
+    """Decide which column references to corrupt in one generation.
+
+    ``already_repaired`` columns (those whose correct names appeared in a
+    previous error message) are only re-corrupted at ``repair_miss_rate``.
+    Returns a mapping real-name -> corrupted-name.
+    """
+    repaired = already_repaired or set()
+    corruptions: dict[str, str] = {}
+    rate = model.scaled_typo_rate(semantic_level)
+    candidates = [c for c in columns if len(snake_words(c)) >= 2]
+    if not candidates:
+        return corruptions
+    # first corruption
+    for col in candidates:
+        p = model.repair_miss_rate if col in repaired else rate
+        if rng.uniform() < p:
+            corruptions[col] = corrupt_column_name(col, rng)
+            break
+    # possible simultaneous second error (drives multi-error budget exhaustion)
+    if corruptions and rng.uniform() < model.double_error_rate:
+        remaining = [c for c in candidates if c not in corruptions]
+        if remaining:
+            col = remaining[int(rng.integers(0, len(remaining)))]
+            corruptions[col] = corrupt_column_name(col, rng)
+    return corruptions

@@ -1,0 +1,78 @@
+"""Structured query intent.
+
+The planning agent's job is turning a natural-language question into a
+structured analysis intent; :class:`QueryIntent` is that structure.  It is
+produced by the mock LLM's interpreter (:mod:`repro.llm.interpret`) and
+consumed by the planner skill that expands it into plan steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+
+# analysis operation vocabulary (what the Python agent can compute)
+ANALYSES = (
+    "aggregate",            # grouped summary statistics
+    "top_k",                # rank and select the largest/smallest entities
+    "track_evolution",      # follow a metric across timesteps (per tracked halo)
+    "relation_fit",         # log-log linear fit: slope / normalization / scatter
+    "relation_by_param",    # relation fit repeated per sub-grid parameter value
+    "correlation",          # correlation / alignment between two entity sets
+    "interestingness",      # composite z-score ranking
+    "compare_groups",       # characteristic differences between two groups
+    "parameter_inference",  # infer direction of sub-grid parameter effects
+    "neighborhood",         # spatial selection around a target
+    "data_cleaning",        # NaN/validity filtering before a fit
+)
+
+VIZ_FORMS = ("line", "scatter", "hist", "umap", "paraview3d", "heatmap")
+
+
+@dataclass
+class RelationSpec:
+    """A y(x) relation to fit in log-log space."""
+
+    y_term: str                    # e.g. 'gas mass fraction' or a column name
+    x_term: str                    # e.g. 'halo mass'
+    per_step: bool = False         # fit at each timestep and compare
+    per_param: str | None = None   # fit per value of a sub-grid parameter
+    want_scatter: bool = False     # intrinsic scatter requested
+    want_slope: bool = True
+    want_normalization: bool = True
+
+
+@dataclass
+class QueryIntent:
+    """Everything the planner needs to know about a question."""
+
+    question: str = ""
+    entities: list[str] = field(default_factory=list)      # halos/galaxies/particles
+    metric_terms: list[str] = field(default_factory=list)  # NL terms to resolve to columns
+    runs: list[int] | None = None        # None = all simulations
+    steps: list[int] | None = None       # None = all timesteps
+    top_k: int | None = None
+    second_top_k: int | None = None      # e.g. "top 10 galaxies" after "2 largest halos"
+    rank_metric: str | None = None       # term/column ranking is by
+    group_keys: list[str] = field(default_factory=list)    # 'step', 'run', 'param:M_seed'
+    analyses: list[str] = field(default_factory=list)
+    viz: list[str] = field(default_factory=list)
+    relation: RelationSpec | None = None
+    join_galaxies_to_halos: bool = False
+    radius_mpc: float | None = None
+    highlight_top: int | None = None     # e.g. highlight top 20 in a UMAP
+    ambiguous: bool = False
+    unresolved_terms: list[str] = field(default_factory=list)
+    tracking_kind: str | None = None     # 'characteristic' | 'position'
+
+    def as_dict(self) -> dict:
+        doc = asdict(self)
+        return doc
+
+    @property
+    def multi_run(self) -> bool:
+        return self.runs is None or len(self.runs) > 1
+
+    @property
+    def multi_step(self) -> bool:
+        return self.steps is None or len(self.steps) > 1

@@ -1,0 +1,293 @@
+"""Natural-language question interpretation (the mock LLM's comprehension).
+
+A layered pattern matcher that extracts a :class:`QueryIntent` from the
+kinds of questions the paper evaluates (Table 1): scoped entity references,
+timestep/simulation filters, ranking requests, relation fits, evolution
+tracking, interestingness scoring, spatial neighborhoods, parameter
+inference and visualization requests.
+
+Domain-specific *semantic* phrases ("intrinsic scatter", "SMHM", "gas-mass
+fraction") are mapped through the phrase lexicon below; phrases outside
+the lexicon land in ``unresolved_terms`` where the RAG layer (and the
+error model) take over — that distinction is exactly the paper's semantic
+complexity axis.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.llm.intent import QueryIntent, RelationSpec
+
+# NL phrase -> canonical metric term the retriever resolves to columns
+PHRASE_LEXICON: dict[str, str] = {
+    "halo count": "fof_halo_count",
+    "fof_halo_count": "fof_halo_count",
+    "halo mass": "fof_halo_mass",
+    "fof_halo_mass": "fof_halo_mass",
+    "halo size": "fof_halo_count",
+    "size": "fof_halo_count",
+    "mass": "fof_halo_mass",
+    "velocity": "fof_halo_vel_disp",
+    "kinetic energy": "fof_halo_ke",
+    "velocity dispersion": "fof_halo_vel_disp",
+    "gas mass": "gal_gas_mass",
+    "gas-mass": "gal_gas_mass",
+    "stellar mass": "gal_stellar_mass",
+    "sod_halo_mgas500c": "sod_halo_MGas500c",
+    "sod_halo_m500c": "sod_halo_M500c",
+    "gal_stellar_mass": "gal_stellar_mass",
+    "gal_gas_mass": "gal_gas_mass",
+    "gal_ke": "gal_ke",
+    "fof_halo_vel_disp": "fof_halo_vel_disp",
+    "fof_halo_ke": "fof_halo_ke",
+}
+
+PARAM_ALIASES: dict[str, str] = {
+    "fsn": "f_SN",
+    "f_sn": "f_SN",
+    "vel": "log_vSN",
+    "vsn": "log_vSN",
+    "v_sn": "log_vSN",
+    "tagn": "log_TAGN",
+    "t_agn": "log_TAGN",
+    "beta_bh": "beta_BH",
+    "seed mass": "M_seed",
+    "m_seed": "M_seed",
+}
+
+_NUM = r"(\d+)"
+
+
+def _find_all_ints(pattern: str, text: str) -> list[int]:
+    return [int(m) for m in re.findall(pattern, text)]
+
+
+def interpret_question(question: str) -> QueryIntent:
+    """Parse ``question`` into a QueryIntent."""
+    q = question.lower()
+    intent = QueryIntent(question=question)
+
+    # ------------------------------------------------------------------
+    # entity scope
+    # ------------------------------------------------------------------
+    if re.search(r"\bgalax(y|ies)\b", q):
+        intent.entities.append("galaxies")
+    if re.search(r"\bhalos?\b", q) or "fof" in q or "sod" in q or "smhm" in q:
+        intent.entities.append("halos")
+    if re.search(r"\bparticles?\b", q) and "halo" not in q:
+        intent.entities.append("particles")
+    if not intent.entities:
+        intent.entities.append("halos")
+
+    # ------------------------------------------------------------------
+    # run / timestep scope
+    # ------------------------------------------------------------------
+    runs = _find_all_ints(r"simulation\s+" + _NUM, q)
+    if re.search(r"all (the )?simulations|across (all )?(the )?simulations|all \d+ simulations|each simulation|every simulation|both simulations", q):
+        intent.runs = None
+    elif runs:
+        intent.runs = sorted(set(runs))
+    elif re.search(r"the two simulations|between the simulations", q):
+        intent.runs = [0, 1]
+    else:
+        intent.runs = [0]
+
+    steps = _find_all_ints(r"time\s*steps?\s+" + _NUM, q)
+    if re.search(r"all (the )?time\s*steps|each time\s*step|every time\s*step|over all time|for all time", q):
+        intent.steps = None
+    elif re.search(r"earliest time\s*step to the latest|from the earliest", q):
+        intent.steps = None  # planner narrows to [first, last]
+        intent.group_keys.append("step")
+    elif steps:
+        intent.steps = sorted(set(steps))
+    else:
+        intent.steps = None if re.search(r"evolv|evolution|over time", q) else ["latest"]  # type: ignore[list-item]
+
+    if intent.steps is None and "step" not in intent.group_keys:
+        if re.search(r"each time\s*step|at each|per time\s*step|all time\s*steps", q):
+            intent.group_keys.append("step")
+
+    # ------------------------------------------------------------------
+    # ranking / selection
+    # ------------------------------------------------------------------
+    top_matches = _find_all_ints(r"(?:largest|top|biggest|most massive)\s+" + _NUM, q)
+    top_matches += _find_all_ints(_NUM + r"\s+largest", q)
+    if re.search(r"\btwo largest\b", q):
+        top_matches.insert(0, 2)
+    if top_matches:
+        intent.top_k = top_matches[0]
+        if len(top_matches) > 1:
+            intent.second_top_k = top_matches[1]
+        intent.analyses.append("top_k")
+    elif re.search(r"\blargest\b|\bbiggest\b", q):
+        intent.top_k = 1
+        intent.analyses.append("top_k")
+
+    if "halo count" in q or "fof_halo_count" in q:
+        intent.rank_metric = "fof_halo_count"
+    elif intent.top_k is not None:
+        intent.rank_metric = (
+            "gal_stellar_mass" if intent.entities == ["galaxies"] else "fof_halo_count"
+        )
+
+    highlight = _find_all_ints(r"highlight\w*\s+the\s+top\s+" + _NUM, q)
+    if highlight:
+        intent.highlight_top = highlight[0]
+
+    # ------------------------------------------------------------------
+    # metric terms (semantic layer)
+    # ------------------------------------------------------------------
+    for phrase, term in PHRASE_LEXICON.items():
+        if re.search(rf"(?<![\w-]){re.escape(phrase)}(?![\w])", q) and term not in intent.metric_terms:
+            intent.metric_terms.append(term)
+    for raw in re.findall(r"[a-z_]*_[a-z_0-9]+", q):
+        canonical = PHRASE_LEXICON.get(raw)
+        if canonical and canonical not in intent.metric_terms:
+            intent.metric_terms.append(canonical)
+
+    for phrase in ("intrinsic scatter", "assembly efficiency", "tightest", "interestingness",
+                   "normalization", "unique", "slope", "trend"):
+        if phrase in q:
+            intent.unresolved_terms.append(phrase)
+
+    # ------------------------------------------------------------------
+    # analyses
+    # ------------------------------------------------------------------
+    if re.search(r"\baverage\b|\bmean\b", q):
+        intent.analyses.append("aggregate")
+    if re.search(r"change in (mass|\w+)|trend in|evol(ve|ution|ves)|over (all )?time", q):
+        intent.analyses.append("track_evolution")
+        intent.tracking_kind = "characteristic"
+        if "step" not in intent.group_keys:
+            intent.group_keys.append("step")
+    if re.search(r"trajectory|path of|coordinates? over time", q):
+        intent.analyses.append("track_evolution")
+        intent.tracking_kind = "position"
+
+    # relation fits
+    relation = _parse_relation(q)
+    if relation is not None:
+        intent.relation = relation
+        intent.analyses.append(
+            "relation_by_param" if relation.per_param else "relation_fit"
+        )
+        if relation.per_step and "step" not in intent.group_keys:
+            intent.group_keys.append("step")
+        intent.analyses.append("data_cleaning")
+
+    if relation is not None and relation.per_param:
+        # sweeping a sub-grid parameter requires the whole ensemble: each
+        # run carries a single parameter value
+        intent.runs = None
+    if relation is not None and "track_evolution" in intent.analyses and not re.search(
+        r"change in \w+", q
+    ):
+        # "evolve" belonged to the relation fit, not to halo tracking
+        intent.analyses.remove("track_evolution")
+        intent.tracking_kind = None
+
+    if re.search(r"interesting|most unique", q):
+        intent.analyses.append("interestingness")
+    if re.search(r"align|correlat", q) and relation is None:
+        intent.analyses.append("correlation")
+    if re.search(r"differences? in (the )?[\w -]*characteristics|differences? between|compare .* (groups|galaxies|halos)", q):
+        intent.analyses.append("compare_groups")
+    if re.search(r"direction of .* parameters?|infer\w* .* parameters?|make an inference", q):
+        intent.analyses.append("parameter_inference")
+        intent.ambiguous = True
+    if re.search(r"within\s+(\d+(?:\.\d+)?)\s*(mpc|megaparsec)", q):
+        m = re.search(r"within\s+(\d+(?:\.\d+)?)\s*(mpc|megaparsec)", q)
+        assert m is not None
+        intent.radius_mpc = float(m.group(1))
+        intent.analyses.append("neighborhood")
+
+    # galaxy-halo join
+    if "galaxies" in intent.entities and "halos" in intent.entities:
+        intent.join_galaxies_to_halos = bool(
+            re.search(r"associated|related by|fof_halo_tag|host", q)
+            or "correlation" in intent.analyses
+        )
+    if "smhm" in q or "stellar-to-halo" in q:
+        if "galaxies" not in intent.entities:
+            intent.entities.append("galaxies")
+        intent.join_galaxies_to_halos = True
+
+    # ambiguity: characteristic lists with "for example", vague directions
+    if re.search(r"for example|e\.g\.|characteristics\b", q) and "compare_groups" in intent.analyses:
+        intent.ambiguous = intent.ambiguous or "characteristics" in q
+
+    # ------------------------------------------------------------------
+    # visualization forms
+    # ------------------------------------------------------------------
+    if "umap" in q:
+        intent.viz.append("umap")
+    if "histogram" in q:
+        intent.viz.append("hist")
+    if "heat map" in q or "heatmap" in q or "correlation matrix" in q:
+        intent.viz.append("heatmap")
+    if "paraview" in q or intent.radius_mpc is not None or re.search(r"\b3d\b", q):
+        intent.viz.append("paraview3d")
+    if re.search(r"\bplot|\bvisuali[sz]|\bgraph|\bchart|\bfigure", q) and not intent.viz:
+        if "track_evolution" in intent.analyses or "step" in intent.group_keys:
+            intent.viz.append("line")
+        elif intent.relation is not None or "correlation" in intent.analyses:
+            intent.viz.append("scatter")
+        elif "compare_groups" in intent.analyses:
+            intent.viz.append("hist")
+        else:
+            intent.viz.append("scatter")
+    if re.search(r"two plots|both .* as metrics", q) and len(intent.viz) == 1:
+        intent.viz.append(intent.viz[0])
+    if re.search(r"summary of the differences|plot a summary", q):
+        intent.viz.append("heatmap")
+
+    # aggregate-only questions with no explicit analysis
+    if not intent.analyses:
+        intent.analyses.append("aggregate")
+
+    # dedupe preserving order
+    intent.analyses = list(dict.fromkeys(intent.analyses))
+    intent.viz = list(dict.fromkeys(intent.viz)) if not _wants_duplicate_viz(q) else intent.viz
+    return intent
+
+
+def _wants_duplicate_viz(q: str) -> bool:
+    return bool(re.search(r"two plots|both .* as metrics", q))
+
+
+def _parse_relation(q: str) -> RelationSpec | None:
+    """Detect relation-fit requests (slope/normalization/scatter of y vs x)."""
+    wants_slope = "slope" in q
+    wants_norm = "normalization" in q or "normalisation" in q
+    wants_scatter = "intrinsic scatter" in q or "scatter of" in q
+    per_param = None
+    for alias, name in PARAM_ALIASES.items():
+        if re.search(rf"function of {alias}|per {alias}|vary as a function of {alias}|vs\.? {alias}|by {alias}", q):
+            per_param = name
+    if "seed mass" in q and ("smhm" in q or "stellar-to-halo" in q):
+        per_param = "M_seed"
+
+    if "gas-mass fraction" in q or "gas mass fraction" in q or "mgas500c" in q:
+        return RelationSpec(
+            y_term="gas mass fraction",
+            x_term="sod_halo_M500c",
+            per_step="evolve" in q or "evolution" in q or "earliest" in q,
+            per_param=per_param,
+            want_scatter=wants_scatter,
+            want_slope=wants_slope or True,
+            want_normalization=wants_norm or True,
+        )
+    if "smhm" in q or "stellar-to-halo" in q or "stellar-to-halo mass" in q:
+        return RelationSpec(
+            y_term="gal_stellar_mass",
+            x_term="fof_halo_mass",
+            per_step=False,
+            per_param=per_param,
+            want_scatter=wants_scatter or "tightest" in q,
+            want_slope=True,
+            want_normalization=wants_norm,
+        )
+    if wants_slope and wants_norm:
+        return RelationSpec(y_term="fof_halo_mass", x_term="fof_halo_count")
+    return None

@@ -1,0 +1,399 @@
+"""Plan expansion: QueryIntent -> ordered plan steps.
+
+This is the planning agent's core skill.  Step kinds mirror the paper's
+seven-agent pipeline: one ``load`` step (data-loading agent), one ``sql``
+step (SQL programming agent), one or more ``python`` steps (Python
+programming agent) and zero or more ``viz`` steps (visualization agent).
+QA and documentation are orchestration-level, not plan steps, matching the
+paper's definition of "analysis steps" for the difficulty thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.intent import QueryIntent
+
+# terms the paper calls out as *normalized wording* (medium semantic)
+MEDIUM_TERMS = {"slope", "normalization", "interestingness", "unique", "trend"}
+# *domain-specific terminology* absent from the metadata (hard semantic)
+HARD_TERMS = {"intrinsic scatter", "assembly efficiency", "tightest"}
+
+
+@dataclass
+class PlanStep:
+    index: int
+    kind: str          # 'load' | 'sql' | 'python' | 'viz'
+    description: str
+    params: dict = field(default_factory=dict)
+
+
+def semantic_level(intent: QueryIntent) -> int:
+    """0 = easy, 1 = medium, 2 = hard (the paper's semantic-complexity axis).
+
+    Easy questions use terms directly defined in the metadata; medium use
+    normalized wording; hard use domain terminology absent from the
+    metadata or requiring contextual inference (ambiguous characteristic
+    lists, parameter-direction inference).
+    """
+    terms = set(intent.unresolved_terms)
+    if terms & HARD_TERMS or intent.ambiguous or "compare_groups" in intent.analyses:
+        return 2
+    if terms & MEDIUM_TERMS:
+        return 1
+    return 0
+
+
+def analysis_level_from_steps(n_steps: float) -> int:
+    """0/1/2 from the paper's thresholds: <4.5 easy, 4.5-5.5 medium, >5.5 hard."""
+    if n_steps < 4.5:
+        return 0
+    if n_steps <= 5.5:
+        return 1
+    return 2
+
+
+def _columns_for_entity(intent: QueryIntent, entity: str) -> list[str]:
+    """Columns the loader must fetch for one entity kind."""
+    halo_cols = {
+        "fof_halo_count", "fof_halo_mass", "fof_halo_vel_disp", "fof_halo_ke",
+        "sod_halo_M500c", "sod_halo_MGas500c", "sod_halo_R500c", "sod_halo_Mstar500c",
+        "fof_halo_center_x", "fof_halo_center_y", "fof_halo_center_z",
+        "fof_halo_mean_vx", "fof_halo_mean_vy", "fof_halo_mean_vz",
+    }
+    gal_cols = {
+        "gal_stellar_mass", "gal_gas_mass", "gal_count", "gal_ke", "gal_sfr",
+        "gal_x", "gal_y", "gal_z", "gal_vx", "gal_vy", "gal_vz",
+    }
+    cols: list[str] = []
+
+    def add(name: str) -> None:
+        if name not in cols:
+            cols.append(name)
+
+    if entity == "halos":
+        add("fof_halo_tag")
+        if intent.rank_metric and intent.rank_metric in halo_cols | {"fof_halo_count"}:
+            add(intent.rank_metric)
+        for term in intent.metric_terms:
+            if term in halo_cols:
+                add(term)
+        if intent.relation:
+            for t in (intent.relation.x_term, intent.relation.y_term):
+                if t in halo_cols:
+                    add(t)
+            if intent.relation.y_term == "gas mass fraction":
+                add("sod_halo_MGas500c")
+                add("sod_halo_M500c")
+        if "neighborhood" in intent.analyses or "paraview3d" in intent.viz:
+            for axis in "xyz":
+                add(f"fof_halo_center_{axis}")
+            add("fof_halo_count")
+        if "interestingness" in intent.analyses:
+            add("fof_halo_vel_disp")
+            add("fof_halo_mass")
+            add("fof_halo_ke")
+        if "parameter_inference" in intent.analyses or "aggregate" in intent.analyses:
+            if not any(col in cols for col in ("fof_halo_count", "fof_halo_mass")):
+                add("fof_halo_count")
+        if len(cols) == 1:  # only the tag so far: take the default size metric
+            add("fof_halo_count")
+    elif entity == "galaxies":
+        add("gal_tag")
+        add("fof_halo_tag")
+        for term in intent.metric_terms:
+            if term in gal_cols:
+                add(term)
+        if intent.relation and intent.relation.y_term in gal_cols:
+            add(intent.relation.y_term)
+        if "compare_groups" in intent.analyses or "interestingness" in intent.analyses:
+            for col in ("gal_gas_mass", "gal_stellar_mass", "gal_ke"):
+                add(col)
+        if "correlation" in intent.analyses or "paraview3d" in intent.viz:
+            for axis in "xyz":
+                add(f"gal_{axis}")
+        if intent.rank_metric == "gal_stellar_mass" or (
+            intent.top_k and "galaxies" in intent.entities
+        ):
+            add("gal_stellar_mass")
+        if len(cols) == 2:
+            add("gal_stellar_mass")
+    elif entity == "particles":
+        cols = ["id", "x", "y", "z", "mass", "fof_halo_tag"]
+    return cols
+
+
+def _needs_params(intent: QueryIntent) -> list[str]:
+    names: list[str] = []
+    if intent.relation and intent.relation.per_param:
+        names.append(intent.relation.per_param)
+    if "parameter_inference" in intent.analyses:
+        names.extend(["f_SN", "log_vSN"])
+    return list(dict.fromkeys(names))
+
+
+def expand_intent(intent: QueryIntent) -> list[PlanStep]:
+    """Expand an intent into the executable plan."""
+    steps: list[PlanStep] = []
+
+    def emit(kind: str, description: str, **params) -> None:
+        steps.append(PlanStep(len(steps), kind, description, params))
+
+    primary = "halos" if "halos" in intent.entities else intent.entities[0]
+    columns = {e: _columns_for_entity(intent, e) for e in intent.entities}
+    param_cols = _needs_params(intent)
+
+    emit(
+        "load",
+        f"Load {', '.join(intent.entities)} data for the requested runs and timesteps",
+        entities=list(intent.entities),
+        columns=columns,
+        runs=intent.runs,
+        steps=intent.steps,
+        param_columns=param_cols,
+    )
+
+    per_cell_rank = bool(intent.top_k) and (intent.multi_run or intent.multi_step)
+    rank_metric = intent.rank_metric if intent.top_k else None
+    emit(
+        "sql",
+        "Filter the database down to the rows and columns needed",
+        table=primary,
+        columns=columns[primary][:],
+        runs=intent.runs,
+        steps=intent.steps,
+        top_k=intent.top_k,
+        rank_metric=rank_metric,
+        per_cell_rank=per_cell_rank,
+        secondary=[e for e in intent.entities if e != primary],
+        secondary_columns={e: columns[e] for e in intent.entities if e != primary},
+        param_columns=param_cols,
+        join_galaxies=bool(
+            intent.join_galaxies_to_halos
+            and intent.relation is not None
+            and "galaxies" in intent.entities
+        ),
+        galaxy_columns=columns.get("galaxies", []),
+    )
+
+    metric = _primary_metric(intent, primary)
+    interest_cols = (
+        ["gal_gas_mass", "gal_stellar_mass", "gal_ke"]
+        if primary == "galaxies"
+        else ["fof_halo_vel_disp", "fof_halo_mass", "fof_halo_ke"]
+    )
+
+    other_analyses = [a for a in intent.analyses if a not in ("top_k", "data_cleaning")]
+    if per_cell_rank:
+        emit(
+            "python",
+            f"Select the top {intent.top_k} rows by {metric} within each run/timestep",
+            op="top_k_per_cell",
+            metric=metric,
+            top_k=intent.top_k,
+        )
+    elif intent.top_k and not other_analyses:
+        # a pure extraction question still gets one Python verification step
+        emit("python", f"Extract and verify the top {intent.top_k} rows by {metric}",
+             op="top_k_per_cell", metric=metric, top_k=intent.top_k)
+
+    # second-entity selection (e.g. "top 10 galaxies associated to those halos")
+    if (
+        "galaxies" in intent.entities
+        and primary == "halos"
+        and (intent.second_top_k or (intent.top_k and "correlation" in intent.analyses))
+    ):
+        emit("python",
+             f"Select the top {intent.second_top_k or intent.top_k} galaxies for the selected halos",
+             op="select_group_members",
+             top_k=intent.second_top_k or intent.top_k,
+             per_halo=bool(intent.second_top_k))
+
+    auto_viz: list[dict] = []
+    for op in intent.analyses:
+        if op in ("top_k",):
+            continue  # handled by SQL (or the per-cell Python step)
+        if op == "data_cleaning":
+            rel = intent.relation
+            clean_cols = []
+            if rel:
+                clean_cols = [c for c in columns[primary]
+                              if c.startswith(("sod_", "gal_")) or c == "fof_halo_mass"]
+            if not clean_cols:
+                clean_cols = [metric]
+            emit("python", "Clean the data (drop invalid and non-positive rows)",
+                 op="data_cleaning", columns=clean_cols)
+        elif op == "aggregate":
+            emit("python", f"Compute the mean {metric} grouped by {intent.group_keys or ['step']}",
+                 op="aggregate", metric=metric, group_keys=intent.group_keys or ["step"])
+        elif op == "track_evolution":
+            track_metrics = _entity_metrics(intent, primary) or [metric]
+            for tm in track_metrics:
+                emit("python", f"Track the evolution of {tm} for the top halos across timesteps",
+                     op="track_evolution", metric=tm, top_k=intent.top_k or 1,
+                     tracking_kind=intent.tracking_kind or "characteristic")
+        elif op == "relation_fit":
+            rel = intent.relation
+            assert rel is not None
+            y_col, x_col, is_frac = _relation_columns(rel)
+            emit("python", "Fit the relation (slope, normalization, scatter) in log-log space",
+                 op="relation_fit", y_column=y_col, x_column=x_col,
+                 y_is_fraction=is_frac, per_step=rel.per_step)
+            if rel.per_step:
+                emit("python", "Compare the fitted slope and normalization between the "
+                               "earliest and latest timestep",
+                     op="relation_evolution_compare")
+            auto_viz.append({"form": "scatter", "source": "work",
+                             "x": x_col, "y": y_col, "y_is_fraction": is_frac,
+                             "title": _viz_title(intent, "scatter", 0)})
+        elif op == "relation_by_param":
+            rel = intent.relation
+            assert rel is not None
+            y_col, x_col, is_frac = _relation_columns(rel)
+            emit("python", "Compute the relation slope and normalization for each "
+                           f"{rel.per_param} value",
+                 op="relation_by_param", y_column=y_col, x_column=x_col, param=rel.per_param)
+            auto_viz.append({"form": "scatter", "source": "work",
+                             "x": x_col, "y": y_col,
+                             "title": _viz_title(intent, "scatter", 0)})
+            emit("python", f"Calculate the intrinsic scatter of the relation per {rel.per_param}",
+                 op="scatter_by_param", y_column=y_col, x_column=x_col, param=rel.per_param)
+            auto_viz.append({"form": "line", "source": "fit_by_param",
+                             "metric": "scatter", "x": rel.per_param,
+                             "title": f"intrinsic scatter vs {rel.per_param}"})
+            emit("python", f"Identify the {rel.per_param} value with the tightest relation",
+                 op="find_best_param", param=rel.per_param)
+        elif op == "correlation":
+            if intent.join_galaxies_to_halos:
+                emit("python", "Measure galaxy-halo alignment via shared halo tags",
+                     op="alignment")
+            else:
+                corr_cols = [c for c in columns[primary] if c != "fof_halo_tag"][:4]
+                emit("python", "Compute the correlation matrix of the characteristics",
+                     op="correlation", columns=corr_cols)
+        elif op == "interestingness":
+            emit("python", f"Compute the interestingness score and rank {primary}",
+                 op="interestingness",
+                 columns=interest_cols,
+                 top_k=intent.top_k or 1000)
+        elif op == "compare_groups":
+            group_key = "fof_halo_tag"
+            if intent.multi_run and "galaxies" not in intent.entities:
+                group_key = "run"  # compare simulations rather than halo hosts
+            emit("python", "Compute summary statistics of each group's characteristics",
+                 op="compare_groups",
+                 group_key=group_key,
+                 columns=[c for c in (columns.get("galaxies") or columns[primary])
+                          if c not in ("gal_tag", "fof_halo_tag", "gal_x", "gal_y", "gal_z",
+                                       "gal_vx", "gal_vy", "gal_vz")][:4] or [metric])
+            auto_viz.append({"form": "hist", "source": "comparison", "metric": "mean",
+                             "title": "group characteristic differences"})
+        elif op == "parameter_inference":
+            emit("python", "Infer the direction of the sub-grid parameters' effect",
+                 op="parameter_inference", metric=metric, params_of_interest=param_cols)
+        elif op == "neighborhood":
+            emit("python", f"Select all halos within {intent.radius_mpc} Mpc of the target",
+                 op="neighborhood", radius_mpc=intent.radius_mpc, metric=metric)
+
+    # umap needs an embedding computation step before its plot
+    if "umap" in intent.viz:
+        emit("python", f"Compute the 2-D embedding of the scored {primary}",
+             op="umap_embed",
+             columns=interest_cols,
+             source="scored" if "interestingness" in intent.analyses else "work")
+
+    # visualization steps: explicitly requested forms, then planner diagnostics
+    viz_sources = _viz_sources(intent)
+    track_metrics = _entity_metrics(intent, primary) or [metric]
+    for vi, form in enumerate(intent.viz):
+        params: dict = {"form": form, "source": viz_sources.get(form, "work"),
+                        "title": _viz_title(intent, form, vi)}
+        if form == "line":
+            params["metric"] = track_metrics[vi % len(track_metrics)] if "track_evolution" in intent.analyses else metric
+            if "track_evolution" in intent.analyses:
+                params["source"] = f"track_{params['metric']}"
+        elif form == "scatter":
+            if intent.relation is not None:
+                y_col, x_col, _ = _relation_columns(intent.relation)
+                params["x"], params["y"] = x_col, y_col
+                params["source"] = "work"
+            else:
+                params["x"], params["y"] = "step", metric
+        elif form == "umap":
+            params["columns"] = ["fof_halo_vel_disp", "fof_halo_mass", "fof_halo_ke"]
+            params["highlight_top"] = intent.highlight_top or 20
+            params["source"] = "scored" if "interestingness" in intent.analyses else "work"
+        elif form == "hist":
+            params["metric"] = metric
+            params["source"] = "comparison" if "compare_groups" in intent.analyses else "work"
+        elif form == "paraview3d":
+            params["source"] = "neighborhood" if "neighborhood" in intent.analyses else "work"
+        elif form == "heatmap":
+            params["source"] = "work"
+        emit("viz", f"Create a {form} visualization of the results", **params)
+
+    requested_forms = {s.params.get("form") for s in steps if s.kind == "viz"}
+    for params in auto_viz:
+        if params["form"] in requested_forms:
+            continue  # the user already asked for this form explicitly
+        emit("viz", f"Create a {params['form']} visualization of the results", **params)
+
+    return steps
+
+
+def _entity_metrics(intent: QueryIntent, primary: str) -> list[str]:
+    """Metric terms compatible with the primary entity's column namespace."""
+    prefixes = ("gal_",) if primary == "galaxies" else ("fof_", "sod_")
+    return [t for t in intent.metric_terms if t.startswith(prefixes)]
+
+
+def _primary_metric(intent: QueryIntent, primary: str) -> str:
+    candidates = []
+    if intent.rank_metric:
+        candidates.append(intent.rank_metric)
+    candidates.extend(intent.metric_terms)
+    prefixes = ("gal_",) if primary == "galaxies" else ("fof_", "sod_")
+    for cand in candidates:
+        if cand.startswith(prefixes):
+            return cand
+    if primary == "galaxies":
+        return "gal_stellar_mass"
+    return intent.rank_metric or "fof_halo_count"
+
+
+def _relation_columns(rel) -> tuple[str, str, bool]:
+    """(y_column, x_column, y_is_fraction) for a RelationSpec."""
+    if rel.y_term == "gas mass fraction":
+        return "sod_halo_MGas500c", "sod_halo_M500c", True
+    x_col = rel.x_term if rel.x_term.startswith(("fof_", "sod_", "gal_")) else "fof_halo_mass"
+    y_col = rel.y_term if rel.y_term.startswith(("fof_", "sod_", "gal_")) else "gal_stellar_mass"
+    return y_col, x_col, False
+
+
+def _viz_sources(intent: QueryIntent) -> dict[str, str]:
+    sources: dict[str, str] = {}
+    if "aggregate" in intent.analyses:
+        sources["line"] = "aggregated"
+        sources["scatter"] = "aggregated"
+    if "relation_by_param" in intent.analyses:
+        sources["scatter"] = "work"
+        sources["line"] = "fit_by_param"
+    elif "relation_fit" in intent.analyses:
+        sources["line"] = "fit"
+        sources["scatter"] = "work"
+    if "interestingness" in intent.analyses:
+        sources["umap"] = "scored"
+    if "neighborhood" in intent.analyses:
+        sources["paraview3d"] = "neighborhood"
+    if "compare_groups" in intent.analyses:
+        sources["hist"] = "comparison"
+    if "correlation" in intent.analyses and not intent.join_galaxies_to_halos:
+        sources["heatmap"] = "correlation"
+    return sources
+
+
+def _viz_title(intent: QueryIntent, form: str, index: int) -> str:
+    base = intent.question.strip().rstrip("?")
+    words = base.split()
+    short = " ".join(words[:8]) + ("..." if len(words) > 8 else "")
+    return f"{short} [{form}]" if len(intent.viz) > 1 else short

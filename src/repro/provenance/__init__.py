@@ -1,0 +1,13 @@
+"""Fine-grained provenance tracking (§4.2.1).
+
+Every analytical artifact — intermediate CSVs, executed code, generated
+figures, LLM exchanges, QA scores — is recorded in strict sequential
+order with byte-exact storage accounting.  The audit trail makes any run
+replayable: the recorded code and inputs are sufficient to re-execute
+each step and verify its output.
+"""
+
+from repro.provenance.tracker import ProvenanceTracker, ArtifactRecord
+from repro.provenance.audit import verify_audit_trail, replay_step
+
+__all__ = ["ProvenanceTracker", "ArtifactRecord", "verify_audit_trail", "replay_step"]

@@ -1,0 +1,85 @@
+"""Audit-trail verification and step replay.
+
+Provenance is only worth its bytes if it supports verification: these
+helpers check trail integrity (monotone sequence, files present, byte
+sizes matching) and re-execute a recorded code artifact against recorded
+inputs to confirm the recorded output — the "recreate and verify
+analytical pathways" capability of §4.2.1.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.frame import Frame
+from repro.frame.io import read_csv
+from repro.sandbox.executor import ExecutionResult, SandboxExecutor
+
+
+class AuditError(RuntimeError):
+    """Trail integrity violation."""
+
+
+def verify_audit_trail(session_dir: str | Path) -> list[dict]:
+    """Validate a session's trail; returns the parsed records."""
+    session_dir = Path(session_dir)
+    trail_path = session_dir / "trail.jsonl"
+    if not trail_path.exists():
+        raise AuditError(f"{session_dir} has no trail.jsonl")
+    records = [json.loads(line) for line in trail_path.read_text().splitlines() if line]
+    for i, rec in enumerate(records):
+        if rec["seq"] != i:
+            raise AuditError(f"non-sequential record at position {i}: seq={rec['seq']}")
+        if rec["path"] is not None:
+            f = session_dir / rec["path"]
+            if not f.exists():
+                raise AuditError(f"missing artifact file {rec['path']!r} (seq {i})")
+            if f.stat().st_size != rec["nbytes"]:
+                raise AuditError(
+                    f"size mismatch for {rec['path']!r}: trail says {rec['nbytes']}, "
+                    f"file has {f.stat().st_size}"
+                )
+    return records
+
+
+def replay_step(
+    session_dir: str | Path,
+    step_index: int,
+    tables: dict[str, Frame],
+    tools: dict | None = None,
+    attempt: int | None = None,
+) -> ExecutionResult:
+    """Re-execute the recorded Python code of one step on given inputs.
+
+    ``attempt=None`` replays the final (successful) attempt.
+    """
+    session_dir = Path(session_dir)
+    records = verify_audit_trail(session_dir)
+    code_recs = [
+        r
+        for r in records
+        if r["kind"] == "code"
+        and r["step_index"] == step_index
+        and r["meta"].get("language") == "python"
+    ]
+    if not code_recs:
+        raise AuditError(f"no recorded python code for step {step_index}")
+    if attempt is not None:
+        code_recs = [r for r in code_recs if r["meta"].get("attempt") == attempt]
+        if not code_recs:
+            raise AuditError(f"no attempt {attempt} recorded for step {step_index}")
+    code = (session_dir / code_recs[-1]["path"]).read_text()
+    return SandboxExecutor(tools=tools).execute(code, tables)
+
+
+def load_recorded_result(session_dir: str | Path, step_index: int) -> Frame:
+    """Load the recorded CSV result of a step."""
+    session_dir = Path(session_dir)
+    records = verify_audit_trail(session_dir)
+    result_recs = [
+        r for r in records if r["kind"] == "result" and r["step_index"] == step_index
+    ]
+    if not result_recs:
+        raise AuditError(f"no recorded result for step {step_index}")
+    return read_csv(session_dir / result_recs[-1]["path"])

@@ -1,0 +1,155 @@
+"""Sequential artifact store.
+
+Directory layout per tracked session::
+
+    <root>/
+      trail.jsonl          # one JSON record per artifact, in order
+      000_query.txt
+      003_step02_code.py
+      004_step02_result.csv
+      007_step04_figure.svg
+      ...
+
+``storage_bytes()`` reports the exact on-disk provenance footprint,
+including the analysis database when it is registered — Table 2's
+"Storage Overhead" column.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.frame import Frame
+from repro.frame.io import write_csv
+
+
+@dataclass
+class ArtifactRecord:
+    seq: int
+    kind: str               # query | plan | code | sql | result | figure | llm | qa | note
+    path: str | None        # file name inside the session dir (None = inline)
+    step_index: int | None
+    nbytes: int
+    meta: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "path": self.path,
+            "step_index": self.step_index,
+            "nbytes": self.nbytes,
+            "meta": self.meta,
+        }
+
+
+class ProvenanceTracker:
+    """Records artifacts for one analysis session."""
+
+    def __init__(self, root: str | Path, session_id: str = "session"):
+        self.root = Path(root) / session_id
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.session_id = session_id
+        self.records: list[ArtifactRecord] = []
+        self._trail = self.root / "trail.jsonl"
+        self._extra_paths: list[Path] = []
+        self._t0 = time.time()
+
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        kind: str,
+        path: Path | None,
+        step_index: int | None,
+        nbytes: int,
+        **meta,
+    ) -> ArtifactRecord:
+        rec = ArtifactRecord(
+            seq=len(self.records),
+            kind=kind,
+            path=path.name if path else None,
+            step_index=step_index,
+            nbytes=nbytes,
+            meta=meta,
+        )
+        self.records.append(rec)
+        with self._trail.open("a") as fh:
+            fh.write(json.dumps(rec.as_dict()) + "\n")
+        return rec
+
+    def _file(self, stem: str, suffix: str) -> Path:
+        return self.root / f"{len(self.records):03d}_{stem}{suffix}"
+
+    # ------------------------------------------------------------------
+    def record_query(self, question: str) -> ArtifactRecord:
+        path = self._file("query", ".txt")
+        data = question.encode("utf-8")
+        path.write_bytes(data)
+        return self._record("query", path, None, len(data))
+
+    def record_plan(self, plan_doc: dict) -> ArtifactRecord:
+        path = self._file("plan", ".json")
+        data = json.dumps(plan_doc, indent=1).encode("utf-8")
+        path.write_bytes(data)
+        return self._record("plan", path, None, len(data), steps=len(plan_doc.get("steps", [])))
+
+    def record_code(self, step_index: int, code: str, language: str = "python", attempt: int = 0) -> ArtifactRecord:
+        suffix = ".sql" if language == "sql" else ".py"
+        path = self._file(f"step{step_index:02d}_attempt{attempt}_code", suffix)
+        data = code.encode("utf-8")
+        path.write_bytes(data)
+        return self._record("code", path, step_index, len(data), language=language, attempt=attempt)
+
+    def record_result(self, step_index: int, frame: Frame, name: str = "result") -> ArtifactRecord:
+        path = self._file(f"step{step_index:02d}_{name}", ".csv")
+        nbytes = write_csv(frame, path)
+        return self._record(
+            "result", path, step_index, nbytes, rows=frame.num_rows, columns=frame.columns
+        )
+
+    def record_figure(self, step_index: int, svg: str, form: str) -> ArtifactRecord:
+        path = self._file(f"step{step_index:02d}_figure", ".svg")
+        data = svg.encode("utf-8")
+        path.write_bytes(data)
+        return self._record("figure", path, step_index, len(data), form=form)
+
+    def record_llm_exchange(self, role: str, prompt_tokens: int, completion_tokens: int, step_index: int | None = None) -> ArtifactRecord:
+        return self._record(
+            "llm", None, step_index, 0,
+            role=role, prompt_tokens=prompt_tokens, completion_tokens=completion_tokens,
+        )
+
+    def record_qa(self, step_index: int, score: int | None, passed: bool, feedback: str, attempt: int) -> ArtifactRecord:
+        return self._record(
+            "qa", None, step_index, 0,
+            score=score, passed=passed, feedback=feedback[:300], attempt=attempt,
+        )
+
+    def record_note(self, text: str, step_index: int | None = None, **meta) -> ArtifactRecord:
+        return self._record("note", None, step_index, 0, text=text[:500], **meta)
+
+    def register_external(self, path: str | Path) -> None:
+        """Count an external artifact (e.g. the analysis database directory)
+        toward this session's storage overhead."""
+        self._extra_paths.append(Path(path))
+
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        total = sum(
+            f.stat().st_size for f in self.root.iterdir() if f.is_file()
+        )
+        for extra in self._extra_paths:
+            if extra.is_dir():
+                total += sum(f.stat().st_size for f in extra.rglob("*") if f.is_file())
+            elif extra.is_file():
+                total += extra.stat().st_size
+        return total
+
+    def elapsed_s(self) -> float:
+        return time.time() - self._t0
+
+    def trail(self) -> list[dict]:
+        return [r.as_dict() for r in self.records]

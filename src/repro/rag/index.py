@@ -1,0 +1,36 @@
+"""In-memory vector index over documents."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.embeddings import HashedEmbedder
+from repro.rag.documents import ColumnDocument
+
+
+class VectorIndex:
+    """Embeds documents once; answers cosine-similarity queries."""
+
+    def __init__(self, documents: list[ColumnDocument], embedder: HashedEmbedder | None = None):
+        self.documents = list(documents)
+        self.embedder = embedder or HashedEmbedder()
+        self._matrix = self.embedder.embed_batch([d.text for d in self.documents])
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def similarities(self, query: str) -> np.ndarray:
+        """Cosine similarity of every document to ``query``."""
+        if not self.documents:
+            return np.zeros(0)
+        q = self.embedder.embed(query)
+        return self._matrix @ q
+
+    def search(self, query: str, k: int = 20) -> list[tuple[ColumnDocument, float]]:
+        """Plain top-k by similarity (no diversity re-ranking)."""
+        sims = self.similarities(query)
+        order = np.argsort(sims)[::-1][:k]
+        return [(self.documents[i], float(sims[i])) for i in order]
+
+    def embedding_matrix(self) -> np.ndarray:
+        return self._matrix

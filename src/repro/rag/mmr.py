@@ -1,0 +1,55 @@
+"""Maximum marginal relevance (Carbonell & Goldstein 1998).
+
+Greedy re-ranking trading query relevance against redundancy:
+
+    MMR = argmax_{d in R\\S} [ lambda * sim(d, q) - (1-lambda) * max_{s in S} sim(d, s) ]
+
+The paper uses MMR to compensate for its very fine-grained documents —
+plain top-k over 80-token chunks returns near-duplicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mmr_select(
+    query_sims: np.ndarray,
+    doc_matrix: np.ndarray,
+    k: int,
+    lambda_mult: float = 0.7,
+    candidate_pool: int | None = None,
+) -> list[int]:
+    """Return indices of the MMR-selected documents.
+
+    ``query_sims`` is sim(doc, query) per document; ``doc_matrix`` the
+    (normalized) document embedding matrix for doc-doc similarity.
+    ``candidate_pool`` restricts the greedy search to the top-N by query
+    similarity (the usual efficiency shortcut).
+    """
+    n = len(query_sims)
+    if n == 0 or k <= 0:
+        return []
+    if not 0.0 <= lambda_mult <= 1.0:
+        raise ValueError("lambda_mult must be in [0, 1]")
+    k = min(k, n)
+    pool_size = min(candidate_pool or max(4 * k, 32), n)
+    pool = list(np.argsort(query_sims)[::-1][:pool_size])
+
+    selected: list[int] = []
+    selected_vecs: list[np.ndarray] = []
+    remaining = set(pool)
+    while len(selected) < k and remaining:
+        best_idx = -1
+        best_score = -np.inf
+        for i in remaining:
+            redundancy = 0.0
+            if selected_vecs:
+                redundancy = max(float(doc_matrix[i] @ v) for v in selected_vecs)
+            score = lambda_mult * float(query_sims[i]) - (1.0 - lambda_mult) * redundancy
+            if score > best_score:
+                best_score, best_idx = score, i
+        selected.append(best_idx)
+        selected_vecs.append(doc_matrix[best_idx])
+        remaining.discard(best_idx)
+    return selected

@@ -1,0 +1,70 @@
+"""Clients for the sandbox gateway.
+
+:class:`SandboxClient` speaks HTTP to a running :class:`SandboxServer`;
+:class:`InProcessClient` calls the executor directly with the same
+interface, which is what the evaluation harness uses (one process, no
+socket overhead, identical semantics since the executor already copies
+all inputs).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from typing import Any
+
+from repro.frame import Frame
+from repro.sandbox.executor import ExecutionResult, SandboxExecutor
+from repro.sandbox.serialize import frame_from_json, frame_to_json
+
+
+class InProcessClient:
+    """Direct executor invocation behind the client interface."""
+
+    def __init__(self, executor: SandboxExecutor | None = None):
+        self.executor = executor or SandboxExecutor()
+
+    def execute(self, code: str, tables: dict[str, Frame]) -> ExecutionResult:
+        return self.executor.execute(code, tables)
+
+
+class SandboxClient:
+    """HTTP client for a SandboxServer."""
+
+    def __init__(self, url: str, timeout_s: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def health(self) -> bool:
+        try:
+            with urllib.request.urlopen(f"{self.url}/health", timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode())["status"] == "ok"
+        except Exception:
+            return False
+
+    def execute(self, code: str, tables: dict[str, Frame]) -> ExecutionResult:
+        payload = {
+            "code": code,
+            "tables": {name: frame_to_json(f) for name, f in tables.items()},
+        }
+        req = urllib.request.Request(
+            f"{self.url}/execute",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+            doc: dict[str, Any] = json.loads(resp.read().decode("utf-8"))
+        result = ExecutionResult(
+            ok=bool(doc.get("ok")),
+            error_type=doc.get("error_type", ""),
+            error_message=doc.get("error_message", ""),
+        )
+        if "result" in doc:
+            result.result = frame_from_json(doc["result"])
+        result.tables = {
+            name: frame_from_json(t) for name, t in doc.get("tables", {}).items()
+        }
+        if doc.get("figure_svg"):
+            result.meta["figure_svg"] = doc["figure_svg"]
+        return result

@@ -1,0 +1,26 @@
+"""JSON serialization of Frames for the HTTP gateway."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame import Frame
+
+
+def frame_to_json(frame: Frame) -> dict:
+    cols = {}
+    for name in frame.columns:
+        arr = frame.column(name)
+        cols[name] = {"dtype": arr.dtype.str, "values": np.asarray(arr).tolist()}
+    return {"columns": cols}
+
+
+def frame_from_json(doc: dict) -> Frame:
+    cols = {}
+    for name, spec in doc["columns"].items():
+        dtype = np.dtype(spec["dtype"])
+        if dtype == object:
+            cols[name] = np.asarray(spec["values"], dtype=object)
+        else:
+            cols[name] = np.asarray(spec["values"], dtype=dtype)
+    return Frame(cols)

@@ -1,0 +1,107 @@
+"""HTTP JSON execution gateway (Uvicorn/FastAPI substitute).
+
+One endpoint, ``POST /execute``, accepting::
+
+    {"code": "...", "tables": {"work": {<frame json>}, ...}}
+
+and returning the execution summary plus the result frame, published
+tables, and the figure serialized as SVG when one was produced.  Runs on
+a stdlib ``ThreadingHTTPServer`` so the sandbox really is a separate
+serving process boundary, as in the paper, without external dependencies.
+A ``GET /health`` endpoint reports liveness.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.sandbox.executor import SandboxExecutor
+from repro.sandbox.serialize import frame_from_json, frame_to_json
+from repro.viz import Figure, Scene3D
+
+
+class SandboxServer:
+    """Owns the HTTP server lifecycle; use as a context manager in tests."""
+
+    def __init__(self, executor: SandboxExecutor | None = None, host: str = "127.0.0.1", port: int = 0):
+        self.executor = executor or SandboxExecutor()
+        self._httpd = ThreadingHTTPServer((host, port), self._make_handler())
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]  # type: ignore[return-value]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def _make_handler(self):
+        executor = self.executor
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args: Any) -> None:  # silence request logs
+                pass
+
+            def do_GET(self) -> None:
+                if self.path == "/health":
+                    self._reply(200, {"status": "ok"})
+                else:
+                    self._reply(404, {"error": "not found"})
+
+            def do_POST(self) -> None:
+                if self.path != "/execute":
+                    self._reply(404, {"error": "not found"})
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", "0"))
+                    payload = json.loads(self.rfile.read(length).decode("utf-8"))
+                    tables = {
+                        name: frame_from_json(doc)
+                        for name, doc in payload.get("tables", {}).items()
+                    }
+                    result = executor.execute(payload["code"], tables)
+                    doc: dict[str, Any] = result.summary()
+                    if result.result is not None:
+                        doc["result"] = frame_to_json(result.result)
+                    doc["tables"] = {
+                        name: frame_to_json(frame) for name, frame in result.tables.items()
+                    }
+                    if isinstance(result.figure, Figure):
+                        doc["figure_svg"] = result.figure.to_svg()
+                    elif isinstance(result.figure, Scene3D):
+                        doc["figure_svg"] = result.figure.to_svg()
+                    self._reply(200, doc)
+                except Exception as exc:  # defensive: gateway must not die
+                    self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+            def _reply(self, status: int, doc: dict) -> None:
+                body = json.dumps(doc).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        return Handler
+
+    def start(self) -> "SandboxServer":
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "SandboxServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -1,0 +1,51 @@
+"""Synthetic CRK-HACC-like cosmological ensemble substrate.
+
+The paper evaluates InferA on an ensemble of HACC hydrodynamics runs (five
+varied sub-grid parameters, 625 snapshots, ~350 GB per run).  That data is
+not available offline, so this package generates a *structurally faithful*
+miniature: the same entity kinds (dark-matter particles, friends-of-friends
+halos with spherical-overdensity masses, galaxies), the same column naming
+scheme (``fof_halo_count``, ``sod_halo_MGas500c``, ...), the same
+run × timestep file hierarchy in a GenericIO-like format, and sub-grid
+parameters that actually modulate the physics relations the evaluation
+questions probe (SMHM relation and its intrinsic scatter vs. seed mass,
+gas-mass-fraction–mass relation slope/normalization evolution, etc.).
+"""
+
+from repro.sim.subgrid import SubgridParams, latin_hypercube_design
+from repro.sim.cosmology import Cosmology, DEFAULT_COSMOLOGY
+from repro.sim.particles import ParticleField, generate_particles
+from repro.sim.fof import friends_of_friends
+from repro.sim.halos import build_halo_catalog, halo_catalog_from_fof
+from repro.sim.galaxies import build_galaxy_catalog
+from repro.sim.ensemble import EnsembleSpec, Ensemble, generate_ensemble
+from repro.sim.tracking import match_halos, halo_lineage_graph, main_progenitor_line
+from repro.sim.schema import (
+    COLUMN_DESCRIPTIONS,
+    FILE_STRUCTURE_DESCRIPTIONS,
+    ENTITY_KINDS,
+    columns_for,
+)
+
+__all__ = [
+    "SubgridParams",
+    "latin_hypercube_design",
+    "Cosmology",
+    "DEFAULT_COSMOLOGY",
+    "ParticleField",
+    "generate_particles",
+    "friends_of_friends",
+    "build_halo_catalog",
+    "halo_catalog_from_fof",
+    "build_galaxy_catalog",
+    "EnsembleSpec",
+    "Ensemble",
+    "generate_ensemble",
+    "match_halos",
+    "halo_lineage_graph",
+    "main_progenitor_line",
+    "COLUMN_DESCRIPTIONS",
+    "FILE_STRUCTURE_DESCRIPTIONS",
+    "ENTITY_KINDS",
+    "columns_for",
+]

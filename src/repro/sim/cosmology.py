@@ -1,0 +1,74 @@
+"""Background cosmology helpers.
+
+Just enough FLRW machinery to make ensemble snapshots evolve sensibly:
+scale factor per timestep, linear growth factor (fitting form of Carroll,
+Press & Turner 1992) for halo mass growth, Hubble rate and critical
+density for spherical-overdensity radii.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# gravitational constant in Mpc (km/s)^2 / Msun
+_G_MPC = 4.30091e-9
+
+
+@dataclass(frozen=True)
+class Cosmology:
+    """Flat LCDM background."""
+
+    omega_m: float = 0.31
+    omega_l: float = 0.69
+    h: float = 0.677
+    sigma8: float = 0.81
+    z_initial: float = 10.0
+    final_step: int = 624
+
+    def scale_factor(self, step: int | np.ndarray) -> np.ndarray | float:
+        """Scale factor of a HACC timestep.
+
+        HACC integrates from ``z_initial`` to z=0 in ``final_step`` equal
+        steps in ``a``; step 624 is the present day (a = 1).
+        """
+        step = np.asarray(step, dtype=np.float64)
+        a_init = 1.0 / (1.0 + self.z_initial)
+        a = a_init + (1.0 - a_init) * step / self.final_step
+        return float(a) if a.ndim == 0 else a
+
+    def redshift(self, step: int | np.ndarray) -> np.ndarray | float:
+        a = self.scale_factor(step)
+        return 1.0 / a - 1.0
+
+    def e_of_a(self, a: np.ndarray | float) -> np.ndarray | float:
+        """Dimensionless Hubble rate E(a) = H(a)/H0 for flat LCDM."""
+        a = np.asarray(a, dtype=np.float64)
+        e = np.sqrt(self.omega_m / a**3 + self.omega_l)
+        return float(e) if e.ndim == 0 else e
+
+    def critical_density(self, a: float) -> float:
+        """Critical density at scale factor ``a`` in Msun h^2 / Mpc^3."""
+        h0 = 100.0  # km/s / (Mpc/h)
+        e2 = float(self.e_of_a(a)) ** 2
+        return 3.0 * (h0**2) * e2 / (8.0 * np.pi * _G_MPC)
+
+    def growth_factor(self, a: float) -> float:
+        """Normalized linear growth factor D(a)/D(1) (CPT92 fitting form)."""
+
+        def g(av: float) -> float:
+            om = self.omega_m / (av**3 * float(self.e_of_a(av)) ** 2)
+            ol = self.omega_l / float(self.e_of_a(av)) ** 2
+            return 2.5 * om / (om ** (4.0 / 7.0) - ol + (1 + om / 2) * (1 + ol / 70))
+
+        return a * g(a) / (1.0 * g(1.0))
+
+    def r500c(self, m500c: np.ndarray, a: float) -> np.ndarray:
+        """Spherical-overdensity radius R500c in Mpc/h from M500c."""
+        rho_c = self.critical_density(a)
+        m = np.asarray(m500c, dtype=np.float64)
+        return (3.0 * m / (4.0 * np.pi * 500.0 * rho_c)) ** (1.0 / 3.0)
+
+
+DEFAULT_COSMOLOGY = Cosmology()

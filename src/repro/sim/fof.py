@@ -1,0 +1,156 @@
+"""Friends-of-friends halo finder.
+
+The classic percolation algorithm used by HACC's CosmoTools: particles
+closer than a linking length ``b`` times the mean interparticle spacing
+belong to the same group.  Implemented with a uniform cell grid (cell
+edge = linking length) so only the 27-cell neighborhood is searched, and
+a union-find with path compression for the percolation — the standard
+O(n) approach for halo finding at scale.
+
+Pairwise distance work inside the neighborhood is vectorized with NumPy
+(guide idiom: index arrays + broadcasting over per-cell blocks instead of
+per-particle Python loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class FofResult:
+    """Group assignment: ``group[i]`` is the group id of particle i, -1 if unlinked below min size."""
+
+    group: np.ndarray           # (n,) int64, -1 for particles in groups below min_members
+    num_groups: int
+    linking_length: float
+
+
+class _UnionFind:
+    """Array-based union-find with path halving and union by size."""
+
+    def __init__(self, n: int):
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, i: int) -> int:
+        parent = self.parent
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+    def union_pairs(self, left: np.ndarray, right: np.ndarray) -> None:
+        for a, b in zip(left.tolist(), right.tolist()):
+            self.union(a, b)
+
+
+def friends_of_friends(
+    positions: np.ndarray,
+    box_size: float,
+    linking_length: float | None = None,
+    b: float = 0.2,
+    min_members: int = 5,
+) -> FofResult:
+    """Run FoF percolation over a periodic box.
+
+    ``linking_length`` overrides the canonical ``b * mean_spacing``
+    definition when given.  Groups smaller than ``min_members`` are
+    dissolved to -1 (unbound field particles), matching CosmoTools'
+    minimum halo size cut.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError("positions must be (n, 3)")
+    n = len(positions)
+    if n == 0:
+        return FofResult(group=np.empty(0, dtype=np.int64), num_groups=0, linking_length=0.0)
+
+    if linking_length is None:
+        mean_spacing = box_size / max(n, 1) ** (1.0 / 3.0)
+        linking_length = b * mean_spacing
+    ll2 = linking_length**2
+
+    # cell grid with edge >= linking length
+    n_cells = max(1, int(box_size / linking_length))
+    n_cells = min(n_cells, 128)  # cap memory for tiny linking lengths
+    cell_edge = box_size / n_cells
+    cell_idx = np.floor(positions / cell_edge).astype(np.int64) % n_cells
+    flat = (cell_idx[:, 0] * n_cells + cell_idx[:, 1]) * n_cells + cell_idx[:, 2]
+
+    order = np.argsort(flat, kind="stable")
+    flat_sorted = flat[order]
+    starts = np.flatnonzero(np.concatenate(([True], flat_sorted[1:] != flat_sorted[:-1])))
+    ends = np.concatenate((starts[1:], [n]))
+    occupied = flat_sorted[starts]
+    cell_to_slot = {int(c): k for k, c in enumerate(occupied)}
+
+    uf = _UnionFind(n)
+
+    # half-neighborhood offsets so each cell pair is visited once
+    offsets = []
+    for dx in (0, 1):
+        for dy in (-1, 0, 1):
+            for dz in (-1, 0, 1):
+                if (dx, dy, dz) > (0, 0, 0) or (dx, dy, dz) == (0, 0, 0):
+                    offsets.append((dx, dy, dz))
+
+    cx = occupied // (n_cells * n_cells)
+    cy = (occupied // n_cells) % n_cells
+    cz = occupied % n_cells
+
+    half = box_size / 2.0
+    for slot in range(len(occupied)):
+        a_rows = order[starts[slot] : ends[slot]]
+        pa = positions[a_rows]
+        for dx, dy, dz in offsets:
+            nx = (cx[slot] + dx) % n_cells
+            ny = (cy[slot] + dy) % n_cells
+            nz = (cz[slot] + dz) % n_cells
+            nbr_flat = int((nx * n_cells + ny) * n_cells + nz)
+            nbr_slot = cell_to_slot.get(nbr_flat)
+            if nbr_slot is None:
+                continue
+            same_cell = nbr_slot == slot
+            if (dx, dy, dz) != (0, 0, 0) and same_cell:
+                continue  # wrapped onto itself (n_cells small)
+            b_rows = order[starts[nbr_slot] : ends[nbr_slot]]
+            pb = positions[b_rows]
+            # periodic minimum-image pairwise distances, vectorized
+            diff = pa[:, None, :] - pb[None, :, :]
+            diff = np.where(diff > half, diff - box_size, diff)
+            diff = np.where(diff < -half, diff + box_size, diff)
+            d2 = np.einsum("ijk,ijk->ij", diff, diff)
+            ai, bi = np.nonzero(d2 <= ll2)
+            if same_cell:
+                keep = ai < bi
+                ai, bi = ai[keep], bi[keep]
+            if len(ai):
+                uf.union_pairs(a_rows[ai], b_rows[bi])
+
+    # resolve roots and relabel densely
+    roots = np.fromiter((uf.find(i) for i in range(n)), dtype=np.int64, count=n)
+    uniq, dense = np.unique(roots, return_inverse=True)
+    counts = np.bincount(dense)
+    keep_mask = counts >= min_members
+    group = np.where(keep_mask[dense], dense, -1)
+    # re-densify surviving group ids
+    surviving = np.unique(group[group >= 0])
+    remap = {int(g): k for k, g in enumerate(surviving)}
+    if len(surviving):
+        lut = np.full(int(group.max()) + 1, -1, dtype=np.int64)
+        for old, new in remap.items():
+            lut[old] = new
+        group = np.where(group >= 0, lut[np.maximum(group, 0)], -1)
+    return FofResult(group=group, num_groups=len(surviving), linking_length=float(linking_length))

@@ -1,0 +1,159 @@
+"""HACC data-product schema and the two RAG metadata dictionaries.
+
+§3.1 of the paper: "context-aware preprocessing ... creates two
+dictionaries: one describing the ensemble file structure, and another
+mapping column labels to context-rich natural language descriptions."
+Those dictionaries are defined here; the RAG layer chunks them into
+≤80-token per-column documents.
+
+Column names follow the real HACC/CosmoTools conventions the paper quotes
+(``fof_halo_count``, ``sod_halo_MGas500c``, ``fof_halo_tag``...).
+"""
+
+from __future__ import annotations
+
+ENTITY_KINDS = ("particles", "halos", "galaxies")
+
+# columns tagged [IMPORTANT] get boosted retrieval, mirroring the paper's
+# "[IMPORTANT]" retrieval prompt for columns tagged as important.
+IMPORTANT_COLUMNS = {
+    "fof_halo_tag",
+    "fof_halo_count",
+    "fof_halo_mass",
+    "gal_stellar_mass",
+    "sod_halo_M500c",
+    "sod_halo_MGas500c",
+}
+
+PARTICLE_COLUMNS: dict[str, str] = {
+    "id": "Unique particle identifier, persistent across all timesteps of a run.",
+    "x": "Particle comoving position along the x axis in megaparsec per h (Mpc/h).",
+    "y": "Particle comoving position along the y axis in megaparsec per h (Mpc/h).",
+    "z": "Particle comoving position along the z axis in megaparsec per h (Mpc/h).",
+    "vx": "Particle peculiar velocity along the x axis in kilometers per second (km/s).",
+    "vy": "Particle peculiar velocity along the y axis in kilometers per second (km/s).",
+    "vz": "Particle peculiar velocity along the z axis in kilometers per second (km/s).",
+    "mass": "Particle mass in units of solar mass (Msun/h); constant for dark matter tracers.",
+    "phi": "Local gravitational potential at the particle position, arbitrary normalization.",
+    "fof_halo_tag": (
+        "Tag of the friends-of-friends halo this particle belongs to; "
+        "-1 for field particles outside any halo."
+    ),
+}
+
+HALO_COLUMNS: dict[str, str] = {
+    "fof_halo_tag": (
+        "Unique friends-of-friends halo tag; stable across timesteps so halos can be "
+        "tracked through time, and the key that links galaxies to their host halo."
+    ),
+    "fof_halo_count": (
+        "Number of particles in the friends-of-friends halo; a proxy for halo size "
+        "and mass (halo particle count)."
+    ),
+    "fof_halo_mass": "Total friends-of-friends halo mass in solar masses (Msun/h).",
+    "fof_halo_center_x": "Halo center of mass, comoving x coordinate in Mpc/h.",
+    "fof_halo_center_y": "Halo center of mass, comoving y coordinate in Mpc/h.",
+    "fof_halo_center_z": "Halo center of mass, comoving z coordinate in Mpc/h.",
+    "fof_halo_mean_vx": "Mean peculiar velocity of halo particles along x in km/s.",
+    "fof_halo_mean_vy": "Mean peculiar velocity of halo particles along y in km/s.",
+    "fof_halo_mean_vz": "Mean peculiar velocity of halo particles along z in km/s.",
+    "fof_halo_vel_disp": (
+        "One-dimensional velocity dispersion of halo member particles in km/s; "
+        "a dynamical-mass indicator."
+    ),
+    "fof_halo_ke": (
+        "Total kinetic energy of the halo in internal units, computed from member "
+        "particle velocities (kinetic energy)."
+    ),
+    "sod_halo_M500c": (
+        "Mass enclosed within the radius where the mean density is 500 times the "
+        "critical density, for a spherical overdensity halo (M500c), in Msun/h."
+    ),
+    "sod_halo_MGas500c": (
+        "Gas mass enclosed within the radius of density 500 times the critical "
+        "density in a spherical overdensity halo, in Msun/h. Divided by "
+        "sod_halo_M500c it gives the gas-mass fraction."
+    ),
+    "sod_halo_R500c": (
+        "Radius enclosing a mean density of 500 times the critical density for a "
+        "spherical overdensity halo, in Mpc/h."
+    ),
+    "sod_halo_Mstar500c": (
+        "Stellar mass enclosed within the spherical overdensity radius R500c, "
+        "in Msun/h."
+    ),
+}
+
+GALAXY_COLUMNS: dict[str, str] = {
+    "gal_tag": "Unique galaxy identifier, persistent across timesteps of a run.",
+    "fof_halo_tag": (
+        "Tag of the friends-of-friends host halo of this galaxy; join key against "
+        "the halo catalog (galaxies related to halos by fof_halo_tag)."
+    ),
+    "gal_count": "Number of star particles composing the galaxy (galaxy size).",
+    "gal_stellar_mass": (
+        "Galaxy stellar mass in solar masses (Msun/h); together with the host halo "
+        "mass it defines the stellar-to-halo mass (SMHM) relation."
+    ),
+    "gal_gas_mass": "Galaxy cold gas mass in solar masses (Msun/h) (gas-mass).",
+    "gal_x": "Galaxy comoving position x in Mpc/h.",
+    "gal_y": "Galaxy comoving position y in Mpc/h.",
+    "gal_z": "Galaxy comoving position z in Mpc/h.",
+    "gal_vx": "Galaxy peculiar velocity x in km/s.",
+    "gal_vy": "Galaxy peculiar velocity y in km/s.",
+    "gal_vz": "Galaxy peculiar velocity z in km/s.",
+    "gal_ke": "Galaxy kinetic energy in internal units from its bulk velocity.",
+    "gal_sfr": "Galaxy star formation rate in solar masses per year.",
+}
+
+COLUMN_DESCRIPTIONS: dict[str, dict[str, str]] = {
+    "particles": PARTICLE_COLUMNS,
+    "halos": HALO_COLUMNS,
+    "galaxies": GALAXY_COLUMNS,
+}
+
+FILE_STRUCTURE_DESCRIPTIONS: dict[str, str] = {
+    "ensemble": (
+        "The ensemble root directory contains one subdirectory per simulation run, "
+        "named run_000, run_001, ...; each run was executed with a different set of "
+        "five sub-grid physics parameters recorded in the run's file attributes: "
+        "f_SN (stellar feedback energy fraction), log_vSN (log of the stellar "
+        "feedback kick velocity), log_TAGN (AGN feedback temperature jump), "
+        "beta_BH (slope of the density-dependent black hole accretion boost), and "
+        "M_seed (AGN seed mass)."
+    ),
+    "run": (
+        "Each run directory contains one subdirectory per time-evolution snapshot, "
+        "named step_000 ... step_624; the step number is the simulation timestep, "
+        "with larger numbers later in cosmic time (step 624 is the final, "
+        "present-day snapshot)."
+    ),
+    "step": (
+        "Each snapshot directory holds three GenericIO files: particles.gio with "
+        "the raw dark matter particles, halos.gio with the friends-of-friends and "
+        "spherical-overdensity halo catalog, and galaxies.gio with the galaxy "
+        "catalog. Columns can be read individually without loading whole files."
+    ),
+    "particles": "particles.gio: raw dark matter particle data for one snapshot.",
+    "halos": (
+        "halos.gio: friends-of-friends halo catalog with spherical overdensity "
+        "masses for one snapshot; one row per dark matter halo."
+    ),
+    "galaxies": (
+        "galaxies.gio: galaxy catalog for one snapshot; one row per galaxy, linked "
+        "to host halos via fof_halo_tag."
+    ),
+}
+
+
+def columns_for(kind: str) -> list[str]:
+    """Column names of an entity kind, in on-disk order."""
+    try:
+        return list(COLUMN_DESCRIPTIONS[kind])
+    except KeyError:
+        raise KeyError(f"unknown entity kind {kind!r}; expected one of {ENTITY_KINDS}") from None
+
+
+def describe_column(kind: str, name: str) -> str:
+    """Natural-language description of one column (RAG document body)."""
+    return COLUMN_DESCRIPTIONS[kind][name]

@@ -1,0 +1,81 @@
+"""Wall-clock and simulated clocks plus a scoped timer.
+
+The evaluation harness reports per-query runtime (Table 2 "Time" column).
+Real runs use :class:`WallClock`; tests use :class:`SimulatedClock` so that
+timing-sensitive assertions are deterministic.  Components take a clock
+dependency rather than calling ``time.perf_counter`` directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class WallClock:
+    """Monotonic wall clock."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def advance(self, seconds: float) -> None:  # pragma: no cover - no-op
+        """No-op for interface parity with SimulatedClock."""
+
+
+class SimulatedClock:
+    """Manually advanced clock for deterministic tests and cost models.
+
+    The mock LLM also charges simulated latency here so that reported
+    runtimes carry the paper's structure (LLM latency << execution time)
+    without depending on host speed.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += seconds
+
+
+@dataclass
+class Timer:
+    """Accumulating named-section timer.
+
+    >>> t = Timer()
+    >>> with t.section("load"):
+    ...     pass
+    >>> "load" in t.totals
+    True
+    """
+
+    clock: WallClock | SimulatedClock = field(default_factory=WallClock)
+    totals: dict[str, float] = field(default_factory=dict)
+
+    def section(self, name: str) -> "_Section":
+        return _Section(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+
+class _Section:
+    def __init__(self, timer: Timer, name: str):
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._start = self._timer.clock.now()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._timer.add(self._name, self._timer.clock.now() - self._start)

@@ -1,0 +1,29 @@
+"""SVG visualization backend (matplotlib + ParaView substitute).
+
+The visualization agent generates code against this package.  It renders
+static SVG: line charts, scatter plots, histograms, heatmaps and
+multi-panel figures (:mod:`repro.viz.figure`), plus a ParaView-flavoured
+3D point-cloud renderer (:mod:`repro.viz.scene3d`) and a lightweight
+UMAP-style 2D embedding (:mod:`repro.viz.umap_lite`) for the
+"interestingness" evaluation question.
+
+Styling follows a validated chart-design system: a fixed-order categorical
+palette (hues assigned by series identity, never cycled), a single-hue
+sequential ramp for magnitude, thin marks, recessive grid and axes, and
+legends whenever two or more series are shown.
+"""
+
+from repro.viz.figure import Figure, Axes
+from repro.viz.colormap import CATEGORICAL, sequential, categorical_color
+from repro.viz.scene3d import Scene3D
+from repro.viz.umap_lite import umap_embed
+
+__all__ = [
+    "Figure",
+    "Axes",
+    "CATEGORICAL",
+    "sequential",
+    "categorical_color",
+    "Scene3D",
+    "umap_embed",
+]

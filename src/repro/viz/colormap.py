@@ -1,0 +1,76 @@
+"""Palette parameters for the SVG backend.
+
+Values come from a validated reference palette (lightness band, chroma
+floor, adjacent-pair CVD separation all checked): eight categorical slots
+in a fixed order that maximizes minimum adjacent CVD distance, and a
+single-hue sequential blue ramp for magnitude encodings.  Categorical hues
+follow the *entity*, never the rank — callers index by stable series
+position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# fixed-order categorical slots (light surface)
+CATEGORICAL: tuple[str, ...] = (
+    "#2a78d6",  # 1 blue
+    "#1baf7a",  # 2 aqua
+    "#eda100",  # 3 yellow
+    "#008300",  # 4 green
+    "#4a3aa7",  # 5 violet
+    "#e34948",  # 6 red
+    "#e87ba4",  # 7 magenta
+    "#eb6834",  # 8 orange
+)
+
+# single-hue sequential ramp, light -> dark (steps 100..700)
+_SEQ_RAMP: tuple[str, ...] = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+)
+
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID_COLOR = "#e4e3df"
+AXIS_COLOR = "#9b9a94"
+SURFACE = "#fcfcfb"
+HIGHLIGHT = "#e34948"  # reserved accent (e.g. the Fig. 5 target halo in red)
+
+
+def categorical_color(index: int) -> str:
+    """Slot color for series ``index``; beyond 8 series, fold into gray
+    ("Other") rather than cycling hues."""
+    if index < 0:
+        raise ValueError("series index must be >= 0")
+    if index < len(CATEGORICAL):
+        return CATEGORICAL[index]
+    return "#8a8984"
+
+
+def _hex_to_rgb(h: str) -> tuple[int, int, int]:
+    h = h.lstrip("#")
+    return int(h[0:2], 16), int(h[2:4], 16), int(h[4:6], 16)
+
+
+def _rgb_to_hex(rgb: np.ndarray) -> str:
+    r, g, b = (int(round(float(v))) for v in rgb)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def sequential(t: float | np.ndarray) -> str | list[str]:
+    """Sample the sequential ramp at ``t`` in [0, 1] (0 = light, 1 = dark).
+
+    Linear interpolation between ramp steps in sRGB; adequate for a
+    perceptually pre-spaced ramp.
+    """
+    ramp = np.asarray([_hex_to_rgb(c) for c in _SEQ_RAMP], dtype=np.float64)
+    tt = np.atleast_1d(np.clip(np.asarray(t, dtype=np.float64), 0.0, 1.0))
+    x = tt * (len(ramp) - 1)
+    lo = np.floor(x).astype(int)
+    hi = np.minimum(lo + 1, len(ramp) - 1)
+    frac = (x - lo)[:, None]
+    rgb = ramp[lo] * (1 - frac) + ramp[hi] * frac
+    out = [_rgb_to_hex(row) for row in rgb]
+    return out[0] if np.isscalar(t) or np.asarray(t).ndim == 0 else out

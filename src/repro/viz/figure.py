@@ -1,0 +1,369 @@
+"""Figure / Axes chart API over the SVG backend.
+
+Mirrors the matplotlib subset the visualization agent generates: figures
+with one or more axes, line plots, scatter, histograms, heatmaps and
+error bars, plus titles, axis labels, legends and automatic "nice" ticks.
+
+Design rules baked in (from the chart-design system): one y-axis only
+(no twin axes), thin 2px lines, recessive grid behind the data, text in
+ink tokens rather than series colors, a legend whenever two or more
+series are plotted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.viz.colormap import (
+    AXIS_COLOR,
+    GRID_COLOR,
+    SURFACE,
+    TEXT_PRIMARY,
+    TEXT_SECONDARY,
+    categorical_color,
+    sequential,
+)
+from repro.viz.svg import SVGDocument
+
+
+def nice_ticks(lo: float, hi: float, target: int = 5) -> np.ndarray:
+    """Choose 'nice' tick positions covering [lo, hi] (1/2/5 x 10^k steps)."""
+    if not np.isfinite(lo) or not np.isfinite(hi):
+        return np.asarray([0.0, 1.0])
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw_step = span / max(target, 1)
+    mag = 10 ** np.floor(np.log10(raw_step))
+    for mult in (1, 2, 5, 10):
+        step = mult * mag
+        if span / step <= target + 1:
+            break
+    first = np.ceil(lo / step) * step
+    ticks = np.arange(first, hi + step * 0.5, step)
+    return ticks
+
+
+def _fmt_tick(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e5 or abs(v) < 1e-3:
+        return f"{v:.1e}"
+    if abs(v - round(v)) < 1e-9:
+        return str(int(round(v)))
+    return f"{v:g}"
+
+
+@dataclass
+class _Series:
+    kind: str                     # line | scatter | hist | errorbar | heatmap
+    x: np.ndarray
+    y: np.ndarray
+    label: str | None
+    color: str
+    extra: dict = field(default_factory=dict)
+
+
+class Axes:
+    """One chart panel."""
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self.xlabel = ""
+        self.ylabel = ""
+        self.xscale = "linear"
+        self.yscale = "linear"
+        self._series: list[_Series] = []
+        self._hlines: list[tuple[float, str]] = []
+
+    # ------------------------------------------------------------------
+    def _next_color(self) -> str:
+        return categorical_color(
+            sum(1 for s in self._series if s.kind in ("line", "scatter", "errorbar"))
+        )
+
+    def plot(self, x, y, label: str | None = None, color: str | None = None) -> None:
+        """Line series (2px stroke)."""
+        x, y = np.asarray(x, dtype=np.float64), np.asarray(y, dtype=np.float64)
+        if len(x) != len(y):
+            raise ValueError("x and y must have equal length")
+        self._series.append(_Series("line", x, y, label, color or self._next_color()))
+
+    def scatter(
+        self,
+        x,
+        y,
+        label: str | None = None,
+        color: str | None = None,
+        size: float | np.ndarray = 3.0,
+        colors: np.ndarray | None = None,
+    ) -> None:
+        """Point series; ``colors`` (per-point hex) overrides ``color``."""
+        x, y = np.asarray(x, dtype=np.float64), np.asarray(y, dtype=np.float64)
+        if len(x) != len(y):
+            raise ValueError("x and y must have equal length")
+        self._series.append(
+            _Series(
+                "scatter",
+                x,
+                y,
+                label,
+                color or self._next_color(),
+                {"size": size, "colors": colors},
+            )
+        )
+
+    def hist(self, values, bins: int = 20, label: str | None = None, color: str | None = None) -> None:
+        """Histogram rendered as baseline-anchored bars."""
+        values = np.asarray(values, dtype=np.float64)
+        values = values[np.isfinite(values)]
+        counts, edges = np.histogram(values, bins=bins)
+        self._series.append(
+            _Series(
+                "hist",
+                edges,
+                counts.astype(np.float64),
+                label,
+                color or self._next_color(),
+            )
+        )
+
+    def errorbar(self, x, y, yerr, label: str | None = None, color: str | None = None) -> None:
+        x, y = np.asarray(x, dtype=np.float64), np.asarray(y, dtype=np.float64)
+        yerr = np.broadcast_to(np.asarray(yerr, dtype=np.float64), y.shape)
+        self._series.append(
+            _Series("errorbar", x, y, label, color or self._next_color(), {"yerr": yerr})
+        )
+
+    def heatmap(self, matrix, x_edges=None, y_edges=None, label: str | None = None) -> None:
+        """Magnitude grid on the single-hue sequential ramp."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError("heatmap expects a 2-D matrix")
+        ny, nx = matrix.shape
+        xe = np.asarray(x_edges if x_edges is not None else np.arange(nx + 1), dtype=np.float64)
+        ye = np.asarray(y_edges if y_edges is not None else np.arange(ny + 1), dtype=np.float64)
+        self._series.append(_Series("heatmap", xe, ye, label, "", {"matrix": matrix}))
+
+    def axhline(self, y: float, color: str = AXIS_COLOR) -> None:
+        self._hlines.append((float(y), color))
+
+    def set_xlabel(self, label: str) -> None:
+        self.xlabel = label
+
+    def set_ylabel(self, label: str) -> None:
+        self.ylabel = label
+
+    def set_yscale(self, scale: str) -> None:
+        if scale not in ("linear", "log"):
+            raise ValueError("scale must be 'linear' or 'log'")
+        self.yscale = scale
+
+    def set_xscale(self, scale: str) -> None:
+        if scale not in ("linear", "log"):
+            raise ValueError("scale must be 'linear' or 'log'")
+        self.xscale = scale
+
+    # ------------------------------------------------------------------
+    def _data_limits(self) -> tuple[float, float, float, float]:
+        xs, ys = [], []
+        for s in self._series:
+            if s.kind == "heatmap":
+                xs.extend([s.x.min(), s.x.max()])
+                ys.extend([s.y.min(), s.y.max()])
+                continue
+            if s.kind == "hist":
+                xs.extend([s.x.min(), s.x.max()])
+                ys.extend([0.0, s.y.max()])
+                continue
+            fx = s.x[np.isfinite(s.x)]
+            fy = s.y[np.isfinite(s.y)]
+            if s.kind == "errorbar":
+                err = s.extra["yerr"][np.isfinite(s.y)]
+                ys.extend([float((fy - err).min(initial=np.inf)), float((fy + err).max(initial=-np.inf))])
+            if len(fx):
+                xs.extend([float(fx.min()), float(fx.max())])
+            if len(fy):
+                ys.extend([float(fy.min()), float(fy.max())])
+        if not xs:
+            xs = [0.0, 1.0]
+        if not ys:
+            ys = [0.0, 1.0]
+        x0, x1 = min(xs), max(xs)
+        y0, y1 = min(ys), max(ys)
+        if x1 <= x0:
+            x1 = x0 + 1.0
+        if y1 <= y0:
+            y1 = y0 + 1.0
+        return x0, x1, y0, y1
+
+    def _transforms(self, rect: tuple[float, float, float, float]):
+        px, py, pw, ph = rect
+        x0, x1, y0, y1 = self._data_limits()
+        if self.xscale == "log":
+            x0 = max(x0, 1e-300)
+            x0, x1 = np.log10(x0), np.log10(max(x1, x0 * 10))
+        if self.yscale == "log":
+            y0 = max(y0, 1e-300)
+            y0, y1 = np.log10(y0), np.log10(max(y1, y0 * 10))
+        # 4% padding
+        dx, dy = (x1 - x0) * 0.04, (y1 - y0) * 0.04
+        x0, x1, y0, y1 = x0 - dx, x1 + dx, y0 - dy, y1 + dy
+
+        def tx(v: np.ndarray) -> np.ndarray:
+            v = np.asarray(v, dtype=np.float64)
+            if self.xscale == "log":
+                v = np.log10(np.clip(v, 1e-300, None))
+            return px + (v - x0) / (x1 - x0) * pw
+
+        def ty(v: np.ndarray) -> np.ndarray:
+            v = np.asarray(v, dtype=np.float64)
+            if self.yscale == "log":
+                v = np.log10(np.clip(v, 1e-300, None))
+            return py + ph - (v - y0) / (y1 - y0) * ph
+
+        return tx, ty, (x0, x1, y0, y1)
+
+    def _render(self, doc: SVGDocument, rect: tuple[float, float, float, float]) -> None:
+        px, py, pw, ph = rect
+        tx, ty, (x0, x1, y0, y1) = self._transforms(rect)
+
+        # grid + ticks (recessive, drawn first)
+        xticks = nice_ticks(x0, x1)
+        yticks = nice_ticks(y0, y1)
+        for t in xticks:
+            xpix = float(tx(10**t) if self.xscale == "log" else tx(t))
+            if px <= xpix <= px + pw:
+                doc.line(xpix, py, xpix, py + ph, stroke=GRID_COLOR, stroke_width=1)
+                label = _fmt_tick(10**t) if self.xscale == "log" else _fmt_tick(t)
+                doc.text(xpix, py + ph + 14, label, size=9, anchor="middle", color=TEXT_SECONDARY)
+        for t in yticks:
+            ypix = float(ty(10**t) if self.yscale == "log" else ty(t))
+            if py <= ypix <= py + ph:
+                doc.line(px, ypix, px + pw, ypix, stroke=GRID_COLOR, stroke_width=1)
+                label = _fmt_tick(10**t) if self.yscale == "log" else _fmt_tick(t)
+                doc.text(px - 6, ypix + 3, label, size=9, anchor="end", color=TEXT_SECONDARY)
+        # axes frame
+        doc.line(px, py + ph, px + pw, py + ph, stroke=AXIS_COLOR, stroke_width=1)
+        doc.line(px, py, px, py + ph, stroke=AXIS_COLOR, stroke_width=1)
+
+        for yv, color in self._hlines:
+            ypix = float(ty(yv))
+            doc.line(px, ypix, px + pw, ypix, stroke=color, stroke_width=1)
+
+        # data marks
+        for s in self._series:
+            if s.kind == "line":
+                finite = np.isfinite(s.x) & np.isfinite(s.y)
+                pts = list(zip(tx(s.x[finite]).tolist(), ty(s.y[finite]).tolist()))
+                if len(pts) >= 2:
+                    doc.polyline(pts, stroke=s.color, stroke_width=2)
+                elif len(pts) == 1:
+                    doc.circle(pts[0][0], pts[0][1], 3, fill=s.color)
+            elif s.kind == "scatter":
+                finite = np.isfinite(s.x) & np.isfinite(s.y)
+                xs_pix, ys_pix = tx(s.x[finite]), ty(s.y[finite])
+                sizes = np.broadcast_to(np.asarray(s.extra["size"], dtype=np.float64), s.x.shape)[finite]
+                colors = s.extra.get("colors")
+                if colors is not None:
+                    colors = np.asarray(colors, dtype=object)[finite]
+                for i in range(len(xs_pix)):
+                    c = str(colors[i]) if colors is not None else s.color
+                    doc.circle(float(xs_pix[i]), float(ys_pix[i]), float(sizes[i]), fill=c, fill_opacity=0.75)
+            elif s.kind == "hist":
+                base = float(ty(max(y0, 0.0) if self.yscale == "linear" else 10**y0))
+                for i in range(len(s.y)):
+                    left = float(tx(s.x[i]))
+                    right = float(tx(s.x[i + 1]))
+                    top = float(ty(s.y[i]))
+                    doc.rect(
+                        left + 1, min(top, base), max(right - left - 2, 1),
+                        abs(base - top), fill=s.color, rx=2,
+                    )
+            elif s.kind == "errorbar":
+                xs_pix, ys_pix = tx(s.x), ty(s.y)
+                lo_pix, hi_pix = ty(s.y - s.extra["yerr"]), ty(s.y + s.extra["yerr"])
+                for i in range(len(xs_pix)):
+                    doc.line(float(xs_pix[i]), float(lo_pix[i]), float(xs_pix[i]), float(hi_pix[i]), stroke=s.color, stroke_width=1.5)
+                    doc.circle(float(xs_pix[i]), float(ys_pix[i]), 3, fill=s.color)
+            elif s.kind == "heatmap":
+                matrix = s.extra["matrix"]
+                finite = matrix[np.isfinite(matrix)]
+                vmin = float(finite.min()) if len(finite) else 0.0
+                vmax = float(finite.max()) if len(finite) else 1.0
+                span = vmax - vmin or 1.0
+                ny, nx = matrix.shape
+                for iy in range(ny):
+                    for ix in range(nx):
+                        v = matrix[iy, ix]
+                        if not np.isfinite(v):
+                            continue
+                        color = sequential((v - vmin) / span)
+                        xl, xr = float(tx(s.x[ix])), float(tx(s.x[ix + 1]))
+                        yb, ttp = float(ty(s.y[iy])), float(ty(s.y[iy + 1]))
+                        doc.rect(xl, min(yb, ttp), xr - xl, abs(yb - ttp), fill=color)
+
+        # title, labels
+        if self.title:
+            doc.text(px + pw / 2, py - 8, self.title, size=12, anchor="middle", color=TEXT_PRIMARY, weight="bold")
+        if self.xlabel:
+            doc.text(px + pw / 2, py + ph + 30, self.xlabel, size=11, anchor="middle", color=TEXT_PRIMARY)
+        if self.ylabel:
+            doc.text(px - 42, py + ph / 2, self.ylabel, size=11, anchor="middle", color=TEXT_PRIMARY, rotate=-90)
+
+        # legend when >= 2 labeled series
+        labeled = [s for s in self._series if s.label]
+        if len(labeled) >= 2:
+            ly = py + 8
+            for s in labeled[:10]:
+                doc.rect(px + pw - 120, ly - 7, 10, 10, fill=s.color or AXIS_COLOR, rx=2)
+                doc.text(px + pw - 105, ly + 2, str(s.label)[:18], size=9, color=TEXT_PRIMARY)
+                ly += 15
+
+
+class Figure:
+    """A grid of Axes panels serialized to one SVG file."""
+
+    def __init__(self, width: float = 640, height: float = 420, rows: int = 1, cols: int = 1):
+        if rows < 1 or cols < 1:
+            raise ValueError("rows and cols must be >= 1")
+        self.width = width
+        self.height = height
+        self.rows = rows
+        self.cols = cols
+        self._axes: list[Axes] = [Axes() for _ in range(rows * cols)]
+        self.suptitle = ""
+
+    def axes(self, index: int = 0) -> Axes:
+        return self._axes[index]
+
+    def __getitem__(self, index: int) -> Axes:
+        return self._axes[index]
+
+    def to_svg(self) -> str:
+        doc = SVGDocument(self.width, self.height, background=SURFACE)
+        top = 28 if self.suptitle else 4
+        if self.suptitle:
+            doc.text(self.width / 2, 18, self.suptitle, size=14, anchor="middle", color=TEXT_PRIMARY, weight="bold")
+        margin = {"left": 62, "right": 16, "top": 30, "bottom": 46}
+        cell_w = self.width / self.cols
+        cell_h = (self.height - top) / self.rows
+        for k, ax in enumerate(self._axes):
+            r, c = divmod(k, self.cols)
+            px = c * cell_w + margin["left"]
+            py = top + r * cell_h + margin["top"]
+            pw = cell_w - margin["left"] - margin["right"]
+            ph = cell_h - margin["top"] - margin["bottom"]
+            ax._render(doc, (px, py, max(pw, 10), max(ph, 10)))
+        return doc.render()
+
+    def save(self, path: str | Path) -> int:
+        """Write the SVG; returns bytes written (provenance accounting)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = self.to_svg().encode("utf-8")
+        path.write_bytes(data)
+        return len(data)

@@ -1,0 +1,66 @@
+"""Shared fixtures: a small session-scoped ensemble and app factories.
+
+The ensemble is generated once per test session (a few hundred
+milliseconds) and shared read-only; anything that writes gets its own
+tmp_path workspace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InferA, InferAConfig
+from repro.frame import Frame
+from repro.llm.errors import NO_ERRORS
+from repro.sim import EnsembleSpec, generate_ensemble
+from repro.sim.ensemble import Ensemble
+
+TEST_TIMESTEPS = (0, 249, 498, 624)
+
+
+@pytest.fixture(scope="session")
+def ensemble(tmp_path_factory) -> Ensemble:
+    root = tmp_path_factory.mktemp("ensemble")
+    return generate_ensemble(
+        root,
+        EnsembleSpec(
+            n_runs=4,
+            n_particles=1200,
+            timesteps=TEST_TIMESTEPS,
+            write_particles=True,
+            seed=1234,
+        ),
+    )
+
+
+@pytest.fixture()
+def clean_app(ensemble, tmp_path) -> InferA:
+    """An InferA with error injection disabled (deterministic pipelines)."""
+    return InferA(
+        ensemble,
+        tmp_path / "work",
+        InferAConfig(error_model=NO_ERRORS, llm_latency_s=0.0),
+    )
+
+
+@pytest.fixture()
+def faulty_app(ensemble, tmp_path) -> InferA:
+    """An InferA with the calibrated (default) error model."""
+    return InferA(ensemble, tmp_path / "work", InferAConfig(seed=42, llm_latency_s=0.0))
+
+
+@pytest.fixture()
+def halos_frame() -> Frame:
+    """A small deterministic halo-like frame for unit tests."""
+    rng = np.random.default_rng(7)
+    n = 60
+    return Frame(
+        {
+            "run": np.repeat(np.arange(3), n // 3),
+            "step": np.tile(np.repeat([0, 624], n // 6), 3),
+            "fof_halo_tag": np.tile(np.arange(n // 3, dtype=np.int64), 3),
+            "fof_halo_count": rng.integers(5, 500, n),
+            "fof_halo_mass": rng.lognormal(29, 1, n),
+        }
+    )

@@ -1,0 +1,119 @@
+"""Custom domain tools: halo tracking, ParaView scenes."""
+
+import numpy as np
+import pytest
+
+from repro.agents.tools import (
+    default_toolset,
+    paraview_scene,
+    paraview_time_series,
+    track_halo_characteristic,
+    track_halo_positions,
+)
+from repro.frame import Frame
+from repro.viz import Scene3D
+
+
+@pytest.fixture()
+def multi_step_halos():
+    rng = np.random.default_rng(2)
+    rows = []
+    frames = {
+        "run": [], "step": [], "fof_halo_tag": [], "fof_halo_mass": [],
+        "fof_halo_count": [],
+        "fof_halo_center_x": [], "fof_halo_center_y": [], "fof_halo_center_z": [],
+    }
+    for run in (0, 1):
+        for step in (0, 498, 624):
+            for tag in range(10):
+                frames["run"].append(run)
+                frames["step"].append(step)
+                frames["fof_halo_tag"].append(run * 1000 + tag)
+                frames["fof_halo_mass"].append((tag + 1) * 1e12 * (1 + step / 624))
+                frames["fof_halo_count"].append((tag + 1) * 10)
+                frames["fof_halo_center_x"].append(rng.uniform(0, 64))
+                frames["fof_halo_center_y"].append(rng.uniform(0, 64))
+                frames["fof_halo_center_z"].append(rng.uniform(0, 64))
+    return Frame({k: np.asarray(v) for k, v in frames.items()})
+
+
+class TestTrackCharacteristic:
+    def test_tracks_top_halo_across_steps(self, multi_step_halos):
+        out = track_halo_characteristic(multi_step_halos, "fof_halo_mass", top_k=1)
+        # one row per (run, step) for the top halo of each run
+        assert out.num_rows == 2 * 3
+        assert set(out.columns) == {"run", "step", "fof_halo_tag", "fof_halo_mass"}
+
+    def test_top_halo_identified_at_latest_step(self, multi_step_halos):
+        out = track_halo_characteristic(multi_step_halos, "fof_halo_mass", top_k=1)
+        run0 = out.filter(out["run"] == 0)
+        assert set(run0["fof_halo_tag"].tolist()) == {9}  # tag 9 is most massive
+
+    def test_top_k_multiple(self, multi_step_halos):
+        out = track_halo_characteristic(multi_step_halos, "fof_halo_mass", top_k=3)
+        assert out.num_rows == 2 * 3 * 3
+
+    def test_metric_values_increase_with_step(self, multi_step_halos):
+        out = track_halo_characteristic(multi_step_halos, "fof_halo_mass", top_k=1)
+        seg = out.filter(out["run"] == 0).sort_values("step")
+        assert np.all(np.diff(seg["fof_halo_mass"]) > 0)
+
+    def test_missing_metric_raises_with_candidates(self, multi_step_halos):
+        from repro.frame.frame import ColumnMismatchError
+
+        with pytest.raises(ColumnMismatchError):
+            track_halo_characteristic(multi_step_halos, "halo_mass", top_k=1)
+
+
+class TestTrackPositions:
+    def test_returns_coordinates_not_metric(self, multi_step_halos):
+        out = track_halo_positions(multi_step_halos, top_k=2)
+        assert "fof_halo_center_x" in out.columns
+        assert "fof_halo_mass" not in out.columns  # the misuse signature
+
+    def test_row_count(self, multi_step_halos):
+        out = track_halo_positions(multi_step_halos, top_k=2)
+        assert out.num_rows == 2 * 3 * 2
+
+
+class TestParaviewTools:
+    def test_scene_from_halos(self, multi_step_halos):
+        scene = paraview_scene(multi_step_halos, title="all halos")
+        assert isinstance(scene, Scene3D)
+        assert "<circle" in scene.to_svg()
+
+    def test_target_highlighted(self, multi_step_halos):
+        flagged = multi_step_halos.assign(
+            is_target=np.arange(multi_step_halos.num_rows) == 0
+        )
+        scene = paraview_scene(flagged)
+        assert "#e34948" in scene.to_svg()  # the reserved highlight red
+
+    def test_galaxy_positions_supported(self):
+        gals = Frame(
+            {
+                "gal_x": np.asarray([1.0, 2.0]),
+                "gal_y": np.asarray([1.0, 2.0]),
+                "gal_z": np.asarray([1.0, 2.0]),
+            }
+        )
+        paraview_scene(gals)
+
+    def test_no_positions_raises(self):
+        with pytest.raises(KeyError, match="position"):
+            paraview_scene(Frame({"mass": np.asarray([1.0])}))
+
+    def test_time_series_one_scene_per_step(self, multi_step_halos):
+        scenes = paraview_time_series(multi_step_halos, title="evolution")
+        assert [s for s, _ in scenes] == [0, 498, 624]
+
+    def test_toolset_complete(self):
+        tools = default_toolset()
+        assert set(tools) == {
+            "track_halo_characteristic",
+            "track_halo_positions",
+            "paraview_scene",
+            "paraview_time_series",
+            "umap_embed",
+            "match_halos",
+        }

@@ -1,0 +1,25 @@
+"""Every evaluation question, end to end, without error injection.
+
+With the error model off, all 20 question pipelines must complete with
+satisfactory data and visualization oracles — this pins the full
+interpreter → planner → loader → SQL → Python → viz chain per question
+so regressions localize immediately.
+"""
+
+import pytest
+
+from repro.eval.metrics import oracle_assess
+from repro.eval.questions import QUESTION_SUITE
+
+
+@pytest.mark.parametrize("question", QUESTION_SUITE, ids=[q.qid for q in QUESTION_SUITE])
+def test_question_end_to_end(question, clean_app):
+    report = clean_app.run_query(question.text)
+    assert report.completed, f"{question.qid} failed at step {report.run.failed_at_step}"
+    assert report.run.tasks_completed_fraction == 1.0
+    data_ok, visual_ok = oracle_assess(report)
+    assert data_ok, f"{question.qid}: data oracle rejected the output"
+    assert visual_ok, f"{question.qid}: visual oracle rejected the output"
+    # every run leaves a non-trivial provenance trail and bounded storage
+    assert report.storage_bytes > 0
+    assert report.tokens > 500

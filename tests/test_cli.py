@@ -1,0 +1,124 @@
+"""CLI commands (invoked in-process via main(argv))."""
+
+import pytest
+
+from repro.cli import main
+from repro.db import Database
+from repro.frame import Frame
+
+
+@pytest.fixture()
+def cli_ensemble(tmp_path):
+    code = main([
+        "generate", "--out", str(tmp_path / "ens"), "--runs", "2",
+        "--particles", "800", "--steps", "498,624", "--no-particles",
+    ])
+    assert code == 0
+    return tmp_path / "ens"
+
+
+class TestGenerateInfo:
+    def test_generate_output(self, cli_ensemble, capsys):
+        assert (cli_ensemble / "manifest.json").exists()
+
+    def test_info(self, cli_ensemble, capsys):
+        assert main(["info", "--ensemble", str(cli_ensemble)]) == 0
+        out = capsys.readouterr().out
+        assert "runs: 2" in out
+
+    def test_bad_steps_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["generate", "--out", str(tmp_path / "x"), "--steps", "700"])
+
+
+class TestQuery:
+    def test_query_success(self, cli_ensemble, tmp_path, capsys):
+        code = main([
+            "query", "top 5 halos at timestep 624 in simulation 0",
+            "--ensemble", str(cli_ensemble),
+            "--workdir", str(tmp_path / "w"),
+            "--no-errors",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed: True" in out
+        assert "provenance:" in out
+
+    def test_query_writes_figures(self, cli_ensemble, tmp_path, capsys):
+        main([
+            "query",
+            "Show a histogram of fof_halo_mass for halos at timestep 624 in simulation 0",
+            "--ensemble", str(cli_ensemble),
+            "--workdir", str(tmp_path / "w2"),
+            "--no-errors",
+        ])
+        assert (tmp_path / "w2" / "figure_0.svg").exists()
+
+
+class TestEval:
+    def test_eval_prints_table2(self, cli_ensemble, tmp_path, capsys):
+        code = main([
+            "eval", "--ensemble", str(cli_ensemble),
+            "--workdir", str(tmp_path / "e"),
+            "--runs-per-question", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Total" in out
+
+
+class TestSQL:
+    def test_sql_command(self, tmp_path, capsys):
+        db = Database(tmp_path / "d.db")
+        db.create_table("t", Frame({"a": [3, 1, 2]}))
+        code = main(["sql", "SELECT a FROM t ORDER BY a DESC LIMIT 1", "--db", str(tmp_path / "d.db")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3" in out
+        assert "row groups" in out
+
+
+class TestChat:
+    def test_chat_session(self, cli_ensemble, tmp_path, capsys, monkeypatch):
+        answers = iter([
+            "top 3 halos at timestep 624 in simulation 0",  # question
+            "",                                              # approve plan
+            "",                                              # quit
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(answers))
+        code = main([
+            "chat", "--ensemble", str(cli_ensemble),
+            "--workdir", str(tmp_path / "c"), "--no-errors",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "proposed plan" in out
+        assert "[completed]" in out
+
+    def test_chat_feedback_round(self, cli_ensemble, tmp_path, capsys, monkeypatch):
+        answers = iter([
+            "plot the change in mass of the largest halos over all timesteps in simulation 0",
+            "drop viz",   # refinement directive
+            "",           # approve revised plan
+            "",           # quit
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(answers))
+        main([
+            "chat", "--ensemble", str(cli_ensemble),
+            "--workdir", str(tmp_path / "c2"), "--no-errors",
+        ])
+        out = capsys.readouterr().out
+        # the second proposed plan (after 'drop viz') has no viz step
+        final_plan = out.rsplit("proposed plan:", 1)[1]
+        assert "[viz]" not in final_plan.split("approve?")[0]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["destroy"])

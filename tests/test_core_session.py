@@ -1,0 +1,55 @@
+"""Stateful sessions and checkpoint branching through the public API."""
+
+import pytest
+
+from repro.core import InferAConfig, SessionManager
+from repro.llm.errors import NO_ERRORS
+
+
+@pytest.fixture()
+def manager(ensemble, tmp_path):
+    return SessionManager(
+        ensemble,
+        tmp_path / "sessions",
+        InferAConfig(error_model=NO_ERRORS, llm_latency_s=0.0),
+    )
+
+
+class TestSession:
+    def test_run_records_report(self, manager):
+        session = manager.new_session()
+        report = session.run("top 5 halos at timestep 624 in simulation 0")
+        assert report.completed
+        assert len(session.reports) == 1
+
+    def test_checkpoints_exist(self, manager):
+        session = manager.new_session()
+        session.run("top 5 halos at timestep 624 in simulation 0")
+        cps = session.checkpoints()
+        assert len(cps) >= 3  # at least supervisor/load/sql/...
+        assert all(cp.thread_id == session.thread_id for cp in cps)
+
+    def test_branching_rewinds_state(self, manager):
+        session = manager.new_session("main")
+        session.run("top 5 halos by fof_halo_count at timestep 624 in simulation 0")
+        cps = session.checkpoints()
+        # branch right after the data-loading step
+        load_cp = next(cp for cp in cps if cp.node == "data_loader")
+        result = session.branch_from(load_cp.checkpoint_id, "alternative")
+        assert result.completed
+        assert result.thread_id == "alternative"
+        # branched run re-derived the work table from the loaded state
+        assert "work" in result.state["tables"]
+
+    def test_branch_requires_checkpointed_run(self, ensemble, tmp_path):
+        from repro.core import InferA, Session
+
+        app = InferA(ensemble, tmp_path / "w", InferAConfig(error_model=NO_ERRORS, llm_latency_s=0))
+        session = Session(app, "t")
+        with pytest.raises(RuntimeError):
+            session.branch_from("t:1", "x")
+
+    def test_sessions_have_distinct_threads(self, manager):
+        a = manager.new_session()
+        b = manager.new_session()
+        assert a.thread_id != b.thread_id

@@ -1,0 +1,90 @@
+"""Database façade: DDL, catalog, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.db import Database, DBError, UnknownTableError
+from repro.frame import Frame
+
+
+@pytest.fixture()
+def db(tmp_path):
+    d = Database(tmp_path / "a.db")
+    d.create_table(
+        "halos",
+        Frame(
+            {
+                "run": np.repeat([0, 1], 50),
+                "step": np.tile([0, 624], 50),
+                "mass": np.random.default_rng(0).lognormal(3, 1, 100),
+                "count": np.arange(100, dtype=np.int64),
+            }
+        ),
+        row_group_size=32,
+    )
+    return d
+
+
+class TestCatalog:
+    def test_list_tables(self, db):
+        assert db.list_tables() == ["halos"]
+
+    def test_schema(self, db):
+        schema = db.schema("halos")
+        assert schema["count"] == "int64"
+        assert schema["mass"] == "float64"
+
+    def test_unknown_table_error_lists_catalog(self, db):
+        with pytest.raises(UnknownTableError) as exc:
+            db.store("galaxies")
+        assert "halos" in str(exc.value)
+
+    def test_duplicate_create_rejected(self, db):
+        with pytest.raises(DBError):
+            db.create_table("halos")
+
+    def test_invalid_name_rejected(self, db):
+        with pytest.raises(DBError):
+            db.create_table("bad name!")
+
+    def test_drop(self, db):
+        db.drop_table("halos")
+        assert db.list_tables() == []
+
+    def test_append(self, db):
+        db.append("halos", Frame({"run": [9], "step": [0], "mass": [1.0], "count": [5]}))
+        assert db.store("halos").num_rows == 101
+
+    def test_persistence(self, db):
+        reopened = Database(db.path)
+        assert reopened.list_tables() == ["halos"]
+        assert reopened.store("halos").num_rows == 100
+
+    def test_nbytes(self, db):
+        assert db.nbytes() > 0
+
+    def test_describe(self, db):
+        assert "halos: 100 rows" in db.describe()
+
+
+class TestQueries:
+    def test_select_star(self, db):
+        out = db.query("SELECT * FROM halos")
+        assert out.num_rows == 100
+        assert set(out.columns) == {"run", "step", "mass", "count"}
+
+    def test_ctas_persists(self, db):
+        db.query("CREATE TABLE big AS SELECT * FROM halos WHERE mass > 20")
+        assert "big" in db.list_tables()
+        direct = db.query("SELECT COUNT(*) AS n FROM big")
+        reference = db.query("SELECT COUNT(*) AS n FROM halos WHERE mass > 20")
+        assert direct["n"][0] == reference["n"][0]
+
+    def test_empty_result_has_columns(self, db):
+        out = db.query("SELECT mass FROM halos WHERE mass < 0")
+        assert out.num_rows == 0
+        assert out.columns == ["mass"]
+
+    def test_table_frame(self, db):
+        f = db.table_frame("halos")
+        assert f.num_rows == 100

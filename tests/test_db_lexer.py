@@ -1,0 +1,56 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.db.errors import SQLSyntaxError
+from repro.db.sql.lexer import TokType, lex
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        toks = lex("select FROM Where")
+        assert [t.value for t in toks[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokType.KEYWORD for t in toks[:-1])
+
+    def test_identifiers_keep_case(self):
+        toks = lex("sod_halo_MGas500c")
+        assert toks[0].type is TokType.IDENT
+        assert toks[0].value == "sod_halo_MGas500c"
+
+    def test_numbers(self):
+        toks = lex("1 2.5 1e3 .5 3.2e-4")
+        values = [t.value for t in toks if t.type is TokType.NUMBER]
+        assert values == ["1", "2.5", "1e3", ".5", "3.2e-4"]
+
+    def test_string_literal_with_escape(self):
+        toks = lex("'it''s'")
+        assert toks[0].type is TokType.STRING
+        assert toks[0].value == "it's"
+
+    def test_double_quoted_identifier(self):
+        toks = lex('"weird name"')
+        assert toks[0].type is TokType.IDENT
+        assert toks[0].value == "weird name"
+
+    def test_operators(self):
+        toks = lex("<= >= <> != = < >")
+        assert [t.value for t in toks if t.type is TokType.OP] == [
+            "<=", ">=", "<>", "!=", "=", "<", ">",
+        ]
+
+    def test_punctuation(self):
+        toks = lex("( ) , * ;")
+        assert [t.value for t in toks if t.type is TokType.PUNCT] == ["(", ")", ",", "*", ";"]
+
+    def test_eof_token(self):
+        assert lex("x")[-1].type is TokType.EOF
+
+    def test_junk_rejected_with_position(self):
+        with pytest.raises(SQLSyntaxError) as exc:
+            lex("SELECT @ FROM t")
+        assert "@" in str(exc.value)
+
+    def test_positions_recorded(self):
+        toks = lex("SELECT a")
+        assert toks[0].pos == 0
+        assert toks[1].pos == 7

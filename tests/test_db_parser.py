@@ -1,0 +1,160 @@
+"""SQL recursive-descent parser -> AST."""
+
+import pytest
+
+from repro.db.errors import SQLSyntaxError
+from repro.db.sql import ast, parse_sql
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM halos")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.table.name == "halos"
+
+    def test_columns_and_aliases(self):
+        stmt = parse_sql("SELECT a, b AS bee, c cee FROM t")
+        assert stmt.items[0].alias is None
+        assert stmt.items[1].alias == "bee"
+        assert stmt.items[2].alias == "cee"
+
+    def test_where_precedence(self):
+        stmt = parse_sql("SELECT a FROM t WHERE x > 1 AND y < 2 OR z = 3")
+        # OR binds loosest
+        assert isinstance(stmt.where, ast.Binary) and stmt.where.op == "OR"
+        assert stmt.where.left.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_sql("SELECT a + b * c FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parens_override(self):
+        stmt = parse_sql("SELECT (a + b) * c FROM t")
+        assert stmt.items[0].expr.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse_sql("SELECT -a FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Unary)
+
+    def test_group_by_having(self):
+        stmt = parse_sql("SELECT k, SUM(v) FROM t GROUP BY k HAVING SUM(v) > 10")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_limit_offset(self):
+        stmt = parse_sql("SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2")
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == 5 and stmt.offset == 2
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_in_list(self):
+        stmt = parse_sql("SELECT a FROM t WHERE x IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.options) == 3
+
+    def test_not_in(self):
+        stmt = parse_sql("SELECT a FROM t WHERE x NOT IN (1)")
+        assert stmt.where.negated
+
+    def test_between(self):
+        stmt = parse_sql("SELECT a FROM t WHERE x BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, ast.Between)
+
+    def test_case_expression(self):
+        stmt = parse_sql("SELECT CASE WHEN x > 0 THEN 1 ELSE 0 END FROM t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.Case)
+        assert expr.default is not None
+
+    def test_function_call(self):
+        stmt = parse_sql("SELECT LOG10(mass) FROM t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.name == "LOG10"
+
+    def test_count_star(self):
+        stmt = parse_sql("SELECT COUNT(*) FROM t")
+        expr = stmt.items[0].expr
+        assert expr.name == "COUNT"
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_qualified_column(self):
+        stmt = parse_sql("SELECT h.mass FROM halos h")
+        col = stmt.items[0].expr
+        assert col.table == "h" and col.name == "mass"
+        assert stmt.table.alias == "h"
+
+    def test_trailing_semicolon(self):
+        parse_sql("SELECT a FROM t;")
+
+    def test_string_literal(self):
+        stmt = parse_sql("SELECT a FROM t WHERE s = 'x'")
+        assert stmt.where.right.value == "x"
+
+
+class TestJoins:
+    def test_single_key(self):
+        stmt = parse_sql("SELECT a FROM t JOIN u ON k = k")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].kind == "inner"
+        assert stmt.joins[0].keys[0][0].name == "k"
+
+    def test_left_join(self):
+        stmt = parse_sql("SELECT a FROM t LEFT JOIN u ON k = j")
+        assert stmt.joins[0].kind == "left"
+        assert stmt.joins[0].keys[0][1].name == "j"
+
+    def test_multi_key_anded(self):
+        stmt = parse_sql("SELECT a FROM t JOIN u ON run = run AND step = step AND k = k")
+        assert len(stmt.joins[0].keys) == 3
+
+    def test_non_equality_on_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT a FROM t JOIN u ON k > j")
+
+
+class TestCreateTable:
+    def test_ctas(self):
+        stmt = parse_sql("CREATE TABLE big AS SELECT * FROM halos WHERE mass > 1")
+        assert isinstance(stmt, ast.CreateTableAs)
+        assert stmt.name == "big"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t LIMIT x",
+            "SELECT a FROM t GROUP",
+            "FROM t",
+            "SELECT a FROM t extra garbage here ,",
+            "SELECT CASE END FROM t",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql(bad)
+
+
+class TestAstHelpers:
+    def test_contains_aggregate(self):
+        stmt = parse_sql("SELECT SUM(x) / COUNT(*) FROM t")
+        assert ast.contains_aggregate(stmt.items[0].expr)
+
+    def test_no_aggregate(self):
+        stmt = parse_sql("SELECT x + 1 FROM t")
+        assert not ast.contains_aggregate(stmt.items[0].expr)
+
+    def test_walk_visits_all(self):
+        stmt = parse_sql("SELECT a + b FROM t WHERE c IN (1, 2)")
+        names = {n.name for n in ast.walk(stmt.items[0].expr) if isinstance(n, ast.Column)}
+        assert names == {"a", "b"}

@@ -1,0 +1,80 @@
+"""Property-based SQL engine checks against the Frame oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+from repro.frame import Frame
+
+
+@pytest.fixture(scope="module")
+def db_and_frame(tmp_path_factory):
+    rng = np.random.default_rng(23)
+    n = 300
+    frame = Frame(
+        {
+            "k": rng.integers(0, 6, n),
+            "v": np.round(rng.normal(0, 10, n), 6),
+            "w": rng.integers(-50, 50, n),
+        }
+    )
+    db = Database(tmp_path_factory.mktemp("propdb") / "p.db")
+    db.create_table("t", frame, row_group_size=37)
+    return db, frame
+
+
+@given(st.integers(-40, 40))
+@settings(max_examples=30, deadline=None)
+def test_filter_threshold_equivalence(db_and_frame, threshold):
+    db, frame = db_and_frame
+    out = db.query(f"SELECT v FROM t WHERE w > {threshold}")
+    expected = frame["v"][frame["w"] > threshold]
+    assert np.allclose(np.sort(out["v"]), np.sort(expected))
+
+
+@given(st.integers(0, 5))
+@settings(max_examples=20, deadline=None)
+def test_group_filter_consistency(db_and_frame, key):
+    db, frame = db_and_frame
+    out = db.query(f"SELECT COUNT(*) AS n, SUM(v) AS s FROM t WHERE k = {key}")
+    mask = frame["k"] == key
+    assert out["n"][0] == int(mask.sum())
+    assert out["s"][0] == pytest.approx(float(frame["v"][mask].sum()), abs=1e-6)
+
+
+@given(st.integers(1, 50))
+@settings(max_examples=20, deadline=None)
+def test_limit_matches_sorted_prefix(db_and_frame, limit):
+    db, frame = db_and_frame
+    out = db.query(f"SELECT v FROM t ORDER BY v LIMIT {limit}")
+    expected = np.sort(frame["v"])[:limit]
+    assert np.allclose(out["v"], expected)
+
+
+@given(st.sampled_from(["v", "w"]), st.sampled_from(["ASC", "DESC"]))
+@settings(max_examples=10, deadline=None)
+def test_order_direction(db_and_frame, column, direction):
+    db, _ = db_and_frame
+    out = db.query(f"SELECT {column} FROM t ORDER BY {column} {direction}")
+    diffs = np.diff(out[column].astype(np.float64))
+    assert np.all(diffs >= 0) if direction == "ASC" else np.all(diffs <= 0)
+
+
+@given(st.floats(-3, 3, allow_nan=False))
+@settings(max_examples=20, deadline=None)
+def test_arithmetic_projection_equivalence(db_and_frame, scale):
+    db, frame = db_and_frame
+    out = db.query(f"SELECT v * {scale:.4f} + 1 AS y FROM t")
+    expected = frame["v"] * round(scale, 4) + 1
+    assert np.allclose(np.sort(out["y"]), np.sort(expected))
+
+
+@given(st.integers(0, 5), st.integers(0, 5))
+@settings(max_examples=15, deadline=None)
+def test_in_list_equivalence(db_and_frame, a, b):
+    db, frame = db_and_frame
+    out = db.query(f"SELECT v FROM t WHERE k IN ({a}, {b})")
+    expected = frame["v"][np.isin(frame["k"], [a, b])]
+    assert out.num_rows == len(expected)

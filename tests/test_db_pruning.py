@@ -1,0 +1,120 @@
+"""Zone-map row-group pruning: correctness and effectiveness."""
+
+import numpy as np
+import pytest
+
+from repro.db import Database
+from repro.db.sql.parser import parse_sql
+from repro.db.sql.pruning import can_skip_row_group
+from repro.frame import Frame
+
+
+def where_of(sql: str):
+    return parse_sql(sql).where
+
+
+class TestIntervalLogic:
+    STATS = {"step": (0.0, 100.0), "mass": (10.0, 50.0)}
+
+    @pytest.mark.parametrize(
+        "sql,skip",
+        [
+            ("SELECT a FROM t WHERE step = 624", True),
+            ("SELECT a FROM t WHERE step = 50", False),
+            ("SELECT a FROM t WHERE step > 100", True),
+            ("SELECT a FROM t WHERE step >= 100", False),
+            ("SELECT a FROM t WHERE step < 0", True),
+            ("SELECT a FROM t WHERE step <= 0", False),
+            ("SELECT a FROM t WHERE step != 50", False),
+            ("SELECT a FROM t WHERE mass > 100 AND step = 50", True),
+            ("SELECT a FROM t WHERE mass > 100 OR step = 50", False),
+            ("SELECT a FROM t WHERE mass > 100 OR step > 200", True),
+            ("SELECT a FROM t WHERE step IN (200, 300)", True),
+            ("SELECT a FROM t WHERE step IN (200, 50)", False),
+            ("SELECT a FROM t WHERE step BETWEEN 200 AND 300", True),
+            ("SELECT a FROM t WHERE step BETWEEN 90 AND 300", False),
+            ("SELECT a FROM t WHERE step + 10 > 200", True),
+            ("SELECT a FROM t WHERE -step > 1", True),
+            ("SELECT a FROM t WHERE unknown_col = 5", False),  # conservative
+            ("SELECT a FROM t WHERE name = 'x'", False),        # non-numeric
+        ],
+    )
+    def test_cases(self, sql, skip):
+        assert can_skip_row_group(where_of(sql), self.STATS) is skip
+
+    def test_point_interval_not_equal(self):
+        stats = {"step": (624.0, 624.0)}
+        assert can_skip_row_group(where_of("SELECT a FROM t WHERE step != 624"), stats)
+
+    def test_no_where(self):
+        assert not can_skip_row_group(None, self.STATS)
+
+    def test_empty_stats(self):
+        assert not can_skip_row_group(where_of("SELECT a FROM t WHERE step = 1"), {})
+
+
+class TestEndToEndPruning:
+    @pytest.fixture()
+    def db(self, tmp_path):
+        d = Database(tmp_path / "p.db")
+        # sorted by step so row groups have tight disjoint step ranges
+        n = 1200
+        steps = np.repeat([0, 124, 249, 374, 498, 624], n // 6)
+        d.create_table(
+            "halos",
+            Frame({"step": steps, "mass": np.random.default_rng(0).lognormal(3, 1, n)}),
+            row_group_size=100,
+        )
+        return d
+
+    def test_selective_query_skips_row_groups(self, db):
+        out = db.query("SELECT mass FROM halos WHERE step = 624")
+        assert out.num_rows == 200
+        stats = db.last_scan_stats
+        assert stats.row_groups_total == 12
+        assert stats.row_groups_skipped == 10  # only the 2 step-624 groups read
+
+    def test_results_identical_with_and_without_pruning(self, db, tmp_path):
+        pruned = db.query("SELECT mass FROM halos WHERE step IN (124, 498) ORDER BY mass")
+        # rebuild the same data unsorted (no prunable layout) as the oracle
+        oracle_db = Database(tmp_path / "o.db")
+        frame = db.table_frame("halos")
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(frame.num_rows)
+        oracle_db.create_table("halos", frame.take(perm), row_group_size=100)
+        reference = oracle_db.query(
+            "SELECT mass FROM halos WHERE step IN (124, 498) ORDER BY mass"
+        )
+        assert np.allclose(pruned["mass"], reference["mass"])
+
+    def test_full_scan_skips_nothing(self, db):
+        db.query("SELECT mass FROM halos")
+        assert db.last_scan_stats.row_groups_skipped == 0
+
+    def test_aggregate_query_pruned(self, db):
+        out = db.query("SELECT COUNT(*) AS n FROM halos WHERE step = 0")
+        assert out["n"][0] == 200
+        assert db.last_scan_stats.row_groups_skipped == 10
+
+    def test_nan_columns_still_prunable(self, tmp_path):
+        d = Database(tmp_path / "n.db")
+        vals = np.asarray([1.0, np.nan, 3.0, np.nan])
+        d.create_table("t", Frame({"x": vals, "k": np.asarray([0, 0, 1, 1])}), row_group_size=2)
+        out = d.query("SELECT x FROM t WHERE k = 1")
+        assert out.num_rows == 2
+        assert d.last_scan_stats.row_groups_skipped == 1
+
+    def test_legacy_table_without_zone_maps(self, tmp_path):
+        """Tables written before zone maps existed must still query fine."""
+        import json
+
+        d = Database(tmp_path / "l.db")
+        d.create_table("t", Frame({"a": np.arange(10)}), row_group_size=5)
+        meta_path = d.path / "t" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        del meta["zone_maps"]
+        meta_path.write_text(json.dumps(meta))
+        d2 = Database(d.path)
+        out = d2.query("SELECT a FROM t WHERE a >= 5")
+        assert out.num_rows == 5
+        assert d2.last_scan_stats.row_groups_skipped == 0

@@ -1,0 +1,108 @@
+"""Streaming ORDER BY + LIMIT execution path."""
+
+import numpy as np
+import pytest
+
+from repro.db import Database
+from repro.db.sql.executor import _streaming_topk_key
+from repro.db.sql.parser import parse_sql
+from repro.frame import Frame
+
+
+@pytest.fixture(scope="module")
+def db(tmp_path_factory):
+    rng = np.random.default_rng(31)
+    n = 2000
+    d = Database(tmp_path_factory.mktemp("topk") / "t.db")
+    d.create_table(
+        "halos",
+        Frame(
+            {
+                "tag": np.arange(n, dtype=np.int64),
+                "mass": rng.lognormal(3, 1, n),
+                "step": rng.choice([0, 624], n),
+            }
+        ),
+        row_group_size=128,
+    )
+    return d
+
+
+class TestEligibility:
+    @pytest.mark.parametrize(
+        "sql,expected",
+        [
+            ("SELECT mass FROM t ORDER BY mass DESC LIMIT 5", "mass"),
+            ("SELECT mass AS m FROM t ORDER BY mass LIMIT 5", "m"),
+            ("SELECT * FROM t ORDER BY mass LIMIT 5", "mass"),
+            ("SELECT mass FROM t ORDER BY mass LIMIT 5 OFFSET 2", "mass"),
+            ("SELECT mass FROM t ORDER BY mass", None),                   # no limit
+            ("SELECT DISTINCT mass FROM t ORDER BY mass LIMIT 5", None),  # distinct
+            ("SELECT mass FROM t ORDER BY mass, tag LIMIT 5", None),      # multi-key
+            ("SELECT mass FROM t ORDER BY mass + 1 LIMIT 5", None),       # expression
+            ("SELECT tag FROM t ORDER BY mass LIMIT 5", None),            # key unprojected
+        ],
+    )
+    def test_key_detection(self, sql, expected):
+        assert _streaming_topk_key(parse_sql(sql)) == expected
+
+
+class TestCorrectness:
+    def test_matches_full_sort_desc(self, db):
+        fast = db.query("SELECT tag, mass FROM halos ORDER BY mass DESC LIMIT 10")
+        raw = db.table_frame("halos")
+        expected = np.sort(raw["mass"])[::-1][:10]
+        assert np.allclose(fast["mass"], expected)
+
+    def test_matches_full_sort_asc(self, db):
+        fast = db.query("SELECT mass FROM halos ORDER BY mass LIMIT 7")
+        raw = db.table_frame("halos")
+        assert np.allclose(fast["mass"], np.sort(raw["mass"])[:7])
+
+    def test_with_where(self, db):
+        fast = db.query("SELECT mass FROM halos WHERE step = 624 ORDER BY mass DESC LIMIT 5")
+        raw = db.table_frame("halos")
+        expected = np.sort(raw["mass"][raw["step"] == 624])[::-1][:5]
+        assert np.allclose(fast["mass"], expected)
+
+    def test_with_offset(self, db):
+        shifted = db.query("SELECT mass FROM halos ORDER BY mass LIMIT 5 OFFSET 3")
+        full = db.query("SELECT mass FROM halos ORDER BY mass LIMIT 8")
+        assert np.allclose(shifted["mass"], full["mass"][3:])
+
+    def test_limit_exceeds_rows(self, db):
+        out = db.query("SELECT mass FROM halos WHERE step = 0 ORDER BY mass LIMIT 100000")
+        raw = db.table_frame("halos")
+        assert out.num_rows == int((raw["step"] == 0).sum())
+
+    def test_empty_match(self, db):
+        out = db.query("SELECT mass FROM halos WHERE mass < 0 ORDER BY mass LIMIT 5")
+        assert out.num_rows == 0
+        assert out.columns == ["mass"]
+
+    def test_alias_ordering(self, db):
+        out = db.query("SELECT mass AS m FROM halos ORDER BY mass DESC LIMIT 3")
+        assert out.columns == ["m"]
+        assert np.all(np.diff(out["m"]) <= 0)
+
+
+class TestFrameExtras:
+    def test_value_counts(self):
+        f = Frame({"k": np.asarray([1, 2, 2, 3, 2, 1])})
+        vc = f.value_counts("k")
+        assert vc["k"][0] == 2 and vc["count"][0] == 3
+        assert int(vc["count"].sum()) == 6
+
+    def test_quantile_scalar(self):
+        f = Frame({"x": np.arange(101, dtype=np.float64)})
+        assert f.quantile("x", 0.5) == 50.0
+
+    def test_quantile_vector(self):
+        f = Frame({"x": np.arange(101, dtype=np.float64)})
+        out = f.quantile("x", [0.25, 0.75])
+        assert np.allclose(out, [25.0, 75.0])
+
+    def test_quantile_non_numeric_rejected(self):
+        f = Frame({"s": np.asarray(["a", "b"], dtype=object)})
+        with pytest.raises(TypeError):
+            f.quantile("s", 0.5)

@@ -1,0 +1,86 @@
+"""FROM-clause subqueries."""
+
+import numpy as np
+import pytest
+
+from repro.db import Database
+from repro.frame import Frame
+
+
+@pytest.fixture(scope="module")
+def db(tmp_path_factory):
+    rng = np.random.default_rng(41)
+    n = 400
+    d = Database(tmp_path_factory.mktemp("subq") / "s.db")
+    d.create_table(
+        "halos",
+        Frame(
+            {
+                "run": rng.integers(0, 4, n),
+                "step": rng.choice([0, 624], n),
+                "mass": rng.lognormal(3, 1, n),
+            }
+        ),
+        row_group_size=64,
+    )
+    return d
+
+
+class TestSubqueries:
+    def test_filter_over_subquery(self, db):
+        out = db.query(
+            "SELECT mass FROM (SELECT mass FROM halos WHERE step = 624) big "
+            "WHERE mass > 20"
+        )
+        raw = db.table_frame("halos")
+        expected = raw["mass"][(raw["step"] == 624) & (raw["mass"] > 20)]
+        assert np.allclose(np.sort(out["mass"]), np.sort(expected))
+
+    def test_aggregate_of_aggregate(self, db):
+        out = db.query(
+            "SELECT AVG(n) AS avg_n FROM "
+            "(SELECT run, COUNT(*) AS n FROM halos GROUP BY run) per_run"
+        )
+        raw = db.table_frame("halos")
+        per_run = [int((raw["run"] == r).sum()) for r in np.unique(raw["run"])]
+        assert out["avg_n"][0] == pytest.approx(np.mean(per_run))
+
+    def test_order_limit_inside_subquery(self, db):
+        out = db.query(
+            "SELECT AVG(mass) AS m FROM "
+            "(SELECT mass FROM halos ORDER BY mass DESC LIMIT 10) top10"
+        )
+        raw = db.table_frame("halos")
+        top = np.sort(raw["mass"])[::-1][:10]
+        assert out["m"][0] == pytest.approx(top.mean())
+
+    def test_nested_subqueries(self, db):
+        out = db.query(
+            "SELECT COUNT(*) AS n FROM "
+            "(SELECT mass FROM (SELECT mass FROM halos WHERE step = 0) a "
+            "WHERE mass > 10) b"
+        )
+        raw = db.table_frame("halos")
+        assert out["n"][0] == int(((raw["step"] == 0) & (raw["mass"] > 10)).sum())
+
+    def test_subquery_join(self, db):
+        out = db.query(
+            "SELECT run, n, MAX(mass) AS mx FROM halos "
+            "JOIN (SELECT run, COUNT(*) AS n FROM halos GROUP BY run) counts "
+            "ON run = run GROUP BY run, n ORDER BY run"
+        )
+        raw = db.table_frame("halos")
+        for i in range(out.num_rows):
+            r = out["run"][i]
+            assert out["n"][i] == int((raw["run"] == r).sum())
+            assert out["mx"][i] == pytest.approx(raw["mass"][raw["run"] == r].max())
+
+    def test_subquery_without_alias(self, db):
+        out = db.query("SELECT COUNT(*) AS n FROM (SELECT run FROM halos)")
+        assert out["n"][0] == 400
+
+    def test_unbalanced_paren_rejected(self, db):
+        from repro.db.errors import SQLSyntaxError
+
+        with pytest.raises(SQLSyntaxError):
+            db.query("SELECT a FROM (SELECT run FROM halos")

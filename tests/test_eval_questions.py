@@ -1,0 +1,57 @@
+"""The 20-question suite: classification pinned to the paper's Table 1/2 counts."""
+
+from collections import Counter
+
+import pytest
+
+from repro.eval.questions import QUESTION_SUITE, classify_question, classify_suite
+
+
+class TestSuiteComposition:
+    def test_twenty_questions(self):
+        assert len(QUESTION_SUITE) == 20
+
+    def test_qids_unique(self):
+        assert len({q.qid for q in QUESTION_SUITE}) == 20
+
+    def test_paper_verbatim_count(self):
+        assert sum(q.from_paper for q in QUESTION_SUITE) == 9
+
+
+class TestPaperMarginals:
+    """These counts are quoted directly in the paper's Table 2."""
+
+    @pytest.fixture(scope="class")
+    def classifications(self):
+        return classify_suite()
+
+    def test_analysis_difficulty_counts(self, classifications):
+        counts = Counter(c.analysis_level for c in classifications)
+        assert counts[0] == 6   # Easy (6)
+        assert counts[1] == 6   # Medium (6)
+        assert counts[2] == 8   # Hard (8)
+
+    def test_semantic_complexity_counts(self, classifications):
+        counts = Counter(c.semantic_level for c in classifications)
+        assert counts[0] == 8   # Easy (8)
+        assert counts[1] == 5   # Medium (5)
+        assert counts[2] == 7   # Hard (7)
+
+    def test_scope_counts(self, classifications):
+        counts = Counter((c.multi_run, c.multi_step) for c in classifications)
+        assert counts[(False, False)] == 7  # Single/Single (7)
+        assert counts[(False, True)] == 5   # Single/Multi (5)
+        assert counts[(True, False)] == 5   # Multi/Single (5)
+        assert counts[(True, True)] == 3    # Multi/Multi (3)
+
+    def test_no_medium_or_hard_semantic_with_easy_analysis(self, classifications):
+        """Table 1's n/a cells: Easy analysis occurs only with easy semantics."""
+        for c in classifications:
+            if c.analysis_level == 0:
+                assert c.semantic_level == 0
+
+    def test_hard_hard_question_is_eight_steps(self):
+        q07 = next(q for q in QUESTION_SUITE if q.qid == "q07")
+        c = classify_question(q07)
+        assert c.plan_steps == 8  # the paper's worked example decomposition
+        assert c.analysis_level == 2 and c.semantic_level == 2

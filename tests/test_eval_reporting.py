@@ -1,0 +1,56 @@
+"""Metrics export and harness reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import EvaluationHarness, HarnessConfig
+from repro.eval.questions import QUESTION_SUITE
+from repro.eval.reporting import metrics_to_frame, save_metrics_csv
+from repro.frame.io import read_csv
+from repro.llm.errors import NO_ERRORS
+from tests.test_eval_metrics import make_metrics
+
+
+class TestMetricsExport:
+    def test_frame_shape(self):
+        frame = metrics_to_frame([make_metrics(), make_metrics(qid="q02", tokens=5)])
+        assert frame.num_rows == 2
+        assert "tokens" in frame.columns and "qid" in frame.columns
+
+    def test_empty(self):
+        assert metrics_to_frame([]).num_rows == 0
+
+    def test_csv_round_trip(self, tmp_path):
+        rows = [make_metrics(), make_metrics(qid="q02", completed=False, tokens=7)]
+        save_metrics_csv(rows, tmp_path / "m.csv")
+        loaded = read_csv(tmp_path / "m.csv")
+        assert loaded.num_rows == 2
+        assert list(loaded["qid"]) == ["q01", "q02"]
+        assert loaded["completed"].dtype == bool
+
+
+class TestHarnessReproducibility:
+    def test_same_seed_same_metrics(self, ensemble, tmp_path):
+        questions = QUESTION_SUITE[:3]
+
+        def run(workdir):
+            harness = EvaluationHarness(
+                ensemble, workdir, HarnessConfig(runs_per_question=2, seed=5)
+            )
+            result = harness.run_suite(questions)
+            return [
+                (m.qid, m.run_index, m.completed, m.redo_iterations, m.tokens)
+                for m in result.metrics
+            ]
+
+        assert run(tmp_path / "a") == run(tmp_path / "b")
+
+    def test_keep_reports(self, ensemble, tmp_path):
+        harness = EvaluationHarness(
+            ensemble,
+            tmp_path / "k",
+            HarnessConfig(runs_per_question=1, error_model=NO_ERRORS, keep_reports=True),
+        )
+        result = harness.run_suite(QUESTION_SUITE[:2])
+        assert len(result.reports) == 2
+        assert all(r.completed for r in result.reports)

@@ -1,0 +1,126 @@
+"""GroupBy aggregation correctness (vs naive recomputation)."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+from repro.frame.frame import ColumnMismatchError
+from repro.frame.groupby import apply_agg
+
+
+@pytest.fixture()
+def frame():
+    rng = np.random.default_rng(3)
+    return Frame(
+        {
+            "k": rng.integers(0, 5, 200),
+            "j": rng.integers(0, 3, 200),
+            "v": rng.normal(size=200),
+            "w": rng.integers(1, 10, 200).astype(np.float64),
+        }
+    )
+
+
+def naive_group(frame, key, col, fn):
+    out = {}
+    for value in np.unique(frame[key]):
+        out[value] = fn(frame[col][frame[key] == value])
+    return out
+
+
+class TestAgg:
+    @pytest.mark.parametrize(
+        "how,fn",
+        [
+            ("mean", np.mean),
+            ("sum", np.sum),
+            ("min", np.min),
+            ("max", np.max),
+            ("median", np.median),
+        ],
+    )
+    def test_matches_naive(self, frame, how, fn):
+        result = frame.groupby("k").agg({"v": how})
+        expected = naive_group(frame, "k", "v", fn)
+        for i in range(result.num_rows):
+            key = result["k"][i]
+            assert result[f"v_{how}"][i] == pytest.approx(expected[key])
+
+    def test_count(self, frame):
+        result = frame.groupby("k").agg({"v": "count"})
+        expected = naive_group(frame, "k", "v", len)
+        for i in range(result.num_rows):
+            assert result["v_count"][i] == expected[result["k"][i]]
+
+    def test_std_sample(self, frame):
+        result = frame.groupby("k").agg({"v": "std"})
+        expected = naive_group(frame, "k", "v", lambda x: np.std(x, ddof=1))
+        for i in range(result.num_rows):
+            assert result["v_std"][i] == pytest.approx(expected[result["k"][i]])
+
+    def test_first_last(self, frame):
+        result = frame.groupby("k").agg({"v": "first"})
+        for i in range(result.num_rows):
+            key = result["k"][i]
+            assert result["v_first"][i] == frame["v"][frame["k"] == key][0]
+
+    def test_multi_key(self, frame):
+        result = frame.groupby(["k", "j"]).agg({"v": "sum"})
+        for i in range(result.num_rows):
+            mask = (frame["k"] == result["k"][i]) & (frame["j"] == result["j"][i])
+            assert result["v_sum"][i] == pytest.approx(frame["v"][mask].sum())
+
+    def test_num_groups(self, frame):
+        gb = frame.groupby(["k", "j"])
+        expected = len({(a, b) for a, b in zip(frame["k"], frame["j"])})
+        assert gb.num_groups == expected
+
+    def test_string_spec_aggregates_all_numeric(self, frame):
+        result = frame.groupby("k").agg("mean")
+        assert "v_mean" in result and "w_mean" in result
+        assert "k" in result
+
+    def test_callable_agg(self, frame):
+        result = frame.groupby("k").agg({"v": lambda x: float(np.ptp(x))})
+        expected = naive_group(frame, "k", "v", np.ptp)
+        for i in range(result.num_rows):
+            assert result["v"][i] == pytest.approx(expected[result["k"][i]])
+
+    def test_unknown_agg_rejected(self, frame):
+        with pytest.raises(ValueError):
+            frame.groupby("k").agg({"v": "mode"})
+
+    def test_unknown_key_raises_early(self, frame):
+        with pytest.raises(ColumnMismatchError):
+            frame.groupby("nope")
+
+    def test_empty_frame(self):
+        f = Frame({"k": np.asarray([], dtype=np.int64), "v": np.asarray([])})
+        result = f.groupby("k").agg({"v": "mean"})
+        assert result.num_rows == 0
+
+
+class TestSizeApply:
+    def test_size(self, frame):
+        sizes = frame.groupby("k").size()
+        assert int(sizes["size"].sum()) == frame.num_rows
+
+    def test_apply_per_group(self, frame):
+        result = frame.groupby("k").apply(
+            lambda g: {"range": float(g["v"].max() - g["v"].min())}
+        )
+        assert result.num_rows == frame.groupby("k").num_groups
+        assert (result["range"] >= 0).all()
+
+
+class TestWholeFrameAgg:
+    def test_frame_agg(self, frame):
+        out = frame.agg({"v": "mean", "w": "max"})
+        assert out["v"] == pytest.approx(float(np.mean(frame["v"])))
+        assert out["w"] == frame["w"].max()
+
+    def test_apply_agg_names(self):
+        vals = np.asarray([1.0, 2.0, 3.0])
+        assert apply_agg(vals, "median") == 2.0
+        assert apply_agg(vals, "var") == pytest.approx(1.0)
+        assert apply_agg(vals, "last") == 3.0

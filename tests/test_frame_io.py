@@ -1,0 +1,66 @@
+"""CSV round-trips (provenance records must be lossless)."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame, read_csv, write_csv
+
+
+class TestRoundTrip:
+    def test_int_float_string(self, tmp_path):
+        f = Frame(
+            {
+                "i": np.asarray([1, -2, 3], dtype=np.int64),
+                "x": np.asarray([1.5, np.pi, -0.25]),
+                "s": np.asarray(["halo", "galaxy", "core"], dtype=object),
+            }
+        )
+        path = tmp_path / "t.csv"
+        nbytes = write_csv(f, path)
+        assert nbytes == path.stat().st_size
+        g = read_csv(path)
+        assert g["i"].dtype == np.int64
+        assert list(g["i"]) == [1, -2, 3]
+        assert g["x"][1] == pytest.approx(np.pi, rel=0, abs=0)  # exact repr round-trip
+        assert list(g["s"]) == ["halo", "galaxy", "core"]
+
+    def test_float_exactness(self, tmp_path):
+        vals = np.random.default_rng(0).normal(size=50)
+        f = Frame({"x": vals})
+        write_csv(f, tmp_path / "x.csv")
+        g = read_csv(tmp_path / "x.csv")
+        assert np.array_equal(g["x"], vals)
+
+    def test_bool_round_trip(self, tmp_path):
+        f = Frame({"b": np.asarray([True, False, True])})
+        write_csv(f, tmp_path / "b.csv")
+        g = read_csv(tmp_path / "b.csv")
+        assert g["b"].dtype == bool
+        assert list(g["b"]) == [True, False, True]
+
+    def test_empty_frame(self, tmp_path):
+        f = Frame({"a": np.asarray([])})
+        write_csv(f, tmp_path / "e.csv")
+        g = read_csv(tmp_path / "e.csv")
+        assert g.columns == ["a"]
+        assert g.num_rows == 0
+
+    def test_strings_with_commas_quoted(self, tmp_path):
+        f = Frame({"s": np.asarray(["a,b", "c"], dtype=object)})
+        write_csv(f, tmp_path / "q.csv")
+        g = read_csv(tmp_path / "q.csv")
+        assert list(g["s"]) == ["a,b", "c"]
+
+    def test_nan_round_trip(self, tmp_path):
+        f = Frame({"x": np.asarray([1.0, np.nan])})
+        write_csv(f, tmp_path / "n.csv")
+        g = read_csv(tmp_path / "n.csv")
+        assert np.isnan(g["x"][1])
+
+    def test_creates_parent_dirs(self, tmp_path):
+        write_csv(Frame({"a": [1]}), tmp_path / "deep" / "dir" / "f.csv")
+        assert (tmp_path / "deep" / "dir" / "f.csv").exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_csv(tmp_path / "nope.csv")

@@ -1,0 +1,46 @@
+"""concat and describe."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame, concat, describe
+
+
+class TestConcat:
+    def test_basic(self):
+        a = Frame({"x": [1, 2]})
+        b = Frame({"x": [3]})
+        assert list(concat([a, b])["x"]) == [1, 2, 3]
+
+    def test_column_order_from_first(self):
+        a = Frame({"x": [1], "y": [2]})
+        b = Frame({"y": [4], "x": [3]})
+        out = concat([a, b])
+        assert out.columns == ["x", "y"]
+        assert list(out["x"]) == [1, 3]
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            concat([Frame({"x": [1]}), Frame({"y": [1]})])
+
+    def test_empty_list(self):
+        assert concat([]).num_rows == 0
+
+    def test_skips_empty_frames(self):
+        out = concat([Frame(), Frame({"x": [1]})])
+        assert out.num_rows == 1
+
+
+class TestDescribe:
+    def test_stats_values(self):
+        f = Frame({"v": np.asarray([1.0, 2.0, 3.0, 4.0]), "s": np.asarray(["a"] * 4, dtype=object)})
+        d = describe(f)
+        assert list(d["column"]) == ["v"]  # strings skipped
+        assert d["mean"][0] == pytest.approx(2.5)
+        assert d["min"][0] == 1.0
+        assert d["max"][0] == 4.0
+        assert d["count"][0] == 4
+
+    def test_single_row_std_zero(self):
+        d = describe(Frame({"v": [5.0]}))
+        assert d["std"][0] == 0.0

@@ -1,0 +1,110 @@
+"""Property-based tests of the Frame algebra (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import Frame, concat, merge
+
+
+@st.composite
+def small_frames(draw, max_rows=30):
+    n = draw(st.integers(0, max_rows))
+    ints = draw(st.lists(st.integers(-5, 5), min_size=n, max_size=n))
+    floats = draw(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return Frame(
+        {
+            "k": np.asarray(ints, dtype=np.int64),
+            "v": np.asarray(floats, dtype=np.float64),
+        }
+    )
+
+
+@given(small_frames())
+@settings(max_examples=60, deadline=None)
+def test_sort_is_permutation(f):
+    g = f.sort_values("v")
+    assert g.num_rows == f.num_rows
+    assert np.array_equal(np.sort(g["v"]), np.sort(f["v"]))
+    assert np.all(np.diff(g["v"]) >= 0)
+
+
+@given(small_frames())
+@settings(max_examples=60, deadline=None)
+def test_filter_partition(f):
+    if f.num_rows == 0:
+        return
+    mask = f["v"] > 0
+    assert f.filter(mask).num_rows + f.filter(~mask).num_rows == f.num_rows
+
+
+@given(small_frames(), small_frames())
+@settings(max_examples=60, deadline=None)
+def test_concat_length_additive(a, b):
+    if a.num_rows == 0 and b.num_rows == 0:
+        return
+    out = concat([a, b])
+    assert out.num_rows == a.num_rows + b.num_rows
+
+
+@given(small_frames())
+@settings(max_examples=60, deadline=None)
+def test_groupby_sum_partitions_total(f):
+    if f.num_rows == 0:
+        return
+    result = f.groupby("k").agg({"v": "sum"})
+    assert float(result["v_sum"].sum()) == np.float64(f["v"].sum()).item() or abs(
+        float(result["v_sum"].sum()) - float(f["v"].sum())
+    ) < 1e-6 * max(1.0, abs(float(f["v"].sum())))
+
+
+@given(small_frames())
+@settings(max_examples=60, deadline=None)
+def test_groupby_count_partitions_rows(f):
+    if f.num_rows == 0:
+        return
+    result = f.groupby("k").agg({"v": "count"})
+    assert int(result["v_count"].sum()) == f.num_rows
+
+
+@given(small_frames())
+@settings(max_examples=40, deadline=None)
+def test_nlargest_agrees_with_sort(f):
+    if f.num_rows == 0:
+        return
+    k = min(5, f.num_rows)
+    top = f.nlargest(k, "v")
+    ref = f.sort_values("v", ascending=False)[:k]
+    assert np.allclose(np.sort(top["v"]), np.sort(ref["v"]))
+
+
+@given(small_frames())
+@settings(max_examples=40, deadline=None)
+def test_drop_duplicates_idempotent(f):
+    once = f.drop_duplicates("k")
+    twice = once.drop_duplicates("k")
+    assert once.equals(twice)
+
+
+@given(small_frames(), small_frames())
+@settings(max_examples=40, deadline=None)
+def test_inner_join_count_matches_key_multiplicity(a, b):
+    out = merge(a, b.rename({"v": "w"}), on="k")
+    expected = 0
+    for key in np.unique(a["k"]) if a.num_rows else []:
+        expected += int((a["k"] == key).sum()) * int((b["k"] == key).sum())
+    assert out.num_rows == expected
+
+
+@given(small_frames())
+@settings(max_examples=40, deadline=None)
+def test_left_join_preserves_left_rows_with_unique_right(f):
+    right = f.drop_duplicates("k").rename({"v": "w"})
+    out = merge(f, right, on="k", how="left")
+    assert out.num_rows == f.num_rows

@@ -1,0 +1,136 @@
+"""mini-GenericIO format: round-trips, selective reads, corruption detection."""
+
+import numpy as np
+import pytest
+
+from repro.gio import GIOFile, GIOFormatError, write_gio
+
+
+@pytest.fixture()
+def sample_columns():
+    rng = np.random.default_rng(11)
+    return {
+        "id": np.arange(100, dtype=np.int64),
+        "x": rng.uniform(0, 64, 100),
+        "mass": rng.lognormal(29, 1, 100).astype(np.float32),
+        "name": np.asarray([f"obj{i}" for i in range(100)], dtype=object),
+    }
+
+
+class TestWriteRead:
+    def test_round_trip_all_dtypes(self, tmp_path, sample_columns):
+        path = tmp_path / "t.gio"
+        nbytes = write_gio(path, sample_columns, attrs={"run": 3, "step": 624})
+        assert nbytes == path.stat().st_size
+        f = GIOFile(path)
+        assert f.num_rows == 100
+        assert f.attrs == {"run": 3, "step": 624}
+        assert np.array_equal(f.read_column("id"), sample_columns["id"])
+        assert np.array_equal(f.read_column("x"), sample_columns["x"])
+        assert f.read_column("mass").dtype == np.float32
+        assert list(f.read_column("name")[:2]) == ["obj0", "obj1"]
+
+    def test_selective_read_returns_only_requested(self, tmp_path, sample_columns):
+        path = tmp_path / "t.gio"
+        write_gio(path, sample_columns)
+        frame = GIOFile(path).read(["x", "id"])
+        assert frame.columns == ["x", "id"]
+
+    def test_empty_table(self, tmp_path):
+        path = tmp_path / "e.gio"
+        write_gio(path, {})
+        f = GIOFile(path)
+        assert f.num_rows == 0
+        assert f.columns == []
+
+    def test_zero_rows(self, tmp_path):
+        write_gio(tmp_path / "z.gio", {"a": np.asarray([], dtype=np.float64)})
+        f = GIOFile(tmp_path / "z.gio")
+        assert f.num_rows == 0
+        assert len(f.read_column("a")) == 0
+
+    def test_ragged_columns_rejected(self, tmp_path):
+        with pytest.raises(GIOFormatError):
+            write_gio(tmp_path / "r.gio", {"a": np.zeros(3), "b": np.zeros(4)})
+
+    def test_2d_rejected(self, tmp_path):
+        with pytest.raises(GIOFormatError):
+            write_gio(tmp_path / "r.gio", {"a": np.zeros((2, 2))})
+
+
+class TestAccounting:
+    def test_column_nbytes(self, tmp_path, sample_columns):
+        path = tmp_path / "t.gio"
+        write_gio(path, sample_columns)
+        f = GIOFile(path)
+        assert f.column_nbytes("id") == 100 * 8
+        assert f.column_nbytes("mass") == 100 * 4
+
+    def test_bytes_for_subset(self, tmp_path, sample_columns):
+        path = tmp_path / "t.gio"
+        write_gio(path, sample_columns)
+        f = GIOFile(path)
+        assert f.bytes_for(["id", "x"]) == 100 * 16
+        assert f.bytes_for(["id"]) < f.total_data_nbytes()
+
+    def test_selective_read_touches_fewer_bytes_than_file(self, tmp_path, sample_columns):
+        path = tmp_path / "t.gio"
+        total = write_gio(path, sample_columns)
+        f = GIOFile(path)
+        assert f.bytes_for(["id"]) < total / 3
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        p = tmp_path / "bad.gio"
+        p.write_bytes(b"NOTGIO" + b"\x00" * 40)
+        with pytest.raises(GIOFormatError, match="magic"):
+            GIOFile(p)
+
+    def test_unknown_column(self, tmp_path, sample_columns):
+        path = tmp_path / "t.gio"
+        write_gio(path, sample_columns)
+        with pytest.raises(GIOFormatError, match="no column"):
+            GIOFile(path).read_column("nope")
+
+    def test_crc_detects_corruption(self, tmp_path, sample_columns):
+        path = tmp_path / "t.gio"
+        write_gio(path, sample_columns)
+        f = GIOFile(path)
+        # flip one byte inside the 'x' column payload
+        offset = f._entry("x")["offset"] + 5
+        data = bytearray(path.read_bytes())
+        data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(GIOFormatError, match="CRC"):
+            GIOFile(path).read_column("x")
+
+    def test_corruption_ignored_when_verify_off(self, tmp_path, sample_columns):
+        path = tmp_path / "t.gio"
+        write_gio(path, sample_columns)
+        f = GIOFile(path)
+        offset = f._entry("x")["offset"] + 5
+        data = bytearray(path.read_bytes())
+        data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        GIOFile(path).read_column("x", verify=False)  # no raise
+
+    def test_truncated_file(self, tmp_path, sample_columns):
+        path = tmp_path / "t.gio"
+        write_gio(path, sample_columns)
+        full = path.read_bytes()
+        path.write_bytes(full[: len(full) - 50])
+        f = GIOFile(path)  # header still intact
+        with pytest.raises(GIOFormatError, match="truncated"):
+            f.read_column("name")
+
+
+class TestHeaderFixpoint:
+    def test_many_columns_offsets_consistent(self, tmp_path):
+        # enough columns that the header length crosses digit boundaries
+        columns = {f"col_{i:03d}": np.full(7, float(i)) for i in range(60)}
+        path = tmp_path / "many.gio"
+        write_gio(path, columns)
+        f = GIOFile(path)
+        for i in (0, 30, 59):
+            assert np.all(f.read_column(f"col_{i:03d}") == float(i))

@@ -1,0 +1,90 @@
+"""Checkpointing and branch-from-checkpoint (§4.2.1 statefulness)."""
+
+import pytest
+
+from repro.graph import Channel, Checkpointer, END, StateGraph
+from repro.graph.state import append_reducer
+
+
+def counting_graph(side_effects):
+    """Each node appends its name to side_effects when *executed*."""
+    g = StateGraph([Channel("log", append_reducer, default=[])])
+    for name in ("a", "b", "c"):
+        def fn(state, name=name):
+            side_effects.append(name)
+            return {"log": name}
+        g.add_node(name, fn)
+    g.set_entry_point("a")
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", END)
+    return g
+
+
+class TestCheckpointer:
+    def test_snapshot_per_node(self):
+        cp = Checkpointer()
+        compiled = counting_graph([]).compile(checkpointer=cp)
+        compiled.invoke(thread_id="t")
+        assert len(cp.history("t")) == 3
+
+    def test_snapshots_isolated_from_mutation(self):
+        cp = Checkpointer()
+        state = {"x": [1, 2]}
+        cp.save("t", 1, "n", None, state)
+        state["x"].append(3)
+        assert cp.history("t")[0].state["x"] == [1, 2]
+
+    def test_latest(self):
+        cp = Checkpointer()
+        cp.save("t", 1, "a", "b", {})
+        cp.save("t", 2, "b", None, {})
+        assert cp.latest("t").seq == 2
+        assert cp.latest("zzz") is None
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            Checkpointer().get("t:1")
+
+    def test_branch_copies_prefix(self):
+        cp = Checkpointer()
+        for seq in (1, 2, 3):
+            cp.save("t", seq, f"n{seq}", f"n{seq + 1}", {"seq": seq})
+        head = cp.branch("t:2", "fork")
+        assert head.thread_id == "fork"
+        assert len(cp.history("fork")) == 2
+        assert cp.history("fork")[-1].state["seq"] == 2
+
+    def test_branch_duplicate_thread_rejected(self):
+        cp = Checkpointer()
+        cp.save("t", 1, "a", None, {})
+        cp.branch("t:1", "fork")
+        with pytest.raises(ValueError):
+            cp.branch("t:1", "fork")
+
+
+class TestBranchExecution:
+    def test_branch_skips_completed_steps(self):
+        """The paper's key cost claim: branched threads re-run only the tail."""
+        effects = []
+        cp = Checkpointer()
+        compiled = counting_graph(effects).compile(checkpointer=cp)
+        compiled.invoke(thread_id="main")
+        assert effects == ["a", "b", "c"]
+
+        # branch after node 'a' (checkpoint seq 1) and resume
+        checkpoint_id = cp.history("main")[0].checkpoint_id
+        effects.clear()
+        result = compiled.resume_from_branch(checkpoint_id, "alt")
+        assert effects == ["b", "c"]          # 'a' was NOT re-executed
+        assert result.state["log"] == ["a", "b", "c"]  # but its state is present
+
+    def test_branch_state_independent(self):
+        effects = []
+        cp = Checkpointer()
+        compiled = counting_graph(effects).compile(checkpointer=cp)
+        main = compiled.invoke(thread_id="main")
+        checkpoint_id = cp.history("main")[0].checkpoint_id
+        branched = compiled.resume_from_branch(checkpoint_id, "alt2")
+        assert main.state["log"] == branched.state["log"]
+        assert main.state["log"] is not branched.state["log"]

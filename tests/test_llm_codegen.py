@@ -1,0 +1,247 @@
+"""Generated code templates: executable, corruption pass-through."""
+
+import numpy as np
+import pytest
+
+from repro.agents.tools import default_toolset
+from repro.frame import Frame
+from repro.llm import codegen
+from repro.sandbox import SandboxExecutor
+
+
+@pytest.fixture()
+def executor():
+    return SandboxExecutor(tools=default_toolset())
+
+
+@pytest.fixture()
+def work():
+    rng = np.random.default_rng(1)
+    n = 80
+    return Frame(
+        {
+            "run": rng.integers(0, 2, n),
+            "step": rng.choice([0, 624], n),
+            "fof_halo_tag": np.arange(n, dtype=np.int64),
+            "fof_halo_count": rng.integers(5, 500, n),
+            "fof_halo_mass": rng.lognormal(29, 1, n),
+            "fof_halo_vel_disp": rng.uniform(50, 400, n),
+            "fof_halo_ke": rng.lognormal(10, 1, n),
+            "fof_halo_center_x": rng.uniform(0, 64, n),
+            "fof_halo_center_y": rng.uniform(0, 64, n),
+            "fof_halo_center_z": rng.uniform(0, 64, n),
+            "sod_halo_M500c": rng.lognormal(29, 1, n),
+            "sod_halo_MGas500c": rng.lognormal(27.5, 1, n),
+            "param_M_seed": rng.choice([1e5, 1e6, 1e7], n),
+        }
+    )
+
+
+class TestSQL:
+    def test_basic_select(self):
+        sql = codegen.generate_sql(
+            {"table": "halos", "columns": ["fof_halo_count"], "runs": [0], "steps": [624]},
+            {},
+        )
+        assert sql == (
+            "SELECT run, step, fof_halo_count FROM halos WHERE run = 0 AND step = 624"
+        )
+
+    def test_top_k_order_limit(self):
+        sql = codegen.generate_sql(
+            {
+                "table": "halos",
+                "columns": ["fof_halo_count"],
+                "runs": [0],
+                "steps": [624],
+                "top_k": 20,
+                "rank_metric": "fof_halo_count",
+            },
+            {},
+        )
+        assert "ORDER BY fof_halo_count DESC" in sql
+        assert "LIMIT 20" in sql
+
+    def test_per_cell_rank_defers_limit(self):
+        sql = codegen.generate_sql(
+            {
+                "table": "halos",
+                "columns": ["fof_halo_count"],
+                "runs": None,
+                "steps": None,
+                "top_k": 5,
+                "rank_metric": "fof_halo_count",
+                "per_cell_rank": True,
+            },
+            {},
+        )
+        assert "LIMIT" not in sql
+
+    def test_corruption_applied(self):
+        sql = codegen.generate_sql(
+            {"table": "halos", "columns": ["fof_halo_count"], "runs": None, "steps": None},
+            {"fof_halo_count": "halo_count"},
+        )
+        assert "halo_count" in sql and "fof_halo_count" not in sql
+
+    def test_join_galaxies(self):
+        sql = codegen.generate_sql(
+            {
+                "table": "halos",
+                "columns": ["fof_halo_mass"],
+                "runs": [0],
+                "steps": [624],
+                "join_galaxies": True,
+                "galaxy_columns": ["gal_tag", "fof_halo_tag", "gal_stellar_mass"],
+                "param_columns": ["M_seed"],
+            },
+            {},
+        )
+        assert "JOIN halos" in sql
+        assert "gal_stellar_mass" in sql
+        assert "param_M_seed" in sql
+
+
+class TestPythonOps:
+    def run_op(self, executor, work, params, tables=None):
+        code = codegen.generate_python(params, {})
+        all_tables = {"work": work}
+        all_tables.update(tables or {})
+        result = executor.execute(code, all_tables)
+        assert result.ok, result.error_message
+        return result
+
+    def test_aggregate(self, executor, work):
+        r = self.run_op(executor, work, {"op": "aggregate", "metric": "fof_halo_count", "group_keys": ["step"]})
+        assert "fof_halo_count_mean" in r.result.columns
+        assert r.result.num_rows == 2
+
+    def test_top_k_per_cell(self, executor, work):
+        r = self.run_op(executor, work, {"op": "top_k_per_cell", "metric": "fof_halo_count", "top_k": 3})
+        assert r.result.num_rows <= 3 * 4  # <= k per (run, step) cell
+
+    def test_track_characteristic(self, executor, work):
+        r = self.run_op(executor, work, {"op": "track_evolution", "metric": "fof_halo_mass", "top_k": 2})
+        assert "fof_halo_mass" in r.result.columns
+        assert "step" in r.result.columns
+
+    def test_track_misuse_lacks_metric(self, executor, work):
+        r = self.run_op(
+            executor,
+            work,
+            {"op": "track_evolution", "metric": "fof_halo_mass", "top_k": 2, "misuse_position_tool": True},
+        )
+        assert "fof_halo_mass" not in r.result.columns  # the silent failure mode
+
+    def test_data_cleaning(self, executor, work):
+        r = self.run_op(executor, work, {"op": "data_cleaning", "columns": ["fof_halo_mass"]})
+        assert r.result.num_rows == work.num_rows  # all positive already
+        assert "work" in r.tables
+
+    def test_relation_fit_per_step(self, executor, work):
+        r = self.run_op(
+            executor,
+            work,
+            {
+                "op": "relation_fit",
+                "y_column": "sod_halo_MGas500c",
+                "x_column": "sod_halo_M500c",
+                "y_is_fraction": True,
+                "per_step": True,
+            },
+        )
+        assert set(r.result.columns) == {"step", "slope", "normalization", "scatter"}
+        assert r.result.num_rows == 2
+
+    def test_relation_by_param_and_best(self, executor, work):
+        r1 = self.run_op(
+            executor,
+            work,
+            {"op": "relation_by_param", "y_column": "fof_halo_mass", "x_column": "sod_halo_M500c", "param": "M_seed"},
+        )
+        assert r1.result.num_rows == 3  # three seed values
+        r2 = self.run_op(
+            executor, work, {"op": "find_best_param", "param": "M_seed"},
+            tables={"fit_by_param": r1.result},
+        )
+        assert r2.result.num_rows == 1
+        assert r2.result["scatter"][0] == r1.result["scatter"].min()
+
+    def test_interestingness(self, executor, work):
+        r = self.run_op(
+            executor,
+            work,
+            {"op": "interestingness", "columns": ["fof_halo_vel_disp", "fof_halo_mass"], "top_k": 10},
+        )
+        assert "interestingness" in r.result.columns
+        assert r.result.num_rows == 10
+        assert np.all(np.diff(r.result["interestingness"]) <= 0)
+
+    def test_neighborhood(self, executor, work):
+        r = self.run_op(
+            executor, work, {"op": "neighborhood", "radius_mpc": 20.0, "metric": "fof_halo_count"}
+        )
+        assert "is_target" in r.result.columns
+        assert r.result["is_target"].sum() >= 1
+        assert (r.result["distance"] <= 20.0).all()
+
+    def test_parameter_inference(self, executor, work):
+        r = self.run_op(
+            executor,
+            work,
+            {"op": "parameter_inference", "metric": "fof_halo_count", "params_of_interest": ["M_seed"]},
+        )
+        assert set(r.result["direction"].tolist()) <= {"increase", "decrease"}
+
+    def test_compare_groups_by_run(self, executor, work):
+        r = self.run_op(
+            executor,
+            work,
+            {"op": "compare_groups", "group_key": "run", "columns": ["fof_halo_mass", "fof_halo_ke"]},
+        )
+        assert set(np.unique(r.result["group"])) == {0, 1}
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            codegen.generate_python({"op": "nonsense"}, {})
+
+    def test_corrupted_column_raises_in_sandbox(self, executor, work):
+        code = codegen.generate_python(
+            {"op": "aggregate", "metric": "fof_halo_count", "group_keys": ["step"]},
+            {"fof_halo_count": "halo_count"},
+        )
+        result = executor.execute(code, {"work": work})
+        assert not result.ok
+        assert "fof_halo_count" in result.error_message  # candidates listed
+
+
+class TestVizOps:
+    @pytest.mark.parametrize("form", ["line", "scatter", "hist", "heatmap"])
+    def test_forms_executable(self, executor, work, form):
+        code = codegen.generate_viz({"form": form, "source": "work", "metric": "fof_halo_mass",
+                                     "x": "fof_halo_mass", "y": "sod_halo_MGas500c", "title": "t"}, {})
+        result = executor.execute(code, {"work": work})
+        assert result.ok, result.error_message
+        assert result.figure is not None
+
+    def test_paraview_form(self, executor, work):
+        code = codegen.generate_viz({"form": "paraview3d", "source": "work", "title": "3d"}, {})
+        result = executor.execute(code, {"work": work})
+        assert result.ok, result.error_message
+        from repro.viz import Scene3D
+
+        assert isinstance(result.figure, Scene3D)
+
+    def test_umap_form(self, executor, work):
+        code = codegen.generate_viz(
+            {"form": "umap", "source": "work", "columns": ["fof_halo_vel_disp", "fof_halo_mass"],
+             "highlight_top": 5, "title": "u"},
+            {},
+        )
+        result = executor.execute(code, {"work": work})
+        assert result.ok, result.error_message
+        assert "umap_x" in result.result.columns
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ValueError):
+            codegen.generate_viz({"form": "pie"}, {})

@@ -1,0 +1,50 @@
+"""Hashed embedding geometry."""
+
+import numpy as np
+import pytest
+
+from repro.llm import HashedEmbedder
+
+
+@pytest.fixture(scope="module")
+def embedder():
+    return HashedEmbedder()
+
+
+class TestEmbedder:
+    def test_unit_norm(self, embedder):
+        v = embedder.embed("halo mass in solar masses")
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_empty_text_zero_vector(self, embedder):
+        assert np.linalg.norm(embedder.embed("")) == 0.0
+
+    def test_deterministic_across_instances(self):
+        a = HashedEmbedder().embed("fof_halo_count")
+        b = HashedEmbedder().embed("fof_halo_count")
+        assert np.array_equal(a, b)
+
+    def test_similar_texts_closer_than_dissimilar(self, embedder):
+        query = embedder.embed("halo mass")
+        match = embedder.embed("fof_halo_mass: total halo mass in solar masses")
+        other = embedder.embed("gal_sfr: galaxy star formation rate per year")
+        assert HashedEmbedder.similarity(query, match) > HashedEmbedder.similarity(query, other)
+
+    def test_identifier_matches_description(self, embedder):
+        """The RAG use case: snake_case labels align with NL phrases."""
+        query = embedder.embed("velocity dispersion of the halo")
+        match = embedder.embed("fof_halo_vel_disp: one-dimensional velocity dispersion")
+        unrelated = embedder.embed("sod_halo_R500c: radius enclosing 500 critical density")
+        assert HashedEmbedder.similarity(query, match) > HashedEmbedder.similarity(query, unrelated)
+
+    def test_batch_matches_single(self, embedder):
+        texts = ["a b c", "halo count"]
+        batch = embedder.embed_batch(texts)
+        assert np.array_equal(batch[1], embedder.embed(texts[1]))
+
+    def test_batch_empty(self, embedder):
+        assert embedder.embed_batch([]).shape == (0, embedder.dim)
+
+    def test_dim_validated(self):
+        with pytest.raises(ValueError):
+            HashedEmbedder(dim=4)

@@ -1,0 +1,84 @@
+"""Error-injection model."""
+
+import numpy as np
+import pytest
+
+from repro.llm.errors import (
+    NO_ERRORS,
+    ErrorModel,
+    choose_corruptions,
+    corrupt_column_name,
+)
+
+
+class TestCorruptName:
+    def test_always_different(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert corrupt_column_name("fof_halo_center_x", rng) != "fof_halo_center_x"
+
+    def test_paper_style_prefix_drop_possible(self):
+        rng = np.random.default_rng(1)
+        results = {corrupt_column_name("fof_halo_center_x", rng) for _ in range(200)}
+        assert "halo_center_x" in results or "center_x" in results
+
+    def test_short_name(self):
+        rng = np.random.default_rng(2)
+        out = corrupt_column_name("ab", rng)
+        assert out != "ab"
+
+
+class TestChooseCorruptions:
+    def test_no_errors_model_never_corrupts(self):
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            assert choose_corruptions(["fof_halo_mass", "fof_halo_count"], rng, NO_ERRORS, 2) == {}
+
+    def test_rate_scales_with_semantic_level(self):
+        model = ErrorModel()
+        cols = ["fof_halo_mass", "fof_halo_count", "sod_halo_M500c"]
+        def frequency(level):
+            rng = np.random.default_rng(4)
+            return sum(
+                bool(choose_corruptions(cols, rng, model, level)) for _ in range(600)
+            )
+        assert frequency(2) > frequency(0) * 1.5
+
+    def test_repaired_columns_corrupted_less(self):
+        model = ErrorModel(column_typo_rate=0.6, repair_miss_rate=0.05, double_error_rate=0)
+        cols = ["fof_halo_mass"]
+        rng = np.random.default_rng(5)
+        fresh = sum(bool(choose_corruptions(cols, rng, model, 0)) for _ in range(400))
+        rng = np.random.default_rng(5)
+        repaired = sum(
+            bool(choose_corruptions(cols, rng, model, 0, already_repaired={"fof_halo_mass"}))
+            for _ in range(400)
+        )
+        assert repaired < fresh / 3
+
+    def test_double_errors_happen(self):
+        model = ErrorModel(column_typo_rate=0.9, double_error_rate=1.0)
+        rng = np.random.default_rng(6)
+        out = choose_corruptions(["fof_halo_mass", "fof_halo_count"], rng, model, 0)
+        assert len(out) == 2
+
+    def test_single_word_columns_immune(self):
+        model = ErrorModel(column_typo_rate=1.0)
+        rng = np.random.default_rng(7)
+        assert choose_corruptions(["mass", "x"], rng, model, 2) == {}
+
+
+class TestModelConfig:
+    def test_with_rates(self):
+        m = ErrorModel().with_rates(column_typo_rate=0.5)
+        assert m.column_typo_rate == 0.5
+
+    def test_concept_rate_per_level(self):
+        m = ErrorModel(concept_error_rates=(0.1, 0.2, 0.3))
+        assert m.concept_rate(0) == 0.1
+        assert m.concept_rate(2) == 0.3
+        assert m.concept_rate(99) == 0.3  # clamped
+
+    def test_scaled_wrong_metric(self):
+        m = ErrorModel(wrong_metric_rate=0.2, wrong_metric_scaling=0.5)
+        assert m.scaled_wrong_metric_rate(2) == pytest.approx(0.4)

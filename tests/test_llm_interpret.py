@@ -1,0 +1,149 @@
+"""Question interpretation: the mock LLM's language understanding."""
+
+import pytest
+
+from repro.llm.interpret import interpret_question
+
+
+class TestScope:
+    def test_all_simulations(self):
+        i = interpret_question("Across all the simulations, average halo count per step")
+        assert i.runs is None
+
+    def test_specific_simulation(self):
+        i = interpret_question("largest halo in simulation 2 at timestep 498")
+        assert i.runs == [2]
+        assert i.steps == [498]
+
+    def test_two_simulations_phrase(self):
+        i = interpret_question("differences between the two simulations in halo count")
+        assert i.runs == [0, 1]
+
+    def test_all_timesteps(self):
+        i = interpret_question("halo mass for all timesteps in simulation 0")
+        assert i.steps is None
+
+    def test_default_latest_step(self):
+        i = interpret_question("top 10 halos in simulation 0")
+        assert i.steps == ["latest"]
+
+
+class TestRanking:
+    def test_top_k(self):
+        i = interpret_question("find the largest 100 halos at timestep 624")
+        assert i.top_k == 100
+        assert "top_k" in i.analyses
+
+    def test_two_largest(self):
+        i = interpret_question("the two largest halos by halo count in timestep 624")
+        assert i.top_k == 2
+        assert i.rank_metric == "fof_halo_count"
+
+    def test_secondary_top_k(self):
+        i = interpret_question(
+            "two largest halos in timestep 624. Then the top 10 galaxies associated to those halos"
+        )
+        assert i.top_k == 2 and i.second_top_k == 10
+
+    def test_galaxy_ranking_uses_stellar_mass(self):
+        i = interpret_question("top 50 galaxies at timestep 498")
+        assert i.rank_metric == "gal_stellar_mass"
+
+
+class TestAnalyses:
+    def test_aggregate(self):
+        i = interpret_question("what is the average fof_halo_count at each time step?")
+        assert "aggregate" in i.analyses
+        assert "step" in i.group_keys
+
+    def test_evolution_tracking(self):
+        i = interpret_question("plot the change in mass of the largest halos over all timesteps")
+        assert "track_evolution" in i.analyses
+        assert i.tracking_kind == "characteristic"
+
+    def test_gas_fraction_relation(self):
+        i = interpret_question(
+            "how does the slope and normalization of the gas-mass fraction-mass relation evolve"
+        )
+        assert i.relation is not None
+        assert i.relation.y_term == "gas mass fraction"
+        assert i.relation.per_step
+        assert "relation_fit" in i.analyses
+        assert "track_evolution" not in i.analyses  # evolve belongs to the fit
+
+    def test_smhm_by_seed_mass(self):
+        i = interpret_question(
+            "how does the slope and intrinsic scatter of the SMHM relation vary as a function of seed mass?"
+        )
+        assert i.relation is not None
+        assert i.relation.per_param == "M_seed"
+        assert i.runs is None  # parameter sweep requires the whole ensemble
+        assert "relation_by_param" in i.analyses
+
+    def test_interestingness(self):
+        i = interpret_question("generate an interestingness score and plot as a UMAP plot")
+        assert "interestingness" in i.analyses
+        assert "umap" in i.viz
+
+    def test_neighborhood(self):
+        i = interpret_question("all halos within 20 Mpc of the target halo")
+        assert i.radius_mpc == 20.0
+        assert "neighborhood" in i.analyses
+
+    def test_parameter_inference_ambiguous(self):
+        i = interpret_question(
+            "make an inference on the direction of the FSN and VEL parameters to increase halo count"
+        )
+        assert "parameter_inference" in i.analyses
+        assert i.ambiguous
+
+    def test_compare_groups(self):
+        i = interpret_question(
+            "what are the differences in characteristics of the two groups of galaxies?"
+        )
+        assert "compare_groups" in i.analyses
+
+
+class TestViz:
+    def test_paraview(self):
+        i = interpret_question("plot all of them in Paraview")
+        assert "paraview3d" in i.viz
+
+    def test_two_plots(self):
+        i = interpret_question(
+            "plot the change in mass, provide two plots using both fof_halo_count and "
+            "fof_halo_mass as metrics"
+        )
+        assert i.viz.count("line") == 2
+
+    def test_histogram(self):
+        i = interpret_question("show a histogram of fof_halo_mass")
+        assert "hist" in i.viz
+
+    def test_no_plot_requested(self):
+        i = interpret_question("what is the average halo count?")
+        assert i.viz == []
+
+
+class TestEntitiesAndJoin:
+    def test_galaxy_halo_join(self):
+        i = interpret_question("galaxies associated to those halos related by fof_halo_tag")
+        assert set(i.entities) >= {"galaxies", "halos"}
+        assert i.join_galaxies_to_halos
+
+    def test_smhm_implies_galaxies(self):
+        i = interpret_question("the stellar-to-halo mass (SMHM) relation at timestep 624")
+        assert "galaxies" in i.entities
+        assert i.join_galaxies_to_halos
+
+    def test_metric_phrase_resolution(self):
+        i = interpret_question("using velocity, mass, and kinetic energy of the halos")
+        assert "fof_halo_vel_disp" in i.metric_terms
+        assert "fof_halo_mass" in i.metric_terms
+        assert "fof_halo_ke" in i.metric_terms
+
+    def test_no_substring_false_positive(self):
+        # 'mass' inside 'gal_gas_mass' must not add fof_halo_mass
+        i = interpret_question("average gal_gas_mass of galaxies at each time step")
+        assert "fof_halo_mass" not in i.metric_terms
+        assert "gal_gas_mass" in i.metric_terms

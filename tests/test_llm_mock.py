@@ -1,0 +1,194 @@
+"""MockLLM skills and repair-loop memory."""
+
+import json
+
+import pytest
+
+from repro.llm import ChatMessage, MockLLM, NO_ERRORS
+from repro.llm.base import extract_json
+from repro.llm.errors import ErrorModel
+
+
+def ask(model, role, payload, context="task"):
+    content = f"[[ROLE:{role}]]\n{context}\n[[PAYLOAD]]\n{json.dumps(payload)}"
+    return model.chat([ChatMessage("user", content)])
+
+
+class TestDispatch:
+    def test_planner_returns_plan_json(self):
+        m = MockLLM(error_model=NO_ERRORS)
+        resp = ask(m, "planner", {"question": "top 10 halos at timestep 624 in simulation 0"})
+        doc = extract_json(resp.content)
+        assert doc["steps"][0]["kind"] == "load"
+        assert "reasoning" in doc
+        assert doc["intent"]["top_k"] == 10
+
+    def test_usage_metered(self):
+        m = MockLLM(error_model=NO_ERRORS)
+        resp = ask(m, "planner", {"question": "top 10 halos"})
+        assert resp.prompt_tokens > 0
+        assert resp.completion_tokens > 0
+
+    def test_latency_reported(self):
+        m = MockLLM(error_model=NO_ERRORS, latency_per_call_s=2.0)
+        resp = ask(m, "doc", {"completed_steps": []})
+        assert resp.latency_s == 2.0
+
+    def test_supervisor_routing(self):
+        m = MockLLM(error_model=NO_ERRORS)
+        resp = ask(m, "supervisor", {"next_kind": "sql"})
+        assert extract_json(resp.content)["delegate_to"] == "sql_programmer"
+
+    def test_unknown_role_falls_back_to_doc(self):
+        m = MockLLM(error_model=NO_ERRORS)
+        resp = ask(m, "mystery", {"completed_steps": []})
+        assert "summary" in resp.content.lower()
+
+
+class TestSQLSkill:
+    def test_clean_sql_with_no_errors(self):
+        m = MockLLM(error_model=NO_ERRORS)
+        resp = ask(m, "sql", {
+            "step_key": "s1", "attempt": 0, "semantic_level": 0,
+            "params": {"table": "halos", "columns": ["fof_halo_count"], "runs": [0], "steps": [624]},
+        })
+        assert "```sql" in resp.content
+        assert "fof_halo_count" in resp.content
+
+
+class TestRepairLoop:
+    def test_corruption_repaired_after_error_feedback(self):
+        """With typos certain on attempt 0 and repair certain afterwards,
+        attempt 1 must emit the correct identifier."""
+        model = ErrorModel(
+            column_typo_rate=1.0, repair_miss_rate=0.0, double_error_rate=0.0,
+            concept_error_rates=(0.0, 0.0, 0.0), wrong_metric_rate=0.0,
+            tool_misuse_rate=0.0, viz_misselection_rate=0.0,
+        )
+        m = MockLLM(seed=5, error_model=model)
+        payload = {
+            "step_key": "q.s3", "attempt": 0, "semantic_level": 0,
+            "params": {"op": "aggregate", "metric": "fof_halo_count", "group_keys": ["step"]},
+        }
+        first = ask(m, "python", payload).content
+        assert "fof_halo_count" not in first  # corrupted
+        payload2 = dict(payload, attempt=1)
+        second = ask(m, "python", payload2).content
+        assert "'fof_halo_count'" in second  # repaired
+
+    def test_concept_error_persists_across_attempts(self):
+        model = ErrorModel(
+            column_typo_rate=0.0, concept_error_rates=(1.0, 1.0, 1.0),
+            concept_persistence=1.0, wrong_metric_rate=0.0,
+            tool_misuse_rate=0.0, viz_misselection_rate=0.0,
+        )
+        m = MockLLM(seed=6, error_model=model)
+        payload = {
+            "step_key": "q.s4", "attempt": 0, "semantic_level": 2,
+            "params": {"op": "aggregate", "metric": "fof_halo_count", "group_keys": ["step"]},
+        }
+        for attempt in range(3):
+            content = ask(m, "python", dict(payload, attempt=attempt)).content
+            assert "'fof_halo_count'" not in content  # never repaired
+
+
+class TestVizSkill:
+    def test_form_header(self):
+        m = MockLLM(error_model=NO_ERRORS)
+        resp = ask(m, "viz", {
+            "step_key": "v1", "attempt": 0, "semantic_level": 0,
+            "params": {"form": "line", "metric": "fof_halo_count", "source": "work", "title": "t"},
+        })
+        header = json.loads(resp.content.splitlines()[0])
+        assert header["form"] == "line"
+
+    def test_misselection_stable_within_step(self):
+        model = ErrorModel(viz_misselection_rate=1.0, column_typo_rate=0.0,
+                           concept_error_rates=(0, 0, 0), wrong_metric_rate=0.0)
+        m = MockLLM(seed=7, error_model=model)
+        payload = {"step_key": "v2", "attempt": 0, "semantic_level": 0,
+                   "params": {"form": "paraview3d", "source": "work", "title": "t"}}
+        first = json.loads(ask(m, "viz", payload).content.splitlines()[0])["form"]
+        second = json.loads(ask(m, "viz", dict(payload, attempt=1)).content.splitlines()[0])["form"]
+        assert first == second != "paraview3d"
+
+
+class TestQASkill:
+    def test_error_scores_low(self):
+        m = MockLLM(error_model=NO_ERRORS)
+        resp = ask(m, "qa", {"step_key": "q1", "attempt": 0, "error": "KeyError: x", "result_rows": 0})
+        doc = extract_json(resp.content)
+        assert doc["score"] < 50
+
+    def test_good_output_scores_high(self):
+        m = MockLLM(error_model=NO_ERRORS)
+        resp = ask(m, "qa", {"step_key": "q2", "attempt": 0, "error": "", "result_rows": 100})
+        assert extract_json(resp.content)["score"] >= 50
+
+    def test_empty_result_penalized(self):
+        m = MockLLM(error_model=NO_ERRORS)
+        resp = ask(m, "qa", {"step_key": "q3", "attempt": 0, "error": "", "result_rows": 0})
+        assert extract_json(resp.content)["score"] < 50
+
+    def test_binary_mode_returns_bool(self):
+        m = MockLLM(error_model=NO_ERRORS)
+        resp = ask(m, "qa", {"step_key": "q4", "attempt": 0, "error": "", "result_rows": 10, "mode": "binary"})
+        assert "correct" in extract_json(resp.content)
+
+    def test_binary_mode_has_false_negatives(self):
+        m = MockLLM(seed=0, error_model=NO_ERRORS)
+        verdicts = []
+        for k in range(200):
+            resp = ask(m, "qa", {"step_key": f"b{k}", "attempt": 0, "error": "",
+                                 "result_rows": 10, "mode": "binary"})
+            verdicts.append(extract_json(resp.content)["correct"])
+        fn_rate = 1 - sum(verdicts) / len(verdicts)
+        assert 0.1 < fn_rate < 0.4  # the §4.2.4 motivation
+
+    def test_score_mode_fewer_false_negatives(self):
+        m = MockLLM(seed=0, error_model=NO_ERRORS)
+        passes = []
+        for k in range(200):
+            resp = ask(m, "qa", {"step_key": f"s{k}", "attempt": 0, "error": "", "result_rows": 10})
+            passes.append(extract_json(resp.content)["score"] >= 50)
+        fn_rate = 1 - sum(passes) / len(passes)
+        assert fn_rate < 0.05
+
+
+class TestContextWindow:
+    def test_truncation_counted(self):
+        m = MockLLM(error_model=NO_ERRORS, context_window=200)
+        filler = [ChatMessage("user", "history " * 200) for _ in range(3)]
+        directive = ChatMessage("user", "[[ROLE:doc]]\n[[PAYLOAD]]\n{\"completed_steps\": []}")
+        resp = m.chat(filler + [directive])
+        assert m.truncated_calls == 1
+        assert resp.prompt_tokens <= 200
+
+    def test_directive_survives_truncation(self):
+        m = MockLLM(error_model=NO_ERRORS, context_window=150)
+        filler = [ChatMessage("user", "irrelevant " * 500)]
+        directive = ChatMessage(
+            "user", '[[ROLE:supervisor]]\n[[PAYLOAD]]\n{"next_kind": "sql"}'
+        )
+        resp = m.chat(filler + [directive])
+        assert extract_json(resp.content)["delegate_to"] == "sql_programmer"
+
+    def test_no_truncation_below_window(self):
+        m = MockLLM(error_model=NO_ERRORS)
+        ask(m, "doc", {"completed_steps": []})
+        assert m.truncated_calls == 0
+
+
+class TestExtractJson:
+    def test_bare(self):
+        assert extract_json('{"a": 1}') == {"a": 1}
+
+    def test_fenced(self):
+        assert extract_json('prose\n```json\n{"a": 1}\n```') == {"a": 1}
+
+    def test_leading_prose(self):
+        assert extract_json('Here it is: {"a": 1}') == {"a": 1}
+
+    def test_no_json_raises(self):
+        with pytest.raises(ValueError):
+            extract_json("no json here")

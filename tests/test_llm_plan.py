@@ -1,0 +1,104 @@
+"""Plan expansion and difficulty classification."""
+
+import pytest
+
+from repro.llm.interpret import interpret_question
+from repro.llm.plan import (
+    analysis_level_from_steps,
+    expand_intent,
+    semantic_level,
+)
+
+
+def plan_for(question):
+    return expand_intent(interpret_question(question))
+
+
+class TestStructure:
+    def test_load_first_sql_second(self):
+        steps = plan_for("top 10 halos at timestep 624 in simulation 0")
+        assert steps[0].kind == "load"
+        assert steps[1].kind == "sql"
+
+    def test_indices_sequential(self):
+        steps = plan_for("plot the change in mass of the largest halos over all timesteps")
+        assert [s.index for s in steps] == list(range(len(steps)))
+
+    def test_paper_hard_hard_is_eight_steps(self):
+        steps = plan_for(
+            "At timestep 624, how does the slope and intrinsic scatter of the "
+            "stellar-to-halo mass (SMHM) relation vary as a function of seed mass? "
+            "Which seed mass values produce the tightest SMHM correlation, and is "
+            "there a threshold seed mass that maximizes stellar-mass assembly efficiency?"
+        )
+        assert len(steps) == 8  # matches the paper's decomposition exactly
+
+    def test_umap_gets_embedding_step(self):
+        steps = plan_for(
+            "generate an interestingness score and plot the top 1000 halos as a UMAP plot"
+        )
+        ops = [s.params.get("op") for s in steps if s.kind == "python"]
+        assert "interestingness" in ops and "umap_embed" in ops
+
+    def test_relation_adds_diagnostic_scatter(self):
+        steps = plan_for(
+            "how does the slope and normalization of the gas-mass fraction-mass "
+            "relation (sod_halo_MGas500c/sod_halo_M500c) evolve from the earliest "
+            "timestep to the latest timestep in simulation 0?"
+        )
+        forms = [s.params.get("form") for s in steps if s.kind == "viz"]
+        assert "scatter" in forms
+
+    def test_per_cell_rank_for_multi_scope(self):
+        steps = plan_for("the largest 5 halos at each time step in every simulation")
+        ops = [s.params.get("op") for s in steps if s.kind == "python"]
+        assert "top_k_per_cell" in ops
+
+    def test_load_columns_include_rank_metric(self):
+        steps = plan_for("top 10 halos by fof_halo_count at timestep 624 in simulation 0")
+        load = steps[0].params
+        assert "fof_halo_count" in load["columns"]["halos"]
+
+    def test_param_columns_for_sweep(self):
+        steps = plan_for(
+            "how does the intrinsic scatter of the SMHM relation vary as a function of seed mass"
+        )
+        assert steps[0].params["param_columns"] == ["M_seed"]
+
+    def test_join_flag_for_smhm(self):
+        steps = plan_for("the slope of the stellar-to-halo mass (SMHM) relation at timestep 624")
+        sql = next(s for s in steps if s.kind == "sql")
+        assert sql.params["join_galaxies"]
+
+    def test_galaxy_metric_for_galaxy_question(self):
+        steps = plan_for("plot the trend in gal_stellar_mass of the largest 5 galaxies over all timesteps")
+        track = next(s for s in steps if s.params.get("op") == "track_evolution")
+        assert track.params["metric"] == "gal_stellar_mass"
+
+
+class TestDifficultyThresholds:
+    def test_levels(self):
+        assert analysis_level_from_steps(3) == 0
+        assert analysis_level_from_steps(4.4) == 0
+        assert analysis_level_from_steps(4.5) == 1
+        assert analysis_level_from_steps(5.5) == 1
+        assert analysis_level_from_steps(5.6) == 2
+        assert analysis_level_from_steps(8) == 2
+
+    def test_semantic_easy(self):
+        i = interpret_question("average fof_halo_count at each time step")
+        assert semantic_level(i) == 0
+
+    def test_semantic_medium(self):
+        i = interpret_question("slope and normalization of the gas-mass fraction relation")
+        assert semantic_level(i) == 1
+
+    def test_semantic_hard_terms(self):
+        i = interpret_question("the intrinsic scatter of the SMHM relation by seed mass")
+        assert semantic_level(i) == 2
+
+    def test_semantic_hard_ambiguity(self):
+        i = interpret_question(
+            "make an inference on the direction of the FSN and VEL parameters"
+        )
+        assert semantic_level(i) == 2

@@ -1,0 +1,68 @@
+"""Parallel visualization execution (the paper's §5 future-work item)."""
+
+import pytest
+
+from repro.core import InferA, InferAConfig
+from repro.llm.errors import ErrorModel, NO_ERRORS
+
+TWO_PLOT_QUESTION = (
+    "Can you plot the change in mass of the largest friends-of-friends "
+    "halos for all timesteps in all simulations? Provide me two plots "
+    "using both fof_halo_count and fof_halo_mass as metrics for mass."
+)
+
+
+class TestParallelViz:
+    def test_same_outputs_as_serial(self, ensemble, tmp_path):
+        serial_app = InferA(
+            ensemble, tmp_path / "serial",
+            InferAConfig(error_model=NO_ERRORS, llm_latency_s=0.0),
+        )
+        parallel_app = InferA(
+            ensemble, tmp_path / "parallel",
+            InferAConfig(error_model=NO_ERRORS, llm_latency_s=0.0, parallel_viz=True),
+        )
+        serial = serial_app.run_query(TWO_PLOT_QUESTION)
+        parallel = parallel_app.run_query(TWO_PLOT_QUESTION)
+        assert serial.completed and parallel.completed
+        assert len(parallel.figures) == len(serial.figures) == 2
+        assert serial.tables["track_fof_halo_mass"].equals(
+            parallel.tables["track_fof_halo_mass"]
+        )
+
+    def test_step_results_complete(self, ensemble, tmp_path):
+        app = InferA(
+            ensemble, tmp_path / "p",
+            InferAConfig(error_model=NO_ERRORS, llm_latency_s=0.0, parallel_viz=True),
+        )
+        report = app.run_query(TWO_PLOT_QUESTION)
+        viz_results = [s for s in report.run.steps if s.kind == "viz"]
+        assert len(viz_results) == 2
+        assert all(s.status == "ok" for s in viz_results)
+        assert report.run.tasks_completed_fraction == 1.0
+
+    def test_repair_loop_still_works_in_batch(self, ensemble, tmp_path):
+        flaky = ErrorModel(
+            column_typo_rate=0.6, repair_miss_rate=0.0, double_error_rate=0.0,
+            concept_error_rates=(0, 0, 0), wrong_metric_rate=0.0,
+            tool_misuse_rate=0.0, viz_misselection_rate=0.0,
+        )
+        app = InferA(
+            ensemble, tmp_path / "f",
+            InferAConfig(seed=11, error_model=flaky, llm_latency_s=0.0, parallel_viz=True),
+        )
+        report = app.run_query(TWO_PLOT_QUESTION)
+        assert report.completed  # typos repaired inside the batch loop
+
+    def test_budget_exhaustion_fails_run(self, ensemble, tmp_path):
+        hopeless = ErrorModel(
+            column_typo_rate=1.0, repair_miss_rate=1.0, double_error_rate=0.0,
+            concept_error_rates=(0, 0, 0), wrong_metric_rate=0.0,
+            tool_misuse_rate=0.0, viz_misselection_rate=0.0,
+        )
+        app = InferA(
+            ensemble, tmp_path / "h",
+            InferAConfig(error_model=hopeless, llm_latency_s=0.0, parallel_viz=True),
+        )
+        report = app.run_query(TWO_PLOT_QUESTION)
+        assert not report.completed

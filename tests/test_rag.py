@@ -1,0 +1,169 @@
+"""RAG layer: chunking, MMR, multi-prompt retrieval."""
+
+import numpy as np
+import pytest
+
+from repro.llm import HashedEmbedder
+from repro.rag import (
+    ColumnRetriever,
+    VectorIndex,
+    build_documents,
+    chunk_text,
+    mmr_select,
+)
+from repro.rag.documents import MAX_DOC_TOKENS
+from repro.sim.schema import (
+    COLUMN_DESCRIPTIONS,
+    FILE_STRUCTURE_DESCRIPTIONS,
+    IMPORTANT_COLUMNS,
+)
+
+
+class TestFineGrainedChunking:
+    def test_one_doc_per_column(self):
+        docs = build_documents(COLUMN_DESCRIPTIONS)
+        expected = sum(len(cols) for cols in COLUMN_DESCRIPTIONS.values())
+        assert len(docs) == expected
+
+    def test_token_limit_respected(self):
+        docs = build_documents(COLUMN_DESCRIPTIONS, FILE_STRUCTURE_DESCRIPTIONS)
+        assert all(d.token_count() <= MAX_DOC_TOKENS for d in docs)
+
+    def test_doc_ids_unique(self):
+        docs = build_documents(COLUMN_DESCRIPTIONS)
+        assert len({d.doc_id for d in docs}) == len(docs)
+
+    def test_important_flag(self):
+        docs = build_documents(COLUMN_DESCRIPTIONS, important=IMPORTANT_COLUMNS)
+        flagged = {d.column for d in docs if d.important}
+        assert flagged == IMPORTANT_COLUMNS
+
+    def test_structure_docs_included(self):
+        docs = build_documents(COLUMN_DESCRIPTIONS, FILE_STRUCTURE_DESCRIPTIONS)
+        assert any(d.entity == "structure" for d in docs)
+
+    def test_long_description_truncated(self):
+        long = {"e": {"col": "word " * 500}}
+        docs = build_documents(long)
+        assert docs[0].token_count() <= MAX_DOC_TOKENS
+
+
+class TestSizeBasedChunking:
+    def test_chunks_merge_columns(self):
+        """The failure mode the paper avoids: unrelated columns share chunks."""
+        docs = chunk_text(COLUMN_DESCRIPTIONS, chunk_tokens=80)
+        merged = [d for d in docs if ";" in d.column]
+        assert merged  # at least one chunk spans several columns
+
+    def test_chunks_respect_token_budget(self):
+        docs = chunk_text(COLUMN_DESCRIPTIONS, chunk_tokens=60)
+        from repro.util.tokens import count_tokens
+
+        assert all(count_tokens(d.text) <= 75 for d in docs)  # small slack for word boundaries
+
+    def test_fewer_chunks_than_columns(self):
+        fine = build_documents(COLUMN_DESCRIPTIONS)
+        coarse = chunk_text(COLUMN_DESCRIPTIONS, chunk_tokens=160)
+        assert len(coarse) < len(fine)
+
+
+class TestMMR:
+    def test_k_results(self):
+        sims = np.asarray([0.9, 0.8, 0.7, 0.1])
+        matrix = np.eye(4)
+        assert len(mmr_select(sims, matrix, 2)) == 2
+
+    def test_pure_relevance_at_lambda_one(self):
+        sims = np.asarray([0.1, 0.9, 0.5])
+        matrix = np.eye(3)
+        assert mmr_select(sims, matrix, 2, lambda_mult=1.0) == [1, 2]
+
+    def test_redundancy_penalized(self):
+        # doc 1 duplicates doc 0; doc 2 is distinct with lower relevance
+        matrix = np.asarray([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        sims = np.asarray([0.9, 0.89, 0.5])
+        chosen = mmr_select(sims, matrix, 2, lambda_mult=0.5)
+        assert chosen == [0, 2]  # skips the near-duplicate
+
+    def test_empty(self):
+        assert mmr_select(np.zeros(0), np.zeros((0, 3)), 5) == []
+
+    def test_k_larger_than_n(self):
+        sims = np.asarray([0.5, 0.4])
+        assert len(mmr_select(sims, np.eye(2), 10)) == 2
+
+    def test_bad_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            mmr_select(np.asarray([0.5]), np.eye(1), 1, lambda_mult=2.0)
+
+
+class TestVectorIndex:
+    def test_search_ranks_relevant_first(self):
+        docs = build_documents(COLUMN_DESCRIPTIONS)
+        index = VectorIndex(docs)
+        hits = index.search("gas mass enclosed in spherical overdensity", k=5)
+        names = [d.column for d, _ in hits]
+        assert "sod_halo_MGas500c" in names
+
+    def test_empty_index(self):
+        index = VectorIndex([])
+        assert index.similarities("x").shape == (0,)
+
+
+class TestColumnRetriever:
+    @pytest.fixture(scope="class")
+    def retriever(self):
+        return ColumnRetriever(
+            COLUMN_DESCRIPTIONS, FILE_STRUCTURE_DESCRIPTIONS, important=IMPORTANT_COLUMNS
+        )
+
+    def test_retrieves_explicit_column(self, retriever):
+        result = retriever.retrieve("average fof_halo_count per timestep")
+        assert "fof_halo_count" in result.column_names
+
+    def test_semantic_phrase_resolution(self, retriever):
+        result = retriever.retrieve("velocity dispersion of the largest halos")
+        assert "fof_halo_vel_disp" in result.column_names
+
+    def test_respects_max_total(self, retriever):
+        result = retriever.retrieve("halos", task="t", plan="p", max_total=10)
+        assert len(result.documents) <= 10
+
+    def test_important_columns_boosted(self, retriever):
+        result = retriever.retrieve("anything vague about the data")
+        important_found = set(result.column_names) & IMPORTANT_COLUMNS
+        assert important_found  # the [IMPORTANT] prompt pulls these in
+
+    def test_per_prompt_bookkeeping(self, retriever):
+        result = retriever.retrieve("halo mass", task="load mass", plan="1. load")
+        assert set(result.per_prompt) == {"query", "task", "plan", "important"}
+        assert all(len(v) <= 20 for v in result.per_prompt.values())
+
+    def test_entity_filter(self, retriever):
+        result = retriever.retrieve("galaxy stellar mass")
+        gal_cols = result.columns_for_entity("galaxies")
+        assert "gal_stellar_mass" in gal_cols
+
+    def test_fine_beats_coarse_chunking(self):
+        """The §3.1 ablation: retrieval precision of the two strategies."""
+        fine = VectorIndex(build_documents(COLUMN_DESCRIPTIONS))
+        coarse = VectorIndex(chunk_text(COLUMN_DESCRIPTIONS, chunk_tokens=80))
+
+        queries = {
+            "gas mass enclosed at 500 critical density": "sod_halo_MGas500c",
+            "number of particles in the halo": "fof_halo_count",
+            "galaxy star formation rate": "gal_sfr",
+            "halo velocity dispersion": "fof_halo_vel_disp",
+        }
+
+        def precision(index):
+            hits = 0
+            for q, target in queries.items():
+                top = index.search(q, k=3)
+                cols = set()
+                for d, _ in top:
+                    cols.update(d.column.split(";"))
+                hits += target in cols
+            return hits / len(queries)
+
+        assert precision(fine) >= precision(coarse)

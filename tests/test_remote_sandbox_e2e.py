@@ -1,0 +1,76 @@
+"""Full InferA runs through the HTTP sandbox gateway.
+
+The paper deploys the sandbox as a separate ASGI server; this test wires
+the assistant to the stdlib HTTP gateway and verifies a complete query —
+including figure production — behaves identically to in-process execution.
+"""
+
+import pytest
+
+from repro.agents.tools import default_toolset
+from repro.core import InferA, InferAConfig
+from repro.llm.errors import NO_ERRORS
+from repro.sandbox import SandboxExecutor, SandboxServer
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    with SandboxServer(SandboxExecutor(tools=default_toolset())) as server:
+        yield server
+
+
+class TestRemoteSandboxRuns:
+    def test_data_question(self, gateway, ensemble, tmp_path):
+        app = InferA(
+            ensemble, tmp_path / "w",
+            InferAConfig(error_model=NO_ERRORS, llm_latency_s=0.0, sandbox_url=gateway.url),
+        )
+        report = app.run_query(
+            "Can you find me the top 10 largest friends-of-friends halos from "
+            "timestep 624 in simulation 0?"
+        )
+        assert report.completed
+        assert report.tables["work"].num_rows == 10
+
+    def test_figure_question_over_http(self, gateway, ensemble, tmp_path):
+        app = InferA(
+            ensemble, tmp_path / "w2",
+            InferAConfig(error_model=NO_ERRORS, llm_latency_s=0.0, sandbox_url=gateway.url),
+        )
+        report = app.run_query(
+            "Show a histogram of fof_halo_mass for halos at timestep 624 in simulation 0"
+        )
+        assert report.completed
+        assert report.figures and report.figures[0].startswith("<svg")
+
+    def test_matches_in_process_result(self, gateway, ensemble, tmp_path):
+        question = (
+            "What is the average fof_halo_mass of halos at each time step in simulation 1?"
+        )
+        remote = InferA(
+            ensemble, tmp_path / "r",
+            InferAConfig(error_model=NO_ERRORS, llm_latency_s=0.0, sandbox_url=gateway.url),
+        ).run_query(question)
+        local = InferA(
+            ensemble, tmp_path / "l",
+            InferAConfig(error_model=NO_ERRORS, llm_latency_s=0.0),
+        ).run_query(question)
+        assert remote.completed and local.completed
+        assert remote.tables["aggregated"].equals(local.tables["aggregated"])
+
+    def test_error_repair_over_http(self, gateway, ensemble, tmp_path):
+        from repro.llm.errors import ErrorModel
+
+        flaky = ErrorModel(
+            column_typo_rate=0.7, repair_miss_rate=0.0, double_error_rate=0.0,
+            concept_error_rates=(0, 0, 0), wrong_metric_rate=0.0,
+            tool_misuse_rate=0.0, viz_misselection_rate=0.0,
+        )
+        app = InferA(
+            ensemble, tmp_path / "f",
+            InferAConfig(seed=4, error_model=flaky, llm_latency_s=0.0, sandbox_url=gateway.url),
+        )
+        report = app.run_query(
+            "top 5 halos by fof_halo_count at timestep 624 in simulation 0"
+        )
+        assert report.completed  # gateway error messages drive the repair loop

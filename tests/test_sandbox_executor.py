@@ -1,0 +1,109 @@
+"""Restricted executor: isolation, contract, error reporting."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+from repro.sandbox import SandboxExecutor
+from repro.viz import Figure
+
+
+@pytest.fixture()
+def executor():
+    return SandboxExecutor()
+
+
+@pytest.fixture()
+def tables():
+    return {"work": Frame({"a": np.asarray([1.0, 2.0, 3.0]), "b": np.asarray([4, 5, 6])})}
+
+
+class TestContract:
+    def test_result_returned(self, executor, tables):
+        out = executor.execute("result = tables['work']", tables)
+        assert out.ok
+        assert out.result.num_rows == 3
+
+    def test_no_result_is_ok(self, executor, tables):
+        out = executor.execute("x = 1", tables)
+        assert out.ok and out.result is None
+
+    def test_result_must_be_frame(self, executor, tables):
+        out = executor.execute("result = 42", tables)
+        assert not out.ok
+        assert out.error_type == "ContractViolation"
+
+    def test_figure_contract(self, executor, tables):
+        out = executor.execute(
+            "figure = Figure()\n"
+            "figure.axes(0).plot([0, 1], [0, 1])\n"
+            "result = tables['work']",
+            tables,
+        )
+        assert out.ok
+        assert isinstance(out.figure, Figure)
+
+    def test_figure_wrong_type(self, executor, tables):
+        out = executor.execute("figure = 'not a figure'", tables)
+        assert not out.ok
+
+    def test_published_tables_visible(self, executor, tables):
+        out = executor.execute("tables['derived'] = tables['work']", tables)
+        assert "derived" in out.tables
+
+
+class TestIsolation:
+    def test_source_frames_never_mutated(self, executor, tables):
+        original = tables["work"]["a"].copy()
+        out = executor.execute(
+            "work = tables['work']\n"
+            "arr = work['a']\n"
+            "arr[:] = 0.0\n"   # mutates the *copy*
+            "result = work",
+            tables,
+        )
+        assert out.ok
+        assert np.array_equal(tables["work"]["a"], original)
+
+    def test_forbidden_import_blocked_statically(self, executor, tables):
+        out = executor.execute("import os", tables)
+        assert not out.ok
+        assert out.error_type == "SafetyViolation"
+
+    def test_runtime_import_blocked(self, executor, tables):
+        # __import__ via builtins is replaced by a restricted importer
+        out = executor.execute("import numpy\nimport math", tables)
+        assert out.ok
+
+    def test_no_open_builtin(self, executor, tables):
+        out = executor.execute("f = open('/tmp/x', 'w')", tables)
+        assert not out.ok
+
+    def test_print_is_noop(self, executor, tables):
+        out = executor.execute("print('hello')\nresult = tables['work']", tables)
+        assert out.ok
+
+
+class TestErrorReporting:
+    def test_missing_column_lists_candidates(self, executor, tables):
+        out = executor.execute("x = tables['work']['zz']", tables)
+        assert not out.ok
+        assert out.error_type == "ColumnMismatchError"
+        assert "a" in out.error_message and "b" in out.error_message
+
+    def test_runtime_exception_detailed(self, executor, tables):
+        out = executor.execute("x = 1 / 0", tables)
+        assert not out.ok
+        assert out.error_type == "ZeroDivisionError"
+        assert "division" in out.error_message
+
+    def test_missing_table_keyerror(self, executor, tables):
+        out = executor.execute("x = tables['ghost']", tables)
+        assert not out.ok
+        assert out.error_type == "KeyError"
+
+    def test_summary_shape(self, executor, tables):
+        out = executor.execute("result = tables['work']", tables)
+        s = out.summary()
+        assert s["ok"] and s["result_rows"] == 3
+        assert s["result_columns"] == ["a", "b"]

@@ -1,0 +1,50 @@
+"""AST safety audit."""
+
+import pytest
+
+from repro.sandbox import SafetyViolation, audit_code
+
+
+class TestAllowed:
+    def test_numpy_import(self):
+        audit_code("import numpy as np\nx = np.zeros(3)")
+
+    def test_math_import(self):
+        audit_code("import math\ny = math.sqrt(4)")
+
+    def test_normal_analysis_code(self):
+        audit_code(
+            "work = tables['work']\n"
+            "result = work.groupby(['step']).agg({'m': 'mean'})\n"
+        )
+
+    def test_loops_and_comprehensions(self):
+        audit_code("xs = [i * 2 for i in range(10)]\nfor x in xs:\n    pass")
+
+
+class TestRejected:
+    @pytest.mark.parametrize(
+        "code,needle",
+        [
+            ("import os", "os"),
+            ("import subprocess", "subprocess"),
+            ("from pathlib import Path", "pathlib"),
+            ("import socket", "socket"),
+            ("open('/etc/passwd')", "open"),
+            ("eval('1+1')", "eval"),
+            ("exec('x=1')", "exec"),
+            ("__import__('os')", "dunder"),
+            ("x = ().__class__", "dunder"),
+            ("getattr(x, 'y')", "getattr"),
+            ("globals()['x'] = 1", "globals"),
+            ("global x", "global"),
+            ("del tables", "del"),
+        ],
+    )
+    def test_forbidden(self, code, needle):
+        with pytest.raises(SafetyViolation):
+            audit_code(code)
+
+    def test_syntax_error_wrapped(self):
+        with pytest.raises(SafetyViolation, match="syntax"):
+            audit_code("def broken(:")

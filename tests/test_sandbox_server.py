@@ -1,0 +1,80 @@
+"""HTTP gateway round-trips (the Uvicorn/FastAPI substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+from repro.sandbox import SandboxClient, SandboxServer
+from repro.sandbox.serialize import frame_from_json, frame_to_json
+
+
+@pytest.fixture(scope="module")
+def server():
+    with SandboxServer() as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return SandboxClient(server.url)
+
+
+class TestSerialization:
+    def test_frame_json_round_trip(self):
+        f = Frame(
+            {
+                "i": np.asarray([1, 2], dtype=np.int64),
+                "x": np.asarray([0.5, np.nan]),
+                "s": np.asarray(["a", "b"], dtype=object),
+            }
+        )
+        g = frame_from_json(frame_to_json(f))
+        assert g["i"].dtype == np.int64
+        assert np.isnan(g["x"][1])
+        assert list(g["s"]) == ["a", "b"]
+
+
+class TestGateway:
+    def test_health(self, client):
+        assert client.health()
+
+    def test_execute_round_trip(self, client):
+        tables = {"work": Frame({"a": np.asarray([1.0, 2.0, 3.0])})}
+        result = client.execute(
+            "result = tables['work'].filter(tables['work']['a'] > 1.5)", tables
+        )
+        assert result.ok
+        assert result.result.num_rows == 2
+
+    def test_error_propagated(self, client):
+        result = client.execute("x = tables['work']['nope']", {"work": Frame({"a": [1]})})
+        assert not result.ok
+        assert "nope" in result.error_message
+
+    def test_figure_returned_as_svg(self, client):
+        code = (
+            "figure = Figure()\n"
+            "figure.axes(0).plot([0, 1], [0, 1])\n"
+            "result = tables['work']"
+        )
+        result = client.execute(code, {"work": Frame({"a": [1.0]})})
+        assert result.ok
+        assert result.meta["figure_svg"].startswith("<svg")
+
+    def test_server_survives_bad_payload(self, client, server):
+        import urllib.request
+        import json
+
+        req = urllib.request.Request(
+            f"{server.url}/execute", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(req, timeout=10)
+        assert client.health()  # still alive
+
+    def test_unknown_path_404(self, server):
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(f"{server.url}/nope", timeout=10)

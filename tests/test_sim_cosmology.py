@@ -1,0 +1,63 @@
+"""FLRW background helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cosmology import DEFAULT_COSMOLOGY, Cosmology
+
+
+class TestScaleFactor:
+    def test_final_step_is_today(self):
+        assert DEFAULT_COSMOLOGY.scale_factor(624) == pytest.approx(1.0)
+
+    def test_step_zero_is_initial(self):
+        a0 = DEFAULT_COSMOLOGY.scale_factor(0)
+        assert a0 == pytest.approx(1.0 / (1.0 + DEFAULT_COSMOLOGY.z_initial))
+
+    def test_monotone(self):
+        steps = np.arange(0, 625, 25)
+        a = DEFAULT_COSMOLOGY.scale_factor(steps)
+        assert np.all(np.diff(a) > 0)
+
+    def test_redshift_inverse(self):
+        z = DEFAULT_COSMOLOGY.redshift(312)
+        a = DEFAULT_COSMOLOGY.scale_factor(312)
+        assert a == pytest.approx(1.0 / (1.0 + z))
+
+
+class TestHubble:
+    def test_e_of_a_today(self):
+        assert DEFAULT_COSMOLOGY.e_of_a(1.0) == pytest.approx(1.0)
+
+    def test_e_grows_into_past(self):
+        assert DEFAULT_COSMOLOGY.e_of_a(0.5) > DEFAULT_COSMOLOGY.e_of_a(1.0)
+
+    def test_critical_density_today_magnitude(self):
+        # rho_c,0 ~ 2.775e11 Msun h^2 / Mpc^3
+        rho = DEFAULT_COSMOLOGY.critical_density(1.0)
+        assert rho == pytest.approx(2.775e11, rel=0.01)
+
+
+class TestGrowth:
+    def test_normalized_today(self):
+        assert DEFAULT_COSMOLOGY.growth_factor(1.0) == pytest.approx(1.0)
+
+    def test_monotone_growth(self):
+        d = [DEFAULT_COSMOLOGY.growth_factor(a) for a in (0.2, 0.5, 0.8, 1.0)]
+        assert all(x < y for x, y in zip(d, d[1:]))
+
+    def test_matter_era_linear(self):
+        # in an EdS-like early era D(a) ~ a
+        c = Cosmology(omega_m=1.0, omega_l=0.0)
+        assert c.growth_factor(0.5) == pytest.approx(0.5, rel=0.02)
+
+
+class TestR500c:
+    def test_scaling_with_mass(self):
+        r = DEFAULT_COSMOLOGY.r500c(np.asarray([1e13, 8e13]), 1.0)
+        # R ~ M^(1/3): 8x mass -> 2x radius
+        assert r[1] / r[0] == pytest.approx(2.0, rel=1e-6)
+
+    def test_cluster_scale_magnitude(self):
+        r = DEFAULT_COSMOLOGY.r500c(np.asarray([1e14]), 1.0)
+        assert 0.3 < float(r[0]) < 2.0  # Mpc/h, typical cluster R500c

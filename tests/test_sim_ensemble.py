@@ -1,0 +1,128 @@
+"""Ensemble generation, directory hierarchy, manifest, evolution."""
+
+import numpy as np
+import pytest
+
+from repro.sim import EnsembleSpec, generate_ensemble
+from repro.sim.ensemble import Ensemble
+from repro.sim.schema import columns_for
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        EnsembleSpec().validate()
+
+    def test_bad_runs(self):
+        with pytest.raises(ValueError):
+            EnsembleSpec(n_runs=0).validate()
+
+    def test_unsorted_timesteps(self):
+        with pytest.raises(ValueError):
+            EnsembleSpec(timesteps=(624, 0)).validate()
+
+    def test_out_of_range_timestep(self):
+        with pytest.raises(ValueError):
+            EnsembleSpec(timesteps=(0, 700)).validate()
+
+    def test_params_length_checked(self):
+        from repro.sim.subgrid import SubgridParams
+
+        with pytest.raises(ValueError):
+            EnsembleSpec(n_runs=2, params=(SubgridParams(),)).validate()
+
+
+class TestGeneratedEnsemble:
+    def test_directory_structure(self, ensemble):
+        assert (ensemble.root / "manifest.json").exists()
+        assert (ensemble.root / "run_000" / "step_624" / "halos.gio").exists()
+        assert (ensemble.root / "run_003" / "step_000" / "galaxies.gio").exists()
+
+    def test_open_round_trip(self, ensemble):
+        reopened = Ensemble(ensemble.root)
+        assert reopened.n_runs == ensemble.n_runs
+        assert reopened.timesteps == ensemble.timesteps
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Ensemble(tmp_path)
+
+    def test_entity_kinds(self, ensemble):
+        kinds = ensemble.entity_kinds(0)
+        assert set(kinds) == {"halos", "galaxies", "particles"}
+
+    def test_halos_schema(self, ensemble):
+        halos = ensemble.read(0, 624, "halos")
+        assert halos.columns == columns_for("halos")
+        assert halos.num_rows > 0
+
+    def test_selective_column_read(self, ensemble):
+        frame = ensemble.read(1, 498, "halos", ["fof_halo_count"])
+        assert frame.columns == ["fof_halo_count"]
+
+    def test_params_vary_across_runs(self, ensemble):
+        p0 = ensemble.params_for(0)
+        p1 = ensemble.params_for(1)
+        assert p0 != p1
+
+    def test_out_of_range_run(self, ensemble):
+        with pytest.raises(IndexError):
+            ensemble.file_path(99, 624, "halos")
+
+    def test_unknown_step(self, ensemble):
+        with pytest.raises(KeyError):
+            ensemble.file_path(0, 123, "halos")
+
+    def test_unknown_kind(self, ensemble):
+        with pytest.raises(KeyError):
+            ensemble.file_path(0, 624, "cores")
+
+    def test_total_bytes_positive_and_matches_manifest(self, ensemble):
+        total = ensemble.total_data_bytes()
+        assert total > 0
+        on_disk = sum(
+            f.stat().st_size for f in ensemble.root.rglob("*.gio")
+        )
+        assert total == on_disk
+
+    def test_describe_mentions_runs(self, ensemble):
+        text = ensemble.describe()
+        assert "runs: 4" in text
+
+
+class TestEvolution:
+    def test_tags_stable_across_steps(self, ensemble):
+        early = set(ensemble.read(0, 249, "halos", ["fof_halo_tag"])["fof_halo_tag"].tolist())
+        late = set(ensemble.read(0, 624, "halos", ["fof_halo_tag"])["fof_halo_tag"].tolist())
+        assert early <= late  # halos only emerge, never vanish
+
+    def test_halos_grow(self, ensemble):
+        early = ensemble.read(0, 0, "halos", ["fof_halo_tag", "fof_halo_mass"])
+        late = ensemble.read(0, 624, "halos", ["fof_halo_tag", "fof_halo_mass"])
+        merged = early.rename({"fof_halo_mass": "m_early"}).merge(late, on="fof_halo_tag")
+        assert (merged["fof_halo_mass"] >= merged["m_early"]).mean() > 0.95
+
+    def test_halo_count_increases_with_time(self, ensemble):
+        counts = [
+            ensemble.read(0, step, "halos", ["fof_halo_tag"]).num_rows
+            for step in ensemble.timesteps
+        ]
+        assert counts[-1] >= counts[0]
+
+    def test_run_tags_disjoint(self, ensemble):
+        t0 = set(ensemble.read(0, 624, "halos", ["fof_halo_tag"])["fof_halo_tag"].tolist())
+        t1 = set(ensemble.read(1, 624, "halos", ["fof_halo_tag"])["fof_halo_tag"].tolist())
+        assert not (t0 & t1)
+
+    def test_attrs_carry_params(self, ensemble):
+        gio = ensemble.open_file(2, 624, "halos")
+        assert gio.attrs["run"] == 2
+        assert gio.attrs["step"] == 624
+        assert "param_M_seed" in gio.attrs
+
+    def test_regeneration_deterministic(self, tmp_path):
+        spec = EnsembleSpec(n_runs=1, n_particles=300, timesteps=(0, 624), seed=77, write_particles=False)
+        a = generate_ensemble(tmp_path / "a", spec)
+        b = generate_ensemble(tmp_path / "b", spec)
+        fa = a.read(0, 624, "halos")
+        fb = b.read(0, 624, "halos")
+        assert fa.equals(fb)

@@ -1,0 +1,111 @@
+"""Friends-of-friends halo finder: invariants and truth recovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.fof import friends_of_friends
+from repro.sim.particles import generate_particles
+
+
+class TestBasics:
+    def test_empty(self):
+        r = friends_of_friends(np.zeros((0, 3)), 64.0)
+        assert r.num_groups == 0
+
+    def test_single_pair_linked(self):
+        pos = np.asarray([[1.0, 1.0, 1.0], [1.05, 1.0, 1.0]])
+        r = friends_of_friends(pos, 10.0, linking_length=0.1, min_members=2)
+        assert r.num_groups == 1
+        assert r.group[0] == r.group[1] == 0
+
+    def test_distant_pair_not_linked(self):
+        pos = np.asarray([[1.0, 1.0, 1.0], [5.0, 5.0, 5.0]])
+        r = friends_of_friends(pos, 10.0, linking_length=0.1, min_members=1)
+        assert r.group[0] != r.group[1]
+
+    def test_chain_percolation(self):
+        # particles in a line, each within ll of the next -> one group
+        pos = np.stack([np.arange(10) * 0.09, np.zeros(10), np.zeros(10)], axis=1) + 1.0
+        r = friends_of_friends(pos, 20.0, linking_length=0.1, min_members=5)
+        assert r.num_groups == 1
+        assert np.all(r.group == 0)
+
+    def test_min_members_cut(self):
+        # a triple below min_members dissolves to -1
+        pos = np.asarray([[1, 1, 1], [1.05, 1, 1], [1.1, 1, 1]], dtype=float)
+        r = friends_of_friends(pos, 10.0, linking_length=0.1, min_members=5)
+        assert r.num_groups == 0
+        assert np.all(r.group == -1)
+
+    def test_periodic_wrap(self):
+        # particles straddling the box edge must link
+        pos = np.asarray([[0.02, 5, 5], [9.98, 5, 5]])
+        r = friends_of_friends(pos, 10.0, linking_length=0.1, min_members=2)
+        assert r.num_groups == 1
+
+    def test_default_linking_length(self):
+        pos = np.random.default_rng(0).uniform(0, 64, (500, 3))
+        r = friends_of_friends(pos, 64.0)
+        assert r.linking_length == pytest.approx(0.2 * 64.0 / 500 ** (1 / 3))
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            friends_of_friends(np.zeros((5, 2)), 10.0)
+
+    def test_group_ids_dense(self):
+        pf = generate_particles(1500, 64.0, np.random.default_rng(1))
+        r = friends_of_friends(pf.positions, 64.0, linking_length=0.45, min_members=8)
+        found = np.unique(r.group[r.group >= 0])
+        assert np.array_equal(found, np.arange(r.num_groups))
+
+
+class TestTruthRecovery:
+    def test_recovers_seeded_halos(self):
+        pf = generate_particles(2500, 64.0, np.random.default_rng(2))
+        r = friends_of_friends(pf.positions, 64.0, linking_length=0.45, min_members=8)
+        truth_ids = np.unique(pf.true_halo_tag[pf.true_halo_tag >= 0])
+        # group count within a factor of 2 of truth (mergers/splits allowed)
+        assert 0.5 * len(truth_ids) <= r.num_groups <= 2.0 * len(truth_ids)
+
+    def test_purity_of_largest_group(self):
+        pf = generate_particles(2500, 64.0, np.random.default_rng(3))
+        r = friends_of_friends(pf.positions, 64.0, linking_length=0.45, min_members=8)
+        largest = np.bincount(r.group[r.group >= 0]).argmax()
+        members_truth = pf.true_halo_tag[r.group == largest]
+        dominant = np.bincount(members_truth[members_truth >= 0]).max()
+        assert dominant / len(members_truth) > 0.7
+
+    def test_field_particles_mostly_unassigned(self):
+        pf = generate_particles(2500, 64.0, np.random.default_rng(4))
+        r = friends_of_friends(pf.positions, 64.0, linking_length=0.4, min_members=8)
+        field = pf.true_halo_tag < 0
+        assert (r.group[field] == -1).mean() > 0.8
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_partition_property(seed):
+    """Every particle belongs to exactly one group or none; groups >= min size."""
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 32, (rng.integers(20, 300), 3))
+    r = friends_of_friends(pos, 32.0, linking_length=0.8, min_members=4)
+    assert len(r.group) == len(pos)
+    if r.num_groups:
+        counts = np.bincount(r.group[r.group >= 0], minlength=r.num_groups)
+        assert counts.min() >= 4
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_translation_invariance(seed):
+    """Shifting all particles by a constant (mod box) preserves group sizes."""
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 32, (150, 3))
+    shift = rng.uniform(0, 32, 3)
+    r1 = friends_of_friends(pos, 32.0, linking_length=0.9, min_members=3)
+    r2 = friends_of_friends((pos + shift) % 32.0, 32.0, linking_length=0.9, min_members=3)
+    s1 = sorted(np.bincount(r1.group[r1.group >= 0]).tolist()) if r1.num_groups else []
+    s2 = sorted(np.bincount(r2.group[r2.group >= 0]).tolist()) if r2.num_groups else []
+    assert s1 == s2

@@ -1,0 +1,116 @@
+"""Galaxy catalog construction: occupation, SMHM physics, join keys."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cosmology import DEFAULT_COSMOLOGY
+from repro.sim.galaxies import build_galaxy_catalog
+from repro.sim.halos import build_halo_catalog
+from repro.sim.schema import columns_for
+from repro.sim.subgrid import SubgridParams
+
+
+def make_halos(n=60, seed=3, params=None):
+    rng = np.random.default_rng(seed)
+    masses = rng.lognormal(29.5, 1.2, n)
+    return build_halo_catalog(
+        np.arange(n, dtype=np.int64),
+        masses,
+        rng.uniform(0, 64, (n, 3)),
+        rng.normal(0, 200, (n, 3)),
+        params or SubgridParams(),
+        DEFAULT_COSMOLOGY,
+        624,
+        rng,
+    )
+
+
+class TestCatalogStructure:
+    def test_schema(self):
+        halos = make_halos()
+        gals = build_galaxy_catalog(halos, SubgridParams(), 1.0, np.random.default_rng(0))
+        assert gals.columns == columns_for("galaxies")
+
+    def test_at_least_one_central_per_halo(self):
+        halos = make_halos()
+        gals = build_galaxy_catalog(halos, SubgridParams(), 1.0, np.random.default_rng(1))
+        hosts = set(gals["fof_halo_tag"].tolist())
+        assert hosts == set(halos["fof_halo_tag"].tolist())
+
+    def test_tags_unique(self):
+        halos = make_halos()
+        gals = build_galaxy_catalog(halos, SubgridParams(), 1.0, np.random.default_rng(2))
+        assert len(np.unique(gals["gal_tag"])) == gals.num_rows
+
+    def test_join_key_valid(self):
+        halos = make_halos()
+        gals = build_galaxy_catalog(halos, SubgridParams(), 1.0, np.random.default_rng(3))
+        joined = gals.merge(halos, on="fof_halo_tag")
+        assert joined.num_rows == gals.num_rows
+
+    def test_empty_halos(self):
+        empty = make_halos().head(0)
+        gals = build_galaxy_catalog(empty, SubgridParams(), 1.0, np.random.default_rng(4))
+        assert gals.num_rows == 0
+        assert gals.columns == columns_for("galaxies")
+
+    def test_massive_halos_host_more_galaxies(self):
+        halos = make_halos(100, seed=8)
+        gals = build_galaxy_catalog(halos, SubgridParams(), 1.0, np.random.default_rng(5))
+        merged = gals.groupby("fof_halo_tag").size().merge(halos, on="fof_halo_tag")
+        heavy = merged.filter(merged["fof_halo_mass"] > np.median(merged["fof_halo_mass"]))
+        light = merged.filter(merged["fof_halo_mass"] <= np.median(merged["fof_halo_mass"]))
+        assert heavy["size"].mean() >= light["size"].mean()
+
+
+class TestPhysics:
+    def test_smhm_correlation(self):
+        halos = make_halos(150, seed=10)
+        gals = build_galaxy_catalog(halos, SubgridParams(), 1.0, np.random.default_rng(6))
+        joined = gals.merge(halos, on="fof_halo_tag")
+        # centrals only (rank 0 = gal_tag % 1000 == 0)
+        centrals = joined.filter(joined["gal_tag"] % 1000 == 0)
+        r = np.corrcoef(
+            np.log10(centrals["fof_halo_mass"]), np.log10(centrals["gal_stellar_mass"])
+        )[0, 1]
+        assert r > 0.5
+
+    def test_seed_mass_controls_scatter(self):
+        """The core physics of the paper's hard/hard question."""
+        def central_scatter(m_seed):
+            halos = make_halos(250, seed=11, params=SubgridParams(M_seed=m_seed))
+            gals = build_galaxy_catalog(
+                halos, SubgridParams(M_seed=m_seed), 1.0, np.random.default_rng(7)
+            )
+            joined = gals.merge(halos, on="fof_halo_tag")
+            centrals = joined.filter(joined["gal_tag"] % 1000 == 0)
+            lx = np.log10(centrals["fof_halo_mass"])
+            ly = np.log10(centrals["gal_stellar_mass"])
+            slope, intercept = np.polyfit(lx, ly, 1)
+            return float(np.std(ly - slope * lx - intercept))
+
+        at_threshold = central_scatter(1e6)
+        far_below = central_scatter(1.2e5)
+        assert at_threshold < far_below
+
+    def test_satellites_less_massive_than_central(self):
+        halos = make_halos(80, seed=12)
+        gals = build_galaxy_catalog(halos, SubgridParams(), 1.0, np.random.default_rng(8))
+        biggest_host = halos.nlargest(1, "fof_halo_mass")["fof_halo_tag"][0]
+        members = gals.filter(gals["fof_halo_tag"] == biggest_host)
+        central = members.filter(members["gal_tag"] % 1000 == 0)
+        if members.num_rows > 1:
+            sats = members.filter(members["gal_tag"] % 1000 != 0)
+            assert central["gal_stellar_mass"][0] > sats["gal_stellar_mass"].mean()
+
+    def test_gas_masses_positive(self):
+        halos = make_halos()
+        gals = build_galaxy_catalog(halos, SubgridParams(), 1.0, np.random.default_rng(9))
+        assert (gals["gal_gas_mass"] > 0).all()
+        assert (gals["gal_sfr"] >= 0).all()
+
+    def test_reproducible(self):
+        halos = make_halos()
+        a = build_galaxy_catalog(halos, SubgridParams(), 1.0, np.random.default_rng(42))
+        b = build_galaxy_catalog(halos, SubgridParams(), 1.0, np.random.default_rng(42))
+        assert a.equals(b)

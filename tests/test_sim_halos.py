@@ -1,0 +1,107 @@
+"""Halo catalog construction (both FoF-measured and analytic paths)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cosmology import DEFAULT_COSMOLOGY
+from repro.sim.fof import friends_of_friends
+from repro.sim.halos import build_halo_catalog, halo_catalog_from_fof
+from repro.sim.particles import PARTICLE_MASS, generate_particles
+from repro.sim.schema import columns_for
+from repro.sim.subgrid import SubgridParams
+
+
+@pytest.fixture(scope="module")
+def fof_catalog():
+    pf = generate_particles(2500, 64.0, np.random.default_rng(5))
+    fof = friends_of_friends(pf.positions, 64.0, linking_length=0.45, min_members=8)
+    catalog = halo_catalog_from_fof(pf, fof, SubgridParams(), DEFAULT_COSMOLOGY, 624)
+    return pf, fof, catalog
+
+
+class TestFofCatalog:
+    def test_schema_complete(self, fof_catalog):
+        _, _, catalog = fof_catalog
+        assert catalog.columns == columns_for("halos")
+
+    def test_one_row_per_group(self, fof_catalog):
+        _, fof, catalog = fof_catalog
+        assert catalog.num_rows == fof.num_groups
+
+    def test_counts_match_group_sizes(self, fof_catalog):
+        _, fof, catalog = fof_catalog
+        sizes = np.bincount(fof.group[fof.group >= 0], minlength=fof.num_groups)
+        assert np.array_equal(np.sort(catalog["fof_halo_count"]), np.sort(sizes))
+
+    def test_mass_is_count_times_particle_mass(self, fof_catalog):
+        _, _, catalog = fof_catalog
+        assert np.allclose(
+            catalog["fof_halo_mass"], catalog["fof_halo_count"] * PARTICLE_MASS
+        )
+
+    def test_centers_inside_box(self, fof_catalog):
+        _, _, catalog = fof_catalog
+        for axis in "xyz":
+            col = catalog[f"fof_halo_center_{axis}"]
+            assert col.min() >= 0 and col.max() <= 64.0
+
+    def test_center_near_member_median(self, fof_catalog):
+        pf, fof, catalog = fof_catalog
+        biggest_row = int(np.argmax(catalog["fof_halo_count"]))
+        tag = catalog["fof_halo_tag"][biggest_row]
+        members = pf.positions[fof.group == tag]
+        med = np.median(members, axis=0)
+        center = np.asarray(
+            [catalog[f"fof_halo_center_{a}"][biggest_row] for a in "xyz"]
+        )
+        assert np.linalg.norm(center - med) < 2.0
+
+    def test_velocity_dispersion_positive(self, fof_catalog):
+        _, _, catalog = fof_catalog
+        assert (catalog["fof_halo_vel_disp"] > 0).all()
+
+    def test_so_masses_below_fof_mass(self, fof_catalog):
+        _, _, catalog = fof_catalog
+        assert (catalog["sod_halo_M500c"] <= catalog["fof_halo_mass"]).all()
+        assert (catalog["sod_halo_MGas500c"] < catalog["sod_halo_M500c"]).all()
+
+
+class TestAnalyticCatalog:
+    def _build(self, n=30, step=624, params=None):
+        rng = np.random.default_rng(9)
+        masses = rng.lognormal(29.5, 1, n)
+        return build_halo_catalog(
+            np.arange(n, dtype=np.int64),
+            masses,
+            rng.uniform(0, 64, (n, 3)),
+            rng.normal(0, 200, (n, 3)),
+            params or SubgridParams(),
+            DEFAULT_COSMOLOGY,
+            step,
+            rng,
+        )
+
+    def test_schema(self):
+        assert self._build().columns == columns_for("halos")
+
+    def test_counts_at_least_min(self):
+        assert (self._build()["fof_halo_count"] >= 5).all()
+
+    def test_gas_fraction_physical(self):
+        cat = self._build()
+        frac = cat["sod_halo_MGas500c"] / cat["sod_halo_M500c"]
+        assert (frac > 0).all() and (frac <= 0.157 + 1e-9).all()
+
+    def test_r500c_positive_increasing_with_mass(self):
+        cat = self._build()
+        order = np.argsort(cat["sod_halo_M500c"])
+        r_sorted = cat["sod_halo_R500c"][order]
+        assert (r_sorted > 0).all()
+        assert r_sorted[-1] > r_sorted[0]
+
+    def test_tagn_effect_propagates(self):
+        weak = self._build(params=SubgridParams(log_TAGN=7.5))
+        strong = self._build(params=SubgridParams(log_TAGN=8.5))
+        f_weak = (weak["sod_halo_MGas500c"] / weak["sod_halo_M500c"]).mean()
+        f_strong = (strong["sod_halo_MGas500c"] / strong["sod_halo_M500c"]).mean()
+        assert f_strong < f_weak

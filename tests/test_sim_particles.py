@@ -1,0 +1,72 @@
+"""Clustered particle field generation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.particles import generate_particles, sample_halo_masses
+
+
+class TestMassFunction:
+    def test_range(self):
+        m = sample_halo_masses(500, np.random.default_rng(0))
+        assert m.min() >= 5e11
+        assert m.max() <= 5e14
+
+    def test_steep_slope(self):
+        # many more small halos than large ones
+        m = sample_halo_masses(2000, np.random.default_rng(1))
+        small = (m < 2e12).sum()
+        large = (m > 1e13).sum()
+        assert small > 3 * large
+
+
+class TestGenerateParticles:
+    def test_shapes(self):
+        pf = generate_particles(2000, 64.0, np.random.default_rng(2))
+        assert pf.positions.shape == (pf.num_particles, 3)
+        assert pf.velocities.shape == pf.positions.shape
+        assert len(pf.ids) == pf.num_particles
+        assert pf.num_particles >= 2000 * 0.9
+
+    def test_positions_in_box(self):
+        pf = generate_particles(1500, 64.0, np.random.default_rng(3))
+        assert pf.positions.min() >= 0.0
+        assert pf.positions.max() < 64.0
+
+    def test_ids_unique(self):
+        pf = generate_particles(1000, 64.0, np.random.default_rng(4))
+        assert len(np.unique(pf.ids)) == pf.num_particles
+
+    def test_clustering_exists(self):
+        pf = generate_particles(3000, 64.0, np.random.default_rng(5))
+        in_halo = pf.true_halo_tag >= 0
+        assert in_halo.sum() > 0.4 * pf.num_particles
+        assert (~in_halo).sum() > 0  # field particles exist
+
+    def test_halo_members_near_center(self):
+        pf = generate_particles(3000, 64.0, np.random.default_rng(6))
+        tag = pf.true_halo_tag
+        biggest = np.bincount(tag[tag >= 0]).argmax()
+        members = pf.positions[tag == biggest]
+        spread = members.std(axis=0).max()
+        assert spread < 5.0  # compact vs the 64 Mpc box
+
+    def test_growth_reduces_clustered_fraction(self):
+        early = generate_particles(3000, 64.0, np.random.default_rng(7), growth=0.25)
+        late = generate_particles(3000, 64.0, np.random.default_rng(7), growth=1.0)
+        f_early = (early.true_halo_tag >= 0).mean()
+        f_late = (late.true_halo_tag >= 0).mean()
+        assert f_early < f_late
+
+    def test_reproducible(self):
+        a = generate_particles(800, 64.0, np.random.default_rng(8))
+        b = generate_particles(800, 64.0, np.random.default_rng(8))
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_too_few_particles_rejected(self):
+        with pytest.raises(ValueError):
+            generate_particles(5, 64.0, np.random.default_rng(0))
+
+    def test_bad_halo_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            generate_particles(100, 64.0, np.random.default_rng(0), halo_fraction=1.5)

@@ -1,0 +1,119 @@
+"""Sub-grid parameter model: priors, design, physics responses."""
+
+import numpy as np
+import pytest
+
+from repro.sim.subgrid import (
+    LOG_MSEED_THRESHOLD,
+    PARAM_RANGES,
+    SubgridParams,
+    latin_hypercube_design,
+)
+
+
+class TestSubgridParams:
+    def test_defaults_valid(self):
+        SubgridParams().validate()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SubgridParams(f_SN=2.0).validate()
+
+    def test_as_dict_round_trip(self):
+        p = SubgridParams(f_SN=0.3)
+        assert SubgridParams(**p.as_dict()) == p
+
+
+class TestLatinHypercube:
+    def test_count(self):
+        designs = latin_hypercube_design(8, np.random.default_rng(0))
+        assert len(designs) == 8
+
+    def test_all_valid(self):
+        for p in latin_hypercube_design(16, np.random.default_rng(1)):
+            p.validate()
+
+    def test_stratification(self):
+        # LHS: each parameter's samples hit every 1/n quantile stratum once
+        n = 10
+        designs = latin_hypercube_design(n, np.random.default_rng(2))
+        lo, hi = PARAM_RANGES["f_SN"]
+        values = np.asarray([d.f_SN for d in designs])
+        strata = np.floor((values - lo) / (hi - lo) * n).astype(int)
+        strata = np.clip(strata, 0, n - 1)
+        assert len(set(strata.tolist())) == n
+
+    def test_mseed_log_spread(self):
+        designs = latin_hypercube_design(12, np.random.default_rng(3))
+        log_seeds = np.log10([d.M_seed for d in designs])
+        assert log_seeds.max() - log_seeds.min() > 1.0
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ValueError):
+            latin_hypercube_design(0, np.random.default_rng(0))
+
+
+class TestPhysicsResponses:
+    def test_smhm_ratio_peaks_near_pivot(self):
+        p = SubgridParams()
+        masses = np.logspace(10.5, 14.5, 100)
+        ratio = p.smhm_ratio(masses, 1.0)
+        peak_mass = masses[np.argmax(ratio)]
+        assert 10**11.3 < peak_mass < 10**12.7
+
+    def test_fsn_suppresses_low_mass_stars(self):
+        low, high = SubgridParams(f_SN=0.25), SubgridParams(f_SN=0.95)
+        small_halo = np.asarray([1e11])
+        assert high.smhm_ratio(small_halo, 1.0) < low.smhm_ratio(small_halo, 1.0)
+
+    def test_tagn_suppresses_high_mass_stars(self):
+        weak, strong = SubgridParams(log_TAGN=7.5), SubgridParams(log_TAGN=8.5)
+        cluster = np.asarray([1e14])
+        assert strong.smhm_ratio(cluster, 1.0) < weak.smhm_ratio(cluster, 1.0)
+
+    def test_smhm_grows_with_cosmic_time(self):
+        p = SubgridParams()
+        halo = np.asarray([1e12])
+        assert p.smhm_ratio(halo, 1.0) > p.smhm_ratio(halo, 0.3)
+
+    def test_scatter_minimized_at_threshold_seed(self):
+        seeds = np.logspace(5, 7, 41)
+        scatters = [float(SubgridParams(M_seed=s).smhm_scatter_dex()) for s in seeds]
+        best = seeds[int(np.argmin(scatters))]
+        assert abs(np.log10(best) - LOG_MSEED_THRESHOLD) < 0.3
+
+    def test_beta_bh_adds_high_mass_scatter(self):
+        calm, wild = SubgridParams(beta_BH=0.1), SubgridParams(beta_BH=1.9)
+        cluster = np.asarray([1e14])
+        assert wild.smhm_scatter_dex(cluster) > calm.smhm_scatter_dex(cluster)
+
+    def test_assembly_efficiency_saturates(self):
+        effs = [SubgridParams(M_seed=s).assembly_efficiency() for s in (1e5, 1e6, 1e7)]
+        assert effs[0] < effs[1] < effs[2]
+        # saturation: the second step up gains less than the first
+        assert effs[2] - effs[1] < effs[1] - effs[0]
+
+    def test_gas_fraction_below_cosmic_baryon(self):
+        p = SubgridParams()
+        frac = p.gas_fraction(np.logspace(12, 15, 50), 1.0)
+        assert np.all(frac <= 0.157 + 1e-12)
+        assert np.all(frac > 0)
+
+    def test_gas_fraction_rises_with_mass(self):
+        p = SubgridParams()
+        frac = p.gas_fraction(np.asarray([1e12, 1e14]), 1.0)
+        assert frac[1] > frac[0]
+
+    def test_tagn_lowers_gas_normalization(self):
+        weak, strong = SubgridParams(log_TAGN=7.5), SubgridParams(log_TAGN=8.5)
+        m = np.asarray([10**13.5])
+        assert strong.gas_fraction(m, 1.0) < weak.gas_fraction(m, 1.0)
+
+    def test_gas_slope_flattens_with_time(self):
+        # the M/H evaluation question: slope evolves between timesteps
+        p = SubgridParams()
+        m = np.asarray([1e12, 1e14])
+        def slope(a):
+            f = p.gas_fraction(m, a)
+            return (np.log10(f[1]) - np.log10(f[0])) / 2.0
+        assert slope(0.3) > slope(1.0)

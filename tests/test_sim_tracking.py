@@ -1,0 +1,110 @@
+"""Particle-overlap halo tracking on the persistent particle population."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.sim.tracking import halo_lineage_graph, main_progenitor_line, match_halos
+
+
+class TestMatchHalos:
+    def test_identity_match(self):
+        ids = np.arange(30)
+        tags = np.repeat([0, 1, 2], 10)
+        out = match_halos(ids, tags, ids, tags)
+        assert out.num_rows == 3
+        assert (out["tag_a"] == out["tag_b"]).all()
+        assert (out["shared"] == 10).all()
+        assert np.allclose(out["fraction_of_a"], 1.0)
+
+    def test_split_halo(self):
+        ids = np.arange(20)
+        before = np.zeros(20, dtype=np.int64)          # one halo of 20
+        after = np.repeat([1, 2], 10)                  # split in two
+        out = match_halos(ids, before, ids, after)
+        assert out.num_rows == 2
+        assert set(out["tag_b"].tolist()) == {1, 2}
+        assert np.allclose(out["fraction_of_a"], 0.5)
+
+    def test_merger(self):
+        ids = np.arange(20)
+        before = np.repeat([1, 2], 10)
+        after = np.zeros(20, dtype=np.int64)
+        out = match_halos(ids, before, ids, after)
+        assert out.num_rows == 2
+        assert set(out["tag_a"].tolist()) == {1, 2}
+        assert np.allclose(out["fraction_of_a"], 1.0)
+
+    def test_field_particles_ignored(self):
+        ids = np.arange(10)
+        before = np.asarray([-1] * 5 + [0] * 5)
+        after = np.asarray([0] * 5 + [-1] * 5)
+        out = match_halos(ids, before, ids, after, min_shared=1)
+        assert out.num_rows == 0  # no shared member particles
+
+    def test_min_shared_cut(self):
+        ids = np.arange(10)
+        tags = np.zeros(10, dtype=np.int64)
+        moved = tags.copy()
+        moved[:2] = 1  # only 2 particles drift to halo 1
+        out = match_halos(ids, tags, ids, moved, min_shared=3)
+        assert set(out["tag_b"].tolist()) == {0}
+
+    def test_disjoint_ids(self):
+        out = match_halos(
+            np.arange(5), np.zeros(5, dtype=np.int64),
+            np.arange(100, 105), np.zeros(5, dtype=np.int64),
+            min_shared=1,
+        )
+        assert out.num_rows == 0
+
+    def test_sorted_by_shared_desc(self):
+        ids = np.arange(30)
+        before = np.repeat([0, 1], 15)
+        after = np.asarray([0] * 15 + [1] * 10 + [0] * 5)
+        out = match_halos(ids, before, ids, after, min_shared=1)
+        assert np.all(np.diff(out["shared"]) <= 0)
+
+
+class TestLineageGraph:
+    @pytest.fixture(scope="class")
+    def graph(self, ensemble):
+        return halo_lineage_graph(ensemble, run=0, min_shared=3)
+
+    def test_nodes_cover_steps(self, graph, ensemble):
+        steps = {node[0] for node in graph.nodes}
+        assert steps == set(ensemble.timesteps)
+
+    def test_edges_connect_consecutive_steps(self, graph, ensemble):
+        order = {s: i for i, s in enumerate(ensemble.timesteps)}
+        for (s1, _), (s2, _) in graph.edges:
+            assert order[s2] == order[s1] + 1
+
+    def test_persistent_halos_self_match(self, graph, ensemble):
+        """With stable affiliations, a halo's strongest descendant is itself."""
+        steps = ensemble.timesteps
+        matched_self = 0
+        total = 0
+        for (s, tag) in list(graph.nodes):
+            if s != steps[-2]:
+                continue
+            succ = list(graph.successors((s, tag)))
+            if not succ:
+                continue
+            total += 1
+            best = max(succ, key=lambda n: graph.edges[(s, tag), n]["shared"])
+            matched_self += best[1] == tag
+        assert total > 0
+        assert matched_self / total > 0.9
+
+    def test_main_progenitor_line_monotone(self, graph, ensemble):
+        final_step = ensemble.timesteps[-1]
+        finals = [n for n in graph.nodes if n[0] == final_step and graph.in_degree(n)]
+        assert finals
+        line = main_progenitor_line(graph, finals[0])
+        steps = [s for s, _ in line]
+        assert steps == sorted(steps)
+        assert line[-1] == finals[0]
+
+    def test_graph_is_dag(self, graph):
+        assert nx.is_directed_acyclic_graph(graph)

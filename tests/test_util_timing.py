@@ -1,0 +1,45 @@
+"""Clocks and section timers."""
+
+import pytest
+
+from repro.util.timing import SimulatedClock, Timer, WallClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_advance(self):
+        c = SimulatedClock()
+        c.advance(2.5)
+        assert c.now() == 2.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+
+class TestWallClock:
+    def test_monotone(self):
+        c = WallClock()
+        a = c.now()
+        b = c.now()
+        assert b >= a
+
+
+class TestTimer:
+    def test_sections_accumulate(self):
+        clock = SimulatedClock()
+        t = Timer(clock=clock)
+        with t.section("load"):
+            clock.advance(1.0)
+        with t.section("load"):
+            clock.advance(0.5)
+        with t.section("viz"):
+            clock.advance(2.0)
+        assert t.totals["load"] == pytest.approx(1.5)
+        assert t.totals["viz"] == pytest.approx(2.0)
+        assert t.total == pytest.approx(3.5)
+
+    def test_empty_timer(self):
+        assert Timer().total == 0.0

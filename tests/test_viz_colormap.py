@@ -1,0 +1,50 @@
+"""Palette rules: fixed slot order, no cycling, sequential ramp."""
+
+import numpy as np
+import pytest
+
+from repro.viz.colormap import CATEGORICAL, categorical_color, sequential
+
+
+class TestCategorical:
+    def test_eight_slots(self):
+        assert len(CATEGORICAL) == 8
+
+    def test_fixed_order(self):
+        for i, color in enumerate(CATEGORICAL):
+            assert categorical_color(i) == color
+
+    def test_beyond_eight_folds_to_gray_not_cycle(self):
+        assert categorical_color(8) == categorical_color(9)
+        assert categorical_color(8) not in CATEGORICAL
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            categorical_color(-1)
+
+    def test_all_valid_hex(self):
+        for c in CATEGORICAL:
+            assert len(c) == 7 and c[0] == "#"
+            int(c[1:], 16)
+
+
+class TestSequential:
+    def test_endpoints(self):
+        assert sequential(0.0) == "#cde2fb"
+        assert sequential(1.0) == "#0d366b"
+
+    def test_clipping(self):
+        assert sequential(-5.0) == sequential(0.0)
+        assert sequential(5.0) == sequential(1.0)
+
+    def test_monotone_darkening(self):
+        def luminance(hexcolor):
+            r, g, b = (int(hexcolor[i : i + 2], 16) for i in (1, 3, 5))
+            return 0.299 * r + 0.587 * g + 0.114 * b
+
+        lums = [luminance(sequential(t)) for t in np.linspace(0, 1, 12)]
+        assert all(a >= b for a, b in zip(lums, lums[1:]))
+
+    def test_array_input(self):
+        out = sequential(np.asarray([0.0, 0.5, 1.0]))
+        assert isinstance(out, list) and len(out) == 3

@@ -1,0 +1,73 @@
+"""3D point-cloud scenes and VTK export."""
+
+import numpy as np
+import pytest
+
+from repro.viz import Scene3D
+from repro.viz.colormap import HIGHLIGHT
+
+
+@pytest.fixture()
+def scene():
+    rng = np.random.default_rng(0)
+    s = Scene3D(title="halos")
+    s.add_points(rng.uniform(0, 64, (200, 3)), label="neighbors")
+    s.add_points(np.asarray([[32.0, 32.0, 32.0]]), color=HIGHLIGHT, radius=8, label="target")
+    return s
+
+
+class TestSceneSVG:
+    def test_valid_svg(self, scene):
+        svg = scene.to_svg()
+        assert svg.startswith("<svg")
+        assert svg.count("<circle") >= 201
+
+    def test_target_in_highlight_red(self, scene):
+        assert HIGHLIGHT in scene.to_svg()
+
+    def test_legend_for_two_sets(self, scene):
+        svg = scene.to_svg()
+        assert "neighbors" in svg and "target" in svg
+
+    def test_title(self, scene):
+        assert "halos" in scene.to_svg()
+
+    def test_projection_angle_changes_output(self, scene):
+        a = scene.to_svg(azimuth=0)
+        b = scene.to_svg(azimuth=90)
+        assert a != b
+
+    def test_empty_scene(self):
+        svg = Scene3D().to_svg()
+        assert svg.startswith("<svg")
+
+    def test_invalid_points_rejected(self):
+        with pytest.raises(ValueError):
+            Scene3D().add_points(np.zeros((3, 2)))
+
+    def test_radii_length_checked(self):
+        with pytest.raises(ValueError):
+            Scene3D().add_points(np.zeros((3, 3)), radii=np.ones(2))
+
+    def test_save_svg(self, scene, tmp_path):
+        nbytes = scene.save_svg(tmp_path / "s.svg")
+        assert (tmp_path / "s.svg").stat().st_size == nbytes
+
+
+class TestVTPExport:
+    def test_vtp_structure(self, scene, tmp_path):
+        scene.save_vtp(tmp_path / "s.vtp")
+        text = (tmp_path / "s.vtp").read_text()
+        assert '<VTKFile type="PolyData"' in text
+        assert 'NumberOfPoints="201"' in text
+        assert 'Name="set"' in text
+
+    def test_vtp_point_count(self, scene, tmp_path):
+        scene.save_vtp(tmp_path / "s.vtp")
+        text = (tmp_path / "s.vtp").read_text()
+        coords_line = text.split('format="ascii">')[1].split("</DataArray>")[0]
+        assert len(coords_line.split()) == 201 * 3
+
+    def test_vtp_empty(self, tmp_path):
+        Scene3D().save_vtp(tmp_path / "e.vtp")
+        assert 'NumberOfPoints="0"' in (tmp_path / "e.vtp").read_text()

@@ -1,0 +1,43 @@
+"""umap_lite embedding: determinism, cluster preservation."""
+
+import numpy as np
+import pytest
+
+from repro.viz import umap_embed
+
+
+class TestUmapLite:
+    def test_shape(self):
+        emb = umap_embed(np.random.default_rng(0).normal(size=(100, 5)))
+        assert emb.shape == (100, 2)
+        assert np.isfinite(emb).all()
+
+    def test_deterministic(self):
+        data = np.random.default_rng(1).normal(size=(80, 4))
+        assert np.array_equal(umap_embed(data, seed=3), umap_embed(data, seed=3))
+
+    def test_tiny_inputs(self):
+        assert umap_embed(np.zeros((2, 3))).shape == (2, 2)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            umap_embed(np.zeros(5))
+
+    def test_separates_two_clusters(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 0.3, (60, 4))
+        b = rng.normal(6, 0.3, (60, 4)) * np.asarray([1, -1, 1, -1])
+        emb = umap_embed(np.vstack([a, b]), seed=0)
+        ca, cb = emb[:60].mean(axis=0), emb[60:].mean(axis=0)
+        # nearest-centroid classification in embedding space recovers labels
+        d_a = np.linalg.norm(emb - ca, axis=1)
+        d_b = np.linalg.norm(emb - cb, axis=1)
+        predicted_b = d_b < d_a
+        accuracy = (predicted_b == np.repeat([False, True], 60)).mean()
+        assert accuracy > 0.9
+
+    def test_constant_feature_handled(self):
+        data = np.random.default_rng(3).normal(size=(50, 3))
+        data[:, 1] = 7.0  # zero-variance feature must not divide by zero
+        emb = umap_embed(data)
+        assert np.isfinite(emb).all()
