@@ -16,6 +16,7 @@ import numpy as np
 from conftest import emit
 from repro.core import InferA, InferAConfig
 from repro.llm.errors import NO_ERRORS
+from repro.rag.cache import stats_snapshot
 
 QUESTION = (
     "Can you plot the change in mass of the largest friends-of-friends "
@@ -28,7 +29,9 @@ def test_fig4_scalability(benchmark, big_ensemble, output_dir, tmp_path):
     app = InferA(
         big_ensemble, tmp_path / "w", InferAConfig(error_model=NO_ERRORS, llm_latency_s=0.0)
     )
+    cache_before = stats_snapshot()
     report = benchmark.pedantic(lambda: app.run_query(QUESTION), rounds=1, iterations=1)
+    cache = stats_snapshot().delta(cache_before)
 
     assert report.completed
     assert len(report.figures) == 2  # the two Fig. 4 panels
@@ -63,6 +66,9 @@ def test_fig4_scalability(benchmark, big_ensemble, output_dir, tmp_path):
         f"{overhead_fraction:.2%}",
         "  bytes read        : "
         f"{report.run.load_report.bytes_selected:,} ({selectivity:.2%} of the ensemble)",
+        "  retrieval cache   : "
+        f"{cache.builds} corpus builds, {cache.matrix_hits} matrix hits, "
+        f"{cache.query_memo_hits} query-memo hits",
         "artifacts: fig4_panel_0.svg, fig4_panel_1.svg",
     ]
     emit(output_dir, "fig4.txt", "\n".join(lines))

@@ -1,0 +1,100 @@
+"""Harness scaling — workers ∈ {1, 2, 4} on a reduced evaluation suite.
+
+Measures the parallel cache-aware evaluation layer end to end: wall time,
+runs/s, parallel speedup over the sequential baseline, and the shared
+retrieval-cache hit/miss counters.  Emits ``BENCH_harness.json`` (via the
+shared ``emit_json`` helper) so the perf trajectory is tracked across PRs.
+
+Two invariants are asserted regardless of host:
+
+* parallel ``RunMetrics`` are identical to sequential ones on every
+  deterministic field (``time_s`` is a per-run wall-clock measurement);
+* the warm retrieval cache eliminates per-run corpus re-embedding — at
+  most one cold build per worker process, everything else memory/disk
+  hits.
+
+The ≥2× speedup at 4 workers is asserted only on hosts with ≥4 cores
+(process-pool overhead makes parallelism a strict loss on 1 core).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import fields
+
+from conftest import emit_json
+from repro.eval import EvaluationHarness, HarnessConfig
+from repro.eval.metrics import RunMetrics
+from repro.eval.questions import QUESTION_SUITE
+from repro.llm.errors import ErrorModel
+
+WORKER_COUNTS = (1, 2, 4)
+REDUCED_SUITE = QUESTION_SUITE[:8]
+RUNS = 2
+
+DETERMINISTIC_FIELDS = [f.name for f in fields(RunMetrics) if f.name != "time_s"]
+
+
+def _rows_key(metrics):
+    return [tuple(getattr(m, name) for name in DETERMINISTIC_FIELDS) for m in metrics]
+
+
+def test_harness_scaling(benchmark, bench_ensemble, output_dir, tmp_path):
+    def sweep():
+        results = {}
+        for workers in WORKER_COUNTS:
+            harness = EvaluationHarness(
+                bench_ensemble,
+                tmp_path / f"workers_{workers}",
+                HarnessConfig(
+                    runs_per_question=RUNS,
+                    seed=7,
+                    error_model=ErrorModel(),
+                    workers=workers,
+                ),
+            )
+            results[workers] = harness.run_suite(questions=REDUCED_SUITE)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    baseline = results[1]
+    baseline_rows = _rows_key(baseline.metrics)
+    entries = []
+    for workers in WORKER_COUNTS:
+        result = results[workers]
+        # parallel execution must be bit-identical on deterministic fields
+        assert _rows_key(result.metrics) == baseline_rows
+        perf = result.perf
+        cache = perf.cache
+        # the shared artifact cache keeps cold builds to at most one per
+        # worker process — never one per run
+        assert cache.builds <= workers
+        assert cache.matrix_requests == len(REDUCED_SUITE) * RUNS
+        entries.append(
+            {
+                "workers": workers,
+                "wall_s": round(perf.total_wall_s, 4),
+                "runs_per_s": round(perf.runs_per_s, 4),
+                "speedup_vs_sequential": round(
+                    baseline.perf.total_wall_s / perf.total_wall_s, 4
+                ),
+                "cache": cache.as_dict(),
+            }
+        )
+
+    payload = {
+        "benchmark": "harness_scaling",
+        "suite": {
+            "questions": len(REDUCED_SUITE),
+            "runs_per_question": RUNS,
+            "total_runs": len(REDUCED_SUITE) * RUNS,
+        },
+        "host_cpu_count": os.cpu_count(),
+        "results": entries,
+    }
+    emit_json(output_dir, "BENCH_harness.json", payload)
+
+    if (os.cpu_count() or 1) >= 4:
+        four = next(e for e in entries if e["workers"] == 4)
+        assert four["speedup_vs_sequential"] >= 2.0

@@ -14,7 +14,7 @@ orderings are asserted:
   by multi-timestep questions.
 """
 
-from conftest import RUNS_PER_QUESTION, emit
+from conftest import RUNS_PER_QUESTION, WORKERS, emit
 from repro.eval import EvaluationHarness, HarnessConfig
 from repro.eval.reporting import format_table2, save_metrics_csv
 
@@ -29,7 +29,9 @@ PAPER_TOTALS = {
 
 def test_table2_evaluation(benchmark, bench_ensemble, output_dir, tmp_path):
     harness = EvaluationHarness(
-        bench_ensemble, tmp_path / "eval", HarnessConfig(runs_per_question=RUNS_PER_QUESTION)
+        bench_ensemble,
+        tmp_path / "eval",
+        HarnessConfig(runs_per_question=RUNS_PER_QUESTION, workers=WORKERS),
     )
     result = benchmark.pedantic(harness.run_suite, rounds=1, iterations=1)
 
@@ -63,9 +65,12 @@ def test_table2_evaluation(benchmark, bench_ensemble, output_dir, tmp_path):
     )
     ensemble_gb = bench_ensemble.total_data_bytes() / 1e9
 
+    perf = result.perf
     lines = [
         f"(runs per question: {RUNS_PER_QUESTION}; paper protocol: 10)",
         f"(ensemble size: {ensemble_gb:.4f} GB synthetic vs paper's 1.4 TB)",
+        f"(workers: {perf.workers}; throughput: {perf.runs_per_s:.2f} runs/s; "
+        f"retrieval cache: {perf.cache.matrix_hits} hits / {perf.cache.builds} builds)",
         "",
         format_table2(rows),
         "",

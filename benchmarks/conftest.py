@@ -10,10 +10,13 @@ Scale knobs (environment variables):
 * ``REPRO_BENCH_RUNS``      — runs per question for Table 2 (default 3;
   the paper uses 10 — set 10 for the full protocol)
 * ``REPRO_BENCH_PARTICLES`` — particles per snapshot (default 4000)
+* ``REPRO_BENCH_WORKERS``   — harness worker processes (default 1;
+  0 = one per CPU core)
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -25,6 +28,7 @@ OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 
 RUNS_PER_QUESTION = int(os.environ.get("REPRO_BENCH_RUNS", "3"))
 PARTICLES = int(os.environ.get("REPRO_BENCH_PARTICLES", "4000"))
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 @pytest.fixture(scope="session")
@@ -67,3 +71,15 @@ def emit(output_dir: Path, name: str, text: str) -> None:
     """Print a benchmark's report and persist it."""
     print("\n" + text)
     (output_dir / name).write_text(text + "\n")
+
+
+def emit_json(output_dir: Path, name: str, payload: dict) -> dict:
+    """Persist a machine-readable benchmark artifact (``BENCH_*.json``).
+
+    The shared emitter for perf-trajectory files: stable key order so
+    successive runs diff cleanly.  Returns the payload for chaining.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(f"\n[{name}]\n{text}")
+    (output_dir / name).write_text(text + "\n")
+    return payload

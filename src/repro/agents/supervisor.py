@@ -15,6 +15,7 @@ at the end.
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -172,7 +173,10 @@ class Supervisor:
         return {"load": "data_loader", "sql": "sql", "python": "python", "viz": "viz"}[kind]
 
     def _step_key(self, state: dict) -> str:
-        return f"q{hash(state['question']) & 0xFFFF:x}.s{state['step_index']}"
+        # crc32, not hash(): the step key seeds the mock LLM's error-draw
+        # streams, and Python's salted string hash would make every
+        # interpreter invocation (and every pool worker) draw differently
+        return f"q{zlib.crc32(state['question'].encode()) & 0xFFFF:x}.s{state['step_index']}"
 
     def _node_load(self, state: dict) -> dict:
         step = state["plan"][state["step_index"]]

@@ -61,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--workdir", default="infera_eval")
     evaluate.add_argument("--runs-per-question", type=int, default=3)
     evaluate.add_argument("--seed", type=int, default=7)
+    evaluate.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the run grid "
+                               "(1 = sequential, 0 = one per CPU core)")
 
     sql = sub.add_parser("sql", help="run SQL against an analysis database")
     sql.add_argument("statement")
@@ -127,10 +130,23 @@ def cmd_eval(args: argparse.Namespace) -> int:
     harness = EvaluationHarness(
         Ensemble(args.ensemble),
         args.workdir,
-        HarnessConfig(runs_per_question=args.runs_per_question, seed=args.seed),
+        HarnessConfig(
+            runs_per_question=args.runs_per_question,
+            seed=args.seed,
+            workers=args.workers,
+        ),
     )
     result = harness.run_suite()
     print(format_table2(result.aggregator.table2_rows()))
+    perf = result.perf
+    if perf is not None:
+        cache = perf.cache
+        print(f"[perf] workers={perf.workers} runs={len(result.metrics)} "
+              f"wall={perf.total_wall_s:.2f}s throughput={perf.runs_per_s:.2f} runs/s")
+        print(f"[perf] retrieval cache: {cache.matrix_hits} hits "
+              f"({cache.memory_hits} memory, {cache.disk_hits} disk), "
+              f"{cache.builds} builds; query memo "
+              f"{cache.query_memo_hits}/{cache.query_memo_hits + cache.query_memo_misses} hits")
     return 0
 
 

@@ -34,7 +34,7 @@ from repro.frame import Frame
 from repro.llm import HashedEmbedder, MockLLM
 from repro.llm.base import MeteredModel
 from repro.provenance import ProvenanceTracker
-from repro.rag import ColumnRetriever
+from repro.rag import ColumnRetriever, RetrievalArtifactCache
 from repro.sandbox import InProcessClient, SandboxClient, SandboxExecutor
 from repro.sim.ensemble import Ensemble
 from repro.sim.schema import (
@@ -105,6 +105,9 @@ class InferA:
         manifest = ensemble.manifest
         self.column_descriptions = manifest.get("column_descriptions", COLUMN_DESCRIPTIONS)
         self.structure = manifest.get("structure", FILE_STRUCTURE_DESCRIPTIONS)
+        cache_dir = self.config.retrieval_cache_dir or self.workdir / ".retrieval_cache"
+        self._retrieval_cache = RetrievalArtifactCache(cache_dir)
+        self._retriever: ColumnRetriever | None = None
 
     # ------------------------------------------------------------------
     def _build_context(self, session_id: str) -> tuple[AgentContext, Database]:
@@ -116,12 +119,18 @@ class InferA:
         )
         if callable(self._llm_factory):
             base_llm = self._llm_factory(cfg.seed + self._query_count)
-        retriever = ColumnRetriever(
-            self.column_descriptions,
-            self.structure,
-            important=IMPORTANT_COLUMNS,
-            embedder=HashedEmbedder(cfg.embedder_dim),
-        )
+        # the corpus is fixed for the ensemble, so the retriever (and its
+        # embedding matrix, shared on disk across processes) is built once
+        # per app and reused by every query
+        if self._retriever is None:
+            self._retriever = ColumnRetriever(
+                self.column_descriptions,
+                self.structure,
+                important=IMPORTANT_COLUMNS,
+                embedder=HashedEmbedder(cfg.embedder_dim),
+                cache=self._retrieval_cache,
+            )
+        retriever = self._retriever
         provenance = ProvenanceTracker(self.workdir, session_id)
         db = Database(self.workdir / session_id / "analysis.db")
         provenance.register_external(db.path)

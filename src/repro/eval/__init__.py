@@ -8,7 +8,14 @@ PandasAI-style full ingestion) and the §4.5 variability study.
 
 from repro.eval.questions import QUESTION_SUITE, EvalQuestion, classify_suite
 from repro.eval.metrics import RunMetrics, MetricsAggregator, oracle_assess
-from repro.eval.harness import EvaluationHarness, HarnessConfig
+from repro.eval.harness import (
+    EvaluationHarness,
+    HarnessConfig,
+    HarnessPerf,
+    HarnessResult,
+    RunOutcome,
+    derive_seed,
+)
 from repro.eval.reporting import format_table2, format_table1
 
 __all__ = [
@@ -20,6 +27,10 @@ __all__ = [
     "oracle_assess",
     "EvaluationHarness",
     "HarnessConfig",
+    "HarnessPerf",
+    "HarnessResult",
+    "RunOutcome",
+    "derive_seed",
     "format_table2",
     "format_table1",
 ]

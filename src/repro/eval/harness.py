@@ -6,10 +6,26 @@ requirements and continue'."  Each run gets its own seed (fresh mock-LLM
 error draws), its own provenance session, and its own analysis database;
 metrics are judged by the programmatic oracle and aggregated into the
 paper's row groups.
+
+The harness fans the (question, run_index) grid out to a process pool
+(``HarnessConfig.workers``).  Runs are fully independent by construction
+— per-run seeds derive from a stable CRC32 digest of the question id, so
+they are identical in every interpreter and in every worker process —
+and results are merged back in canonical grid order, which makes the
+parallel ``RunMetrics`` rows identical to a sequential run's (except the
+measured wall-clock ``time_s``, which is a per-run measurement, not a
+derived output).  All runs share one retrieval-artifact cache (see
+:mod:`repro.rag.cache`) so only the first run per corpus pays the
+column-corpus embedding cost; hit/miss counters and runs/s land in
+``HarnessResult.perf``.
 """
 
 from __future__ import annotations
 
+import os
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -22,6 +38,7 @@ from repro.eval.questions import (
     classify_question,
 )
 from repro.llm.errors import ErrorModel
+from repro.rag.cache import CacheStats, stats_snapshot
 from repro.sim.ensemble import Ensemble
 
 
@@ -32,6 +49,39 @@ class HarnessConfig:
     error_model: ErrorModel = field(default_factory=ErrorModel)
     llm_latency_s: float = 0.0      # 0 keeps harness wall-time honest; >0 adds the simulated API latency
     keep_reports: bool = False
+    # worker processes for the (question, run) grid; 1 = sequential,
+    # 0 = one per CPU core; explicit values are honored as given
+    workers: int = 1
+
+
+@dataclass
+class RunOutcome:
+    """One grid cell's full result (what pool workers ship back)."""
+
+    metrics: RunMetrics
+    cache_stats: CacheStats
+    wall_s: float
+    report: object | None = None
+
+
+@dataclass
+class HarnessPerf:
+    """Throughput and cache instrumentation for one ``run_suite`` call."""
+
+    workers: int
+    total_wall_s: float
+    runs_per_s: float
+    per_run_wall_s: list[float]
+    cache: CacheStats
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "total_wall_s": self.total_wall_s,
+            "runs_per_s": self.runs_per_s,
+            "per_run_wall_s": list(self.per_run_wall_s),
+            "cache": self.cache.as_dict(),
+        }
 
 
 @dataclass
@@ -39,6 +89,7 @@ class HarnessResult:
     aggregator: MetricsAggregator
     metrics: list[RunMetrics]
     reports: list = field(default_factory=list)
+    perf: HarnessPerf | None = None
 
     def ranges(self) -> dict[str, tuple[float, float]]:
         """Per-query min/max of the §4.1.3/§4.1.4 resource metrics.
@@ -54,6 +105,7 @@ class HarnessResult:
             averages = [
                 sum(getattr(m, metric) for m in runs) / len(runs)
                 for runs in per_question.values()
+                if runs  # a question bucket with zero kept runs contributes nothing
             ]
             return (min(averages), max(averages)) if averages else (0.0, 0.0)
 
@@ -64,51 +116,134 @@ class HarnessResult:
         }
 
 
+def derive_seed(base_seed: int, qid: str, run_index: int) -> int:
+    """Stable per-run seed for a (question, run) grid cell.
+
+    Uses ``zlib.crc32`` rather than ``hash()``: Python's string hash is
+    salted per interpreter (PYTHONHASHSEED), so the old derivation gave
+    different seeds in every invocation — and in every pool worker.
+    """
+    return base_seed + 1000 * run_index + zlib.crc32(qid.encode("utf-8")) % 997
+
+
+# ----------------------------------------------------------------------
+# pool plumbing: one harness per worker process, built once in the
+# initializer (fork or spawn), then driven cell by cell
+# ----------------------------------------------------------------------
+_WORKER_STATE: dict[str, "EvaluationHarness"] = {}
+
+
+def _pool_init(ensemble_root: str, workdir: str, config: HarnessConfig) -> None:
+    _WORKER_STATE["harness"] = EvaluationHarness(
+        Ensemble(ensemble_root), workdir, config
+    )
+
+
+def _pool_execute(question: EvalQuestion, run_index: int) -> RunOutcome:
+    return _WORKER_STATE["harness"]._execute_cell(question, run_index)
+
+
 class EvaluationHarness:
     def __init__(self, ensemble: Ensemble, workdir: str | Path, config: HarnessConfig | None = None):
         self.ensemble = ensemble
         self.workdir = Path(workdir)
         self.config = config or HarnessConfig()
 
+    # ------------------------------------------------------------------
+    def resolve_workers(self, workers: int | None = None) -> int:
+        requested = self.config.workers if workers is None else workers
+        if requested <= 0:
+            requested = os.cpu_count() or 1
+        return max(1, requested)
+
     def run_suite(
         self,
         questions: tuple[EvalQuestion, ...] = QUESTION_SUITE,
         runs_per_question: int | None = None,
+        workers: int | None = None,
     ) -> HarnessResult:
         runs = runs_per_question or self.config.runs_per_question
+        n_workers = self.resolve_workers(workers)
+        grid = [(question, run_index) for question in questions for run_index in range(runs)]
+
+        start = time.perf_counter()
+        if n_workers <= 1 or len(grid) <= 1:
+            outcomes = [self._execute_cell(q, ri) for q, ri in grid]
+        else:
+            outcomes = self._run_parallel(grid, n_workers)
+        total_wall = time.perf_counter() - start
+
+        # canonical-order merge: outcomes arrive in grid order regardless
+        # of which worker finished first, so the row list is identical to
+        # a sequential run's
         aggregator = MetricsAggregator()
-        kept = []
-        for question in questions:
-            classification = classify_question(question)
-            for run_index in range(runs):
-                report = self.run_once(question, run_index)
-                data_ok, visual_ok = oracle_assess(report)
-                aggregator.add(
-                    RunMetrics(
-                        qid=question.qid,
-                        run_index=run_index,
-                        completed=report.completed,
-                        tasks_fraction=report.run.tasks_completed_fraction,
-                        data_ok=data_ok and report.run.tasks_completed_fraction > 0,
-                        visual_ok=visual_ok,
-                        tokens=report.tokens,
-                        storage_bytes=report.storage_bytes,
-                        time_s=report.time_s,
-                        redo_iterations=report.run.redo_iterations,
-                        plan_steps=classification.plan_steps,
-                        semantic_level=classification.semantic_level,
-                        analysis_level=classification.analysis_level,
-                        multi_run=classification.multi_run,
-                        multi_step=classification.multi_step,
-                    )
-                )
-                if self.config.keep_reports:
-                    kept.append(report)
-        return HarnessResult(aggregator=aggregator, metrics=aggregator.rows, reports=kept)
+        kept: list = []
+        cache_total = CacheStats()
+        per_run_wall: list[float] = []
+        for outcome in outcomes:
+            aggregator.add(outcome.metrics)
+            cache_total.merge(outcome.cache_stats)
+            per_run_wall.append(outcome.wall_s)
+            if outcome.report is not None:
+                kept.append(outcome.report)
+        perf = HarnessPerf(
+            workers=n_workers,
+            total_wall_s=total_wall,
+            runs_per_s=len(grid) / total_wall if total_wall > 0 else 0.0,
+            per_run_wall_s=per_run_wall,
+            cache=cache_total,
+        )
+        return HarnessResult(
+            aggregator=aggregator, metrics=aggregator.rows, reports=kept, perf=perf
+        )
+
+    def _run_parallel(
+        self, grid: list[tuple[EvalQuestion, int]], n_workers: int
+    ) -> list[RunOutcome]:
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_pool_init,
+            initargs=(str(self.ensemble.root), str(self.workdir), self.config),
+        ) as pool:
+            futures = [pool.submit(_pool_execute, q, ri) for q, ri in grid]
+            return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    def _execute_cell(self, question: EvalQuestion, run_index: int) -> RunOutcome:
+        """One grid cell: run, judge, classify, and measure."""
+        stats_before = stats_snapshot()
+        t0 = time.perf_counter()
+        report = self.run_once(question, run_index)
+        wall = time.perf_counter() - t0
+        data_ok, visual_ok = oracle_assess(report)
+        classification = classify_question(question)
+        metrics = RunMetrics(
+            qid=question.qid,
+            run_index=run_index,
+            completed=report.completed,
+            tasks_fraction=report.run.tasks_completed_fraction,
+            data_ok=data_ok and report.run.tasks_completed_fraction > 0,
+            visual_ok=visual_ok,
+            tokens=report.tokens,
+            storage_bytes=report.storage_bytes,
+            time_s=report.time_s,
+            redo_iterations=report.run.redo_iterations,
+            plan_steps=classification.plan_steps,
+            semantic_level=classification.semantic_level,
+            analysis_level=classification.analysis_level,
+            multi_run=classification.multi_run,
+            multi_step=classification.multi_step,
+        )
+        return RunOutcome(
+            metrics=metrics,
+            cache_stats=stats_snapshot().delta(stats_before),
+            wall_s=wall,
+            report=report if self.config.keep_reports else None,
+        )
 
     def run_once(self, question: EvalQuestion, run_index: int):
         """One seeded evaluation run of one question."""
-        seed = self.config.seed + 1000 * run_index + hash(question.qid) % 997
+        seed = derive_seed(self.config.seed, question.qid, run_index)
         app = InferA(
             self.ensemble,
             self.workdir / question.qid / f"run_{run_index:02d}",
@@ -116,6 +251,7 @@ class EvaluationHarness:
                 seed=seed,
                 error_model=self.config.error_model,
                 llm_latency_s=self.config.llm_latency_s,
+                retrieval_cache_dir=str(self.workdir / ".retrieval_cache"),
             ),
         )
         return app.run_query(question.text, feedback=AutoApprove())

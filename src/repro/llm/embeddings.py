@@ -27,10 +27,18 @@ def _bucket(token: str, dim: int, salt: str) -> tuple[int, float]:
 class HashedEmbedder:
     """Deterministic text embedder with a cosine-friendly geometry."""
 
+    # bump when tokenization/bucketing changes so persisted embedding
+    # matrices keyed on cache_key() are rebuilt instead of reused
+    ALGORITHM_VERSION = 1
+
     def __init__(self, dim: int = 384):
         if dim < 16:
             raise ValueError("dim must be >= 16")
         self.dim = dim
+
+    def cache_key(self) -> str:
+        """Stable identity of this embedder's geometry (for artifact caches)."""
+        return f"hashed-ngram-v{self.ALGORITHM_VERSION}:dim={self.dim}"
 
     def _tokens(self, text: str) -> list[str]:
         words: list[str] = []

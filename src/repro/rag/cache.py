@@ -1,0 +1,207 @@
+"""Shared retrieval-artifact cache.
+
+The column-description corpus is fixed per ensemble manifest and the
+:class:`~repro.llm.embeddings.HashedEmbedder` is deterministic, so the
+``VectorIndex`` embedding matrix is a pure function of (corpus text,
+embedder geometry).  Re-embedding it for every query — as every
+evaluation run used to do — is redundant work on the hottest end-to-end
+path in the repo.
+
+This module builds the matrix once per (corpus-content-hash, embedder
+key), persists it as ``<key>.npy`` plus a JSON sidecar under a cache
+directory, and serves it back memory-mapped so that concurrent harness
+worker processes share one on-disk copy instead of each materializing
+hundreds of column embeddings.  Three tiers:
+
+1. in-process memo (dict, exact same object back);
+2. on-disk ``.npy`` opened with ``mmap_mode='r'`` (validated against the
+   sidecar's fingerprint and shape);
+3. cold build via ``embedder.embed_batch`` followed by an atomic
+   write-then-rename publish, so racing processes never observe a
+   half-written artifact.
+
+All tiers are counted in process-local :class:`CacheStats`; the
+evaluation harness snapshots them around each run and merges the deltas
+into its result, which is how the hit/miss counters in
+``HarnessResult.perf`` are produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.llm.embeddings import HashedEmbedder
+
+SIDECAR_SUFFIX = ".json"
+MATRIX_SUFFIX = ".npy"
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Process-local counters for every cache tier (mergeable)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    builds: int = 0                  # cold misses: full corpus re-embeds
+    query_memo_hits: int = 0
+    query_memo_misses: int = 0
+
+    @property
+    def matrix_hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def matrix_requests(self) -> int:
+        return self.memory_hits + self.disk_hits + self.builds
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            **{f.name: getattr(self, f.name) - getattr(earlier, f.name) for f in fields(self)}
+        )
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+GLOBAL_STATS = CacheStats()
+
+# in-process matrix memo: key -> ndarray (tier 1)
+_MATRIX_MEMO: dict[str, np.ndarray] = {}
+
+
+def stats_snapshot() -> CacheStats:
+    """Copy of the process-wide counters (subtract later with ``delta``)."""
+    return GLOBAL_STATS.copy()
+
+
+def clear_memory_cache() -> None:
+    """Drop the in-process matrix memo (tests use this to force disk reads)."""
+    _MATRIX_MEMO.clear()
+
+
+def record_query_memo(hit: bool) -> None:
+    """Called by ``VectorIndex`` for every query-embedding lookup."""
+    if hit:
+        GLOBAL_STATS.query_memo_hits += 1
+    else:
+        GLOBAL_STATS.query_memo_misses += 1
+
+
+# ----------------------------------------------------------------------
+# keys
+# ----------------------------------------------------------------------
+def corpus_key(texts: list[str], embedder_key: str) -> str:
+    """Content hash of the ordered corpus texts under one embedder geometry.
+
+    Equivalent to hashing the manifest's metadata dictionaries (the corpus
+    is built deterministically from them) but robust to any upstream
+    change in document construction.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(embedder_key.encode())
+    for text in texts:
+        h.update(b"\x00")
+        h.update(text.encode())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the cache
+# ----------------------------------------------------------------------
+class RetrievalArtifactCache:
+    """Builds/loads the corpus embedding matrix once per content key.
+
+    ``matrix_for`` returns a read-only array: either the in-process memo,
+    a memory-mapped view of the persisted ``.npy`` (shared across worker
+    processes), or a freshly built matrix that is then published for
+    everyone else.
+    """
+
+    def __init__(self, cache_dir: str | Path):
+        self.cache_dir = Path(cache_dir)
+
+    # -- paths ---------------------------------------------------------
+    def matrix_path(self, key: str) -> Path:
+        return self.cache_dir / f"retrieval_{key}{MATRIX_SUFFIX}"
+
+    def sidecar_path(self, key: str) -> Path:
+        return self.cache_dir / f"retrieval_{key}{SIDECAR_SUFFIX}"
+
+    # -- api -----------------------------------------------------------
+    def matrix_for(self, texts: list[str], embedder: HashedEmbedder) -> np.ndarray:
+        key = corpus_key(texts, embedder.cache_key())
+
+        cached = _MATRIX_MEMO.get(key)
+        if cached is not None:
+            GLOBAL_STATS.memory_hits += 1
+            return cached
+
+        loaded = self._load(key, n_documents=len(texts), dim=embedder.dim)
+        if loaded is not None:
+            GLOBAL_STATS.disk_hits += 1
+            _MATRIX_MEMO[key] = loaded
+            return loaded
+
+        GLOBAL_STATS.builds += 1
+        matrix = embedder.embed_batch(texts)
+        self._publish(key, matrix, embedder)
+        _MATRIX_MEMO[key] = matrix
+        return matrix
+
+    # -- disk tier -----------------------------------------------------
+    def _load(self, key: str, n_documents: int, dim: int) -> np.ndarray | None:
+        matrix_path = self.matrix_path(key)
+        sidecar_path = self.sidecar_path(key)
+        if not (matrix_path.exists() and sidecar_path.exists()):
+            return None
+        try:
+            meta = json.loads(sidecar_path.read_text())
+            if meta.get("key") != key:
+                return None
+            matrix = np.load(matrix_path, mmap_mode="r")
+        except (OSError, ValueError, json.JSONDecodeError):
+            return None
+        if matrix.shape != (n_documents, dim):
+            return None
+        return matrix
+
+    def _publish(self, key: str, matrix: np.ndarray, embedder: HashedEmbedder) -> None:
+        """Atomic write-then-rename so concurrent builders never clash."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        sidecar = {
+            "key": key,
+            "embedder": embedder.cache_key(),
+            "n_documents": int(matrix.shape[0]),
+            "dim": int(matrix.shape[1]),
+            "dtype": str(matrix.dtype),
+        }
+        try:
+            fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=MATRIX_SUFFIX)
+            with os.fdopen(fd, "wb") as fh:
+                np.save(fh, matrix)
+            os.replace(tmp_name, self.matrix_path(key))
+            fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=SIDECAR_SUFFIX)
+            with os.fdopen(fd, "w") as fh:
+                json.dump(sidecar, fh, indent=1)
+            os.replace(tmp_name, self.sidecar_path(key))
+        except OSError:
+            # a read-only workdir degrades to in-process caching only
+            pass

@@ -5,25 +5,63 @@ from __future__ import annotations
 import numpy as np
 
 from repro.llm.embeddings import HashedEmbedder
+from repro.rag.cache import record_query_memo
 from repro.rag.documents import ColumnDocument
+
+# the retriever re-embeds the same handful of prompts (query, plan,
+# [IMPORTANT]) on every retrieve call within a run; a small memo is enough
+QUERY_MEMO_MAX = 256
 
 
 class VectorIndex:
-    """Embeds documents once; answers cosine-similarity queries."""
+    """Embeds documents once; answers cosine-similarity queries.
 
-    def __init__(self, documents: list[ColumnDocument], embedder: HashedEmbedder | None = None):
+    ``matrix`` lets callers inject a precomputed (possibly memory-mapped)
+    embedding matrix — see :mod:`repro.rag.cache` — instead of paying the
+    per-instance ``embed_batch`` over the whole corpus.  Query embeddings
+    are memoized per index, so repeated prompts within one run embed once.
+    """
+
+    def __init__(
+        self,
+        documents: list[ColumnDocument],
+        embedder: HashedEmbedder | None = None,
+        matrix: np.ndarray | None = None,
+    ):
         self.documents = list(documents)
         self.embedder = embedder or HashedEmbedder()
-        self._matrix = self.embedder.embed_batch([d.text for d in self.documents])
+        if matrix is not None:
+            if matrix.shape != (len(self.documents), self.embedder.dim):
+                raise ValueError(
+                    f"matrix shape {matrix.shape} does not match "
+                    f"({len(self.documents)}, {self.embedder.dim})"
+                )
+            self._matrix = matrix
+        else:
+            self._matrix = self.embedder.embed_batch([d.text for d in self.documents])
+        self._query_memo: dict[str, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self.documents)
+
+    def embed_query(self, query: str) -> np.ndarray:
+        """Memoized query embedding (bounded, FIFO eviction)."""
+        vec = self._query_memo.get(query)
+        if vec is not None:
+            record_query_memo(hit=True)
+            return vec
+        record_query_memo(hit=False)
+        vec = self.embedder.embed(query)
+        if len(self._query_memo) >= QUERY_MEMO_MAX:
+            self._query_memo.pop(next(iter(self._query_memo)))
+        self._query_memo[query] = vec
+        return vec
 
     def similarities(self, query: str) -> np.ndarray:
         """Cosine similarity of every document to ``query``."""
         if not self.documents:
             return np.zeros(0)
-        q = self.embedder.embed(query)
+        q = self.embed_query(query)
         return self._matrix @ q
 
     def search(self, query: str, k: int = 20) -> list[tuple[ColumnDocument, float]]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.llm.embeddings import HashedEmbedder
+from repro.rag.cache import RetrievalArtifactCache
 from repro.rag.documents import ColumnDocument, build_documents
 from repro.rag.index import VectorIndex
 from repro.rag.mmr import mmr_select
@@ -47,9 +48,16 @@ class ColumnRetriever:
         important: set[str] | None = None,
         embedder: HashedEmbedder | None = None,
         lambda_mult: float = 0.7,
+        cache: RetrievalArtifactCache | None = None,
     ):
         self.documents = build_documents(column_descriptions, structure, important)
-        self.index = VectorIndex(self.documents, embedder)
+        embedder = embedder or HashedEmbedder()
+        matrix = (
+            cache.matrix_for([d.text for d in self.documents], embedder)
+            if cache is not None
+            else None
+        )
+        self.index = VectorIndex(self.documents, embedder, matrix=matrix)
         self.lambda_mult = lambda_mult
         self._important_prompt = "[IMPORTANT] " + " ".join(
             d.text for d in self.documents if d.important

@@ -66,6 +66,20 @@ class TestEval:
         out = capsys.readouterr().out
         assert "Table 2" in out
         assert "Total" in out
+        assert "[perf] workers=1" in out
+        assert "retrieval cache" in out
+
+    def test_eval_workers_flag(self, cli_ensemble, tmp_path, capsys):
+        code = main([
+            "eval", "--ensemble", str(cli_ensemble),
+            "--workdir", str(tmp_path / "e2"),
+            "--runs-per-question", "1",
+            "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "[perf] workers=2" in out
 
 
 class TestSQL:

@@ -1,10 +1,23 @@
 """Evaluation harness on a reduced protocol (full 200-run protocol lives in benchmarks)."""
 
+import zlib
+from dataclasses import fields
+
 import pytest
 
-from repro.eval import EvaluationHarness, HarnessConfig, format_table1, format_table2
+from repro.eval import (
+    EvaluationHarness,
+    HarnessConfig,
+    HarnessResult,
+    MetricsAggregator,
+    derive_seed,
+    format_table1,
+    format_table2,
+)
+from repro.eval.metrics import RunMetrics
 from repro.eval.questions import QUESTION_SUITE, classify_suite
 from repro.llm.errors import NO_ERRORS
+from repro.rag.cache import clear_memory_cache
 
 
 @pytest.fixture(scope="module")
@@ -62,6 +75,132 @@ class TestInjectedProtocol:
         if unsuccessful.runs:
             assert unsuccessful.redo_iterations > rows["Successful runs"].redo_iterations
             assert 0 < unsuccessful.pct_tasks_complete < 100
+
+
+class TestSeedDerivation:
+    def test_pinned_seed_values(self):
+        """Regression: seeds must be stable across interpreter invocations.
+
+        The old ``hash(qid) % 997`` used Python's salted string hash, so
+        every interpreter (and every pool worker) drew different error
+        sequences.  These literals pin the CRC32-based derivation.
+        """
+        assert derive_seed(7, "q01", 0) == 7 + 777
+        assert derive_seed(7, "q02", 0) == 7 + 842
+        assert derive_seed(7, "q03", 2) == 7 + 2000 + 478
+
+    def test_matches_crc32_formula(self):
+        for qid in ("q01", "q17", "weird-qid"):
+            expected = 11 + 3000 + zlib.crc32(qid.encode()) % 997
+            assert derive_seed(11, qid, 3) == expected
+
+    def test_distinct_across_runs_and_questions(self):
+        seeds = {derive_seed(7, q.qid, ri) for q in QUESTION_SUITE for ri in range(3)}
+        assert len(seeds) == len(QUESTION_SUITE) * 3
+
+
+DETERMINISTIC_FIELDS = [f.name for f in fields(RunMetrics) if f.name != "time_s"]
+
+
+def _deterministic_rows(result):
+    return [tuple(getattr(m, n) for n in DETERMINISTIC_FIELDS) for m in result.metrics]
+
+
+class TestParallelParity:
+    def test_parallel_rows_identical_to_sequential(self, ensemble, tmp_path):
+        """workers=2 must reproduce the sequential RunMetrics bit-for-bit
+        on every deterministic field, in the same canonical order
+        (``time_s`` is a wall-clock measurement, not a derived output)."""
+        questions = QUESTION_SUITE[:3]
+        sequential = EvaluationHarness(
+            ensemble, tmp_path / "seq", HarnessConfig(runs_per_question=2, seed=3)
+        ).run_suite(questions=questions)
+        parallel = EvaluationHarness(
+            ensemble, tmp_path / "par", HarnessConfig(runs_per_question=2, seed=3, workers=2)
+        ).run_suite(questions=questions)
+        assert _deterministic_rows(parallel) == _deterministic_rows(sequential)
+        assert [(m.qid, m.run_index) for m in parallel.metrics] == [
+            (q.qid, ri) for q in questions for ri in range(2)
+        ]
+        assert parallel.perf.workers == 2
+        assert sequential.perf.workers == 1
+
+    def test_workers_argument_overrides_config(self, ensemble, tmp_path):
+        harness = EvaluationHarness(
+            ensemble, tmp_path / "h", HarnessConfig(runs_per_question=1, workers=2)
+        )
+        result = harness.run_suite(questions=QUESTION_SUITE[:1], workers=1)
+        assert result.perf.workers == 1
+
+    def test_auto_workers_resolves_to_cpu_count(self, ensemble, tmp_path):
+        import os
+
+        harness = EvaluationHarness(
+            ensemble, tmp_path / "h", HarnessConfig(workers=0)
+        )
+        assert harness.resolve_workers() == (os.cpu_count() or 1)
+
+
+class TestRetrievalCacheSharing:
+    def test_warm_cache_eliminates_rebuilds(self, ensemble, tmp_path):
+        """Cold: exactly one corpus build; warm: hits only, zero builds."""
+        clear_memory_cache()
+        harness = EvaluationHarness(
+            ensemble,
+            tmp_path / "h",
+            HarnessConfig(runs_per_question=1, error_model=NO_ERRORS),
+        )
+        cold = harness.run_suite(questions=QUESTION_SUITE[:2])
+        assert cold.perf.cache.builds == 1
+        assert cold.perf.cache.matrix_hits == 1  # second run reuses the matrix
+
+        warm = harness.run_suite(questions=QUESTION_SUITE[:2])
+        assert warm.perf.cache.builds == 0
+        assert warm.perf.cache.matrix_hits == 2
+        # repeated prompts within runs hit the query-embedding memo
+        assert cold.perf.cache.query_memo_hits > 0
+
+    def test_per_run_instrumentation(self, ensemble, tmp_path):
+        harness = EvaluationHarness(
+            ensemble,
+            tmp_path / "h",
+            HarnessConfig(runs_per_question=2, error_model=NO_ERRORS),
+        )
+        result = harness.run_suite(questions=QUESTION_SUITE[:1])
+        perf = result.perf
+        assert len(perf.per_run_wall_s) == 2
+        assert all(w > 0 for w in perf.per_run_wall_s)
+        assert perf.runs_per_s > 0
+        assert perf.total_wall_s >= max(perf.per_run_wall_s)
+
+
+class TestRangesGuard:
+    def test_empty_result_yields_zero_ranges(self):
+        result = HarnessResult(aggregator=MetricsAggregator(), metrics=[])
+        assert result.ranges() == {
+            "tokens": (0.0, 0.0),
+            "time_s": (0.0, 0.0),
+            "storage_bytes": (0.0, 0.0),
+        }
+
+    def test_empty_question_bucket_skipped(self):
+        """A qid whose runs were all filtered out must not divide by zero."""
+        row = RunMetrics(
+            qid="q01", run_index=0, completed=True, tasks_fraction=1.0,
+            data_ok=True, visual_ok=True, tokens=100, storage_bytes=10,
+            time_s=1.0, redo_iterations=0, plan_steps=3, semantic_level=0,
+            analysis_level=0, multi_run=False, multi_step=False,
+        )
+        result = HarnessResult(aggregator=MetricsAggregator(), metrics=[row])
+        # forge the degenerate shape directly: one populated, one empty bucket
+        per_question = {"q01": [row], "q02": []}
+        averages = [
+            sum(m.tokens for m in runs) / len(runs)
+            for runs in per_question.values()
+            if runs
+        ]
+        assert averages == [100.0]
+        assert result.ranges()["tokens"] == (100.0, 100.0)
 
 
 class TestReporting:

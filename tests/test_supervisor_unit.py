@@ -1,5 +1,7 @@
 """Supervisor orchestration mechanics (beyond the end-to-end paths)."""
 
+import zlib
+
 import numpy as np
 import pytest
 
@@ -95,6 +97,14 @@ class TestExecution:
         k2 = supervisor._step_key({"question": "b", "step_index": 1})
         k3 = supervisor._step_key({"question": "a", "step_index": 2})
         assert len({k1, k2, k3}) == 3
+
+    def test_step_key_stable_across_interpreters(self, supervisor):
+        # pinned values: the step key seeds the mock LLM's error-draw
+        # streams, so it must not depend on the salted str hash
+        assert supervisor._step_key({"question": "a", "step_index": 1}) == "qbe43.s1"
+        assert supervisor._step_key(
+            {"question": "top 20 halos", "step_index": 0}
+        ) == f"q{zlib.crc32(b'top 20 halos') & 0xFFFF:x}.s0"
 
 
 class TestDeterminism:
