@@ -19,6 +19,8 @@ from typing import Any
 
 from repro.db import Database
 from repro.llm.base import ChatMessage, ChatResponse, MeteredModel
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import Tracer
 from repro.provenance import ProvenanceTracker
 from repro.rag import ColumnRetriever
 from repro.sandbox.client import InProcessClient
@@ -34,6 +36,9 @@ class AgentContext:
     limited_context: bool = True
     message_log: list[str] = field(default_factory=list)
     simulated_latency_s: float = 0.0
+    # tracing is always on: a private tracer is created when the caller
+    # (normally InferA.run_query) does not supply the session's
+    tracer: Tracer = field(default_factory=Tracer)
 
     def chat(
         self,
@@ -52,6 +57,10 @@ class AgentContext:
         prompt = "\n\n".join(parts)
         response = self.llm.chat([ChatMessage("user", prompt)], role=role)
         self.simulated_latency_s += response.latency_s
+        registry = get_registry()
+        registry.counter("llm.calls").inc()
+        registry.counter("llm.prompt_tokens").inc(response.prompt_tokens)
+        registry.counter("llm.completion_tokens").inc(response.completion_tokens)
         self.message_log.append(f"[{role}] {response.content[:400]}")
         self.provenance.record_llm_exchange(
             role, response.prompt_tokens, response.completion_tokens, step_index

@@ -14,7 +14,6 @@ at the end.
 
 from __future__ import annotations
 
-import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Any
@@ -29,6 +28,8 @@ from repro.agents.viz_agent import VisualizationAgent
 from repro.frame import Frame
 from repro.graph import Channel, StateGraph, END, Checkpointer
 from repro.graph.state import append_reducer, merge_reducer, add_reducer
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import use_tracer
 
 MAX_REVISIONS = 5
 
@@ -141,7 +142,11 @@ class Supervisor:
         g.add_edge("viz_batch", "supervisor")
         g.add_edge("qa", "supervisor")
         g.add_edge("documentation", END)
-        return g.compile(checkpointer=self.checkpointer, max_steps=1000)
+        return g.compile(
+            checkpointer=self.checkpointer,
+            max_steps=1000,
+            tracer=self.context.tracer,
+        )
 
     # ------------------------------------------------------------------
     # nodes
@@ -209,13 +214,17 @@ class Supervisor:
 
     def _node_sql(self, state: dict) -> dict:
         step = state["plan"][state["step_index"]]
-        outcome = self.sql_agent.run_step(
-            step,
-            self._step_key(state),
-            state["attempt"],
-            state["semantic_level"],
-            previous_error=state["last_error"],
-        )
+        with self.context.tracer.span(
+            "step.sql", step=state["step_index"], attempt=state["attempt"]
+        ) as sp:
+            outcome = self.sql_agent.run_step(
+                step,
+                self._step_key(state),
+                state["attempt"],
+                state["semantic_level"],
+                previous_error=state["last_error"],
+            )
+            sp.set(ok=outcome.ok)
         update: dict[str, Any] = {"last_outcome": _sql_summary(step, outcome)}
         if outcome.ok:
             tables = {"work": outcome.result}
@@ -229,14 +238,18 @@ class Supervisor:
 
     def _node_python(self, state: dict) -> dict:
         step = state["plan"][state["step_index"]]
-        outcome = self.python_agent.run_step(
-            step,
-            state["tables"],
-            self._step_key(state),
-            state["attempt"],
-            state["semantic_level"],
-            previous_error=state["last_error"],
-        )
+        with self.context.tracer.span(
+            "step.python", step=state["step_index"], attempt=state["attempt"]
+        ) as sp:
+            outcome = self.python_agent.run_step(
+                step,
+                state["tables"],
+                self._step_key(state),
+                state["attempt"],
+                state["semantic_level"],
+                previous_error=state["last_error"],
+            )
+            sp.set(ok=outcome.ok)
         update: dict[str, Any] = {
             "last_outcome": {
                 "ok": outcome.ok,
@@ -269,14 +282,18 @@ class Supervisor:
 
     def _node_viz(self, state: dict) -> dict:
         step = state["plan"][state["step_index"]]
-        outcome = self.viz_agent.run_step(
-            step,
-            state["tables"],
-            self._step_key(state),
-            state["attempt"],
-            state["semantic_level"],
-            previous_error=state["last_error"],
-        )
+        with self.context.tracer.span(
+            "step.viz", step=state["step_index"], attempt=state["attempt"]
+        ) as sp:
+            outcome = self.viz_agent.run_step(
+                step,
+                state["tables"],
+                self._step_key(state),
+                state["attempt"],
+                state["semantic_level"],
+                previous_error=state["last_error"],
+            )
+            sp.set(ok=outcome.ok)
         update: dict[str, Any] = {
             "last_outcome": {
                 "ok": outcome.ok,
@@ -297,14 +314,18 @@ class Supervisor:
     def _node_qa(self, state: dict) -> dict:
         step = state["plan"][state["step_index"]]
         outcome = state["last_outcome"] or {}
-        verdict = self.qa_agent.assess(
-            step,
-            self._step_key(state),
-            state["attempt"],
-            result_rows=int(outcome.get("rows", 0)),
-            error=state["last_error"],
-            expects_rows=step["kind"] != "viz",
-        )
+        with self.context.tracer.span(
+            "qa.assess", step=state["step_index"], attempt=state["attempt"]
+        ) as sp:
+            verdict = self.qa_agent.assess(
+                step,
+                self._step_key(state),
+                state["attempt"],
+                result_rows=int(outcome.get("rows", 0)),
+                error=state["last_error"],
+                expects_rows=step["kind"] != "viz",
+            )
+            sp.set(passed=verdict.passed and not state["last_error"])
         if verdict.passed and not state["last_error"]:
             result = StepResult(
                 index=step["index"],
@@ -342,6 +363,7 @@ class Supervisor:
                 "step_results": result.as_dict(),
                 "redo_iterations": attempt - 1,
             }
+        get_registry().counter("qa.redo").inc()
         return {
             "attempt": attempt,
             "redo_iterations": 1,
@@ -382,16 +404,31 @@ class Supervisor:
                 attempt = pending[step["index"]]
                 generated.append((step, attempt))
 
+            tracer = self.context.tracer
+            batch_parent = tracer.current()
+
             def run_one(item):
                 step, attempt = item
-                return step, attempt, self.viz_agent.run_step(
-                    step,
-                    state["tables"],
-                    f"{self._step_key(state)}.v{step['index']}",
-                    attempt,
-                    state["semantic_level"],
-                    previous_error=errors.get(step["index"], ""),
-                )
+                # pool threads have no span stack and no active tracer:
+                # re-activate the session tracer and parent explicitly so
+                # sandbox/LLM spans stay inside this trace
+                with use_tracer(tracer), tracer.span(
+                    "step.viz",
+                    parent=batch_parent,
+                    step=step["index"],
+                    attempt=attempt,
+                    parallel=True,
+                ) as sp:
+                    outcome = self.viz_agent.run_step(
+                        step,
+                        state["tables"],
+                        f"{self._step_key(state)}.v{step['index']}",
+                        attempt,
+                        state["semantic_level"],
+                        previous_error=errors.get(step["index"], ""),
+                    )
+                    sp.set(ok=outcome.ok)
+                return step, attempt, outcome
 
             with ThreadPoolExecutor(max_workers=max(len(generated), 1)) as pool:
                 outcomes = list(pool.map(run_one, generated))
@@ -423,6 +460,7 @@ class Supervisor:
                 else:
                     errors[step["index"]] = outcome.error or verdict.feedback
                     redo_total += 1
+                    get_registry().counter("qa.redo").inc()
                     pending[step["index"]] = attempt + 1
                     if pending[step["index"]] > self.max_revisions:
                         done[step["index"]] = StepResult(
@@ -464,17 +502,23 @@ class Supervisor:
         thread_id: str = "main",
     ) -> RunReport:
         graph = self.build_graph()
-        t0 = time.time()
+        tracer = self.context.tracer
+        # wall time comes from the injected clock (DESIGN: components never
+        # call time APIs directly), so runs under SimulatedClock are exact
+        t0 = tracer.clock.now()
         latency0 = self.context.simulated_latency_s
-        result = graph.invoke(
-            {
-                "plan": [dict(s) for s in plan_steps],
-                "question": question,
-                "semantic_level": semantic_level,
-            },
-            thread_id=thread_id,
-        )
-        wall = time.time() - t0
+        with tracer.span(
+            "supervisor.execute", thread=thread_id, plan_size=len(plan_steps)
+        ):
+            result = graph.invoke(
+                {
+                    "plan": [dict(s) for s in plan_steps],
+                    "question": question,
+                    "semantic_level": semantic_level,
+                },
+                thread_id=thread_id,
+            )
+        wall = tracer.clock.now() - t0
         latency = self.context.simulated_latency_s - latency0
         state = result.state
         steps = [StepResult(**r) for r in state["step_results"]]

@@ -7,9 +7,14 @@
 * ``query``    — run one natural-language question end to end
 * ``eval``     — run the 20-question evaluation suite and print Table 2
 * ``sql``      — run SQL directly against an analysis database
+* ``trace``    — inspect a recorded execution trace (summary/tree/export)
 
 All commands are plain functions over the library API; the CLI adds no
 behaviour of its own, so scripted use and the Python API stay equivalent.
+
+Command *results* (tables, query answers, figures) go to stdout; *status*
+goes through the ``repro.*`` logger hierarchy on stderr, tuned with
+``--verbose``/``-q``.
 """
 
 from __future__ import annotations
@@ -22,8 +27,18 @@ from repro.core import InferA, InferAConfig
 from repro.db import Database
 from repro.eval import EvaluationHarness, HarnessConfig, format_table2
 from repro.llm.errors import NO_ERRORS, ErrorModel
+from repro.obs.export import (
+    read_spans,
+    render_tree,
+    summarize,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.logsetup import get_logger, setup_logging
 from repro.sim import EnsembleSpec, generate_ensemble
 from repro.sim.ensemble import Ensemble
+
+log = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,6 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="InferA reproduction: a smart assistant for cosmological ensemble data",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more status output on stderr (repeatable)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less status output on stderr (repeatable)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate a synthetic ensemble")
@@ -68,6 +87,17 @@ def build_parser() -> argparse.ArgumentParser:
     sql = sub.add_parser("sql", help="run SQL against an analysis database")
     sql.add_argument("statement")
     sql.add_argument("--db", required=True)
+
+    trace = sub.add_parser("trace", help="inspect a recorded execution trace")
+    trace.add_argument("action", choices=("summary", "tree", "export"),
+                       help="summary: per-phase wall time + token counters; "
+                            "tree: indented span tree; export: rewrite the trace")
+    trace.add_argument("path",
+                       help="trace .jsonl file, or a directory containing one "
+                            "(a provenance session dir or an eval workdir)")
+    trace.add_argument("--chrome", action="store_true",
+                       help="export in Chrome trace format (chrome://tracing / Perfetto)")
+    trace.add_argument("--out", default=None, help="export output path")
 
     chat = sub.add_parser(
         "chat", help="interactive session with plan review (the paper's intended mode)"
@@ -107,7 +137,9 @@ def cmd_query(args: argparse.Namespace) -> int:
         qa_mode=args.qa_mode,
     )
     app = InferA(Ensemble(args.ensemble), args.workdir, config)
+    log.info("running query against %s (seed=%d)", args.ensemble, args.seed)
     report = app.run_query(args.question)
+    log.debug("trace: %d spans recorded under %s", len(report.trace_spans), report.session_dir)
     print(f"completed: {report.completed}")
     print(f"steps: {sum(1 for s in report.run.steps if s.status == 'ok')}/{report.run.plan_size} ok")
     print(f"tokens: {report.tokens:,}  storage: {report.storage_bytes:,} bytes  "
@@ -141,12 +173,17 @@ def cmd_eval(args: argparse.Namespace) -> int:
     perf = result.perf
     if perf is not None:
         cache = perf.cache
-        print(f"[perf] workers={perf.workers} runs={len(result.metrics)} "
-              f"wall={perf.total_wall_s:.2f}s throughput={perf.runs_per_s:.2f} runs/s")
-        print(f"[perf] retrieval cache: {cache.matrix_hits} hits "
-              f"({cache.memory_hits} memory, {cache.disk_hits} disk), "
-              f"{cache.builds} builds; query memo "
-              f"{cache.query_memo_hits}/{cache.query_memo_hits + cache.query_memo_misses} hits")
+        log.info("[perf] workers=%d runs=%d wall=%.2fs throughput=%.2f runs/s",
+                 perf.workers, len(result.metrics), perf.total_wall_s, perf.runs_per_s)
+        log.info("[perf] retrieval cache: %d hits (%d memory, %d disk), %d builds; "
+                 "query memo %d/%d hits",
+                 cache.matrix_hits, cache.memory_hits, cache.disk_hits, cache.builds,
+                 cache.query_memo_hits, cache.query_memo_hits + cache.query_memo_misses)
+        for phase, agg in perf.span_rollups.items():
+            log.debug("[trace] %-12s %4d spans %8.3f s %d errors",
+                      phase, int(agg["spans"]), agg["total_s"], int(agg["errors"]))
+    if result.trace_path is not None:
+        log.info("merged trace: %s (%d spans)", result.trace_path, len(result.spans))
     return 0
 
 
@@ -211,6 +248,24 @@ def cmd_chat(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    spans = read_spans(args.path)
+    if args.action == "summary":
+        print(summarize(spans))
+    elif args.action == "tree":
+        print(render_tree(spans))
+    else:  # export
+        if args.chrome:
+            out = Path(args.out or "trace_chrome.json")
+            nbytes = write_chrome_trace(spans, out)
+        else:
+            out = Path(args.out or "trace_export.jsonl")
+            nbytes = write_jsonl(spans, out)
+        log.info("wrote %d spans (%d bytes)", len(spans), nbytes)
+        print(out)
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "info": cmd_info,
@@ -218,11 +273,15 @@ _COMMANDS = {
     "eval": cmd_eval,
     "sql": cmd_sql,
     "chat": cmd_chat,
+    "trace": cmd_trace,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # pass the stream explicitly so repeated in-process invocations (tests,
+    # embedding apps) follow the current sys.stderr rather than a stale one
+    setup_logging(args.verbose - args.quiet, stream=sys.stderr)
     return _COMMANDS[args.command](args)
 
 

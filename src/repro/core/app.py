@@ -17,7 +17,7 @@ evaluation tables are computed from.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.agents import (
@@ -33,10 +33,12 @@ from repro.db import Database
 from repro.frame import Frame
 from repro.llm import HashedEmbedder, MockLLM
 from repro.llm.base import MeteredModel
+from repro.obs.tracer import Tracer, current_context, use_tracer
 from repro.provenance import ProvenanceTracker
 from repro.rag import ColumnRetriever, RetrievalArtifactCache
 from repro.sandbox import InProcessClient, SandboxClient, SandboxExecutor
 from repro.sim.ensemble import Ensemble
+from repro.util.timing import SimulatedClock, WallClock
 from repro.sim.schema import (
     COLUMN_DESCRIPTIONS,
     FILE_STRUCTURE_DESCRIPTIONS,
@@ -53,6 +55,9 @@ class QueryReport:
     plan: PlanningResult
     session_dir: Path
     db_bytes: int
+    # the session's execution trace as serialized span dicts (also written
+    # to the provenance trail as a kind="trace" JSONL artifact)
+    trace_spans: list[dict] = field(default_factory=list)
 
     # convenience passthroughs -----------------------------------------
     @property
@@ -93,12 +98,16 @@ class InferA:
         workdir: str | Path,
         config: InferAConfig | None = None,
         llm=None,
+        clock: WallClock | SimulatedClock | None = None,
     ):
         self.ensemble = ensemble
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
         self.config = config or InferAConfig()
         self._llm_factory = llm
+        # the single clock every timed component of a query shares
+        # (tracer spans, provenance timestamps, supervisor wall time)
+        self.clock = clock or WallClock()
         self._query_count = 0
         # the metadata dictionaries come straight from the ensemble manifest
         # when present (new datasets plug in by shipping their own)
@@ -110,7 +119,7 @@ class InferA:
         self._retriever: ColumnRetriever | None = None
 
     # ------------------------------------------------------------------
-    def _build_context(self, session_id: str) -> tuple[AgentContext, Database]:
+    def _build_context(self, session_id: str, tracer: Tracer) -> tuple[AgentContext, Database]:
         cfg = self.config
         base_llm = self._llm_factory or MockLLM(
             seed=cfg.seed + self._query_count,
@@ -131,7 +140,7 @@ class InferA:
                 cache=self._retrieval_cache,
             )
         retriever = self._retriever
-        provenance = ProvenanceTracker(self.workdir, session_id)
+        provenance = ProvenanceTracker(self.workdir, session_id, clock=self.clock)
         db = Database(self.workdir / session_id / "analysis.db")
         provenance.register_external(db.path)
         if cfg.sandbox_url:
@@ -145,6 +154,7 @@ class InferA:
             sandbox=sandbox,
             provenance=provenance,
             limited_context=cfg.limited_context,
+            tracer=tracer,
         )
         return context, db
 
@@ -164,40 +174,50 @@ class InferA:
         """
         self._query_count += 1
         session_id = session_id or f"query_{self._query_count:03d}_{_slug(question)}"
-        context, db = self._build_context(session_id)
+        # the session tracer parents itself under whatever trace is already
+        # active (e.g. the evaluation harness's suite trace) so multi-process
+        # runs merge into one coherent tree
+        tracer = Tracer(clock=self.clock, context=current_context())
+        context, db = self._build_context(session_id, tracer)
         context.provenance.record_query(question)
 
-        planner = PlanningAgent(context)
-        plan_result = planner.plan(question, feedback=feedback)
-        if plan_transform is not None:
-            transformed = plan_transform([dict(s) for s in plan_result.steps])
-            plan_result.steps = [dict(s, index=i) for i, s in enumerate(transformed)]
+        with use_tracer(tracer), tracer.span("session", session_id=session_id):
+            planner = PlanningAgent(context)
+            with tracer.span("plan.generate") as plan_span:
+                plan_result = planner.plan(question, feedback=feedback)
+                plan_span.set(steps=len(plan_result.steps))
+            if plan_transform is not None:
+                transformed = plan_transform([dict(s) for s in plan_result.steps])
+                plan_result.steps = [dict(s, index=i) for i, s in enumerate(transformed)]
 
-        loader = DataLoadingAgent(context, self.ensemble)
-        supervisor = Supervisor(
-            context,
-            loader,
-            max_revisions=self.config.max_revisions,
-            qa_mode=self.config.qa_mode,
-            enable_documentation=self.config.enable_documentation,
-            supervisor_history=self.config.supervisor_history,
-            use_checkpointer=self.config.use_checkpointer,
-            parallel_viz=self.config.parallel_viz,
-        )
-        self._last_supervisor = supervisor
-        self._last_context = context
-        run = supervisor.execute(
-            question,
-            plan_result.steps,
-            plan_result.semantic_level,
-            plan_result.intent,
-            thread_id=session_id,
-        )
+            loader = DataLoadingAgent(context, self.ensemble)
+            supervisor = Supervisor(
+                context,
+                loader,
+                max_revisions=self.config.max_revisions,
+                qa_mode=self.config.qa_mode,
+                enable_documentation=self.config.enable_documentation,
+                supervisor_history=self.config.supervisor_history,
+                use_checkpointer=self.config.use_checkpointer,
+                parallel_viz=self.config.parallel_viz,
+            )
+            self._last_supervisor = supervisor
+            self._last_context = context
+            run = supervisor.execute(
+                question,
+                plan_result.steps,
+                plan_result.semantic_level,
+                plan_result.intent,
+                thread_id=session_id,
+            )
+        spans = tracer.span_dicts()
+        context.provenance.record_trace(spans)
         return QueryReport(
             run=run,
             plan=plan_result,
             session_dir=context.provenance.root,
             db_bytes=db.nbytes(),
+            trace_spans=spans,
         )
 
 

@@ -30,6 +30,8 @@ from repro.db.sql.expressions import evaluate, expr_name
 from repro.db.sql.pruning import can_skip_row_group
 from repro.frame import Frame, concat
 from repro.frame.join import merge
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 
 
 @_dataclass
@@ -47,7 +49,32 @@ class ScanStats:
 
 
 def execute(db, stmt: ast.SelectStatement, scan_stats: ScanStats | None = None) -> Frame:
-    """Run a SELECT against ``db`` (a :class:`repro.db.database.Database`)."""
+    """Run a SELECT against ``db`` (a :class:`repro.db.database.Database`).
+
+    Traced as span ``sql.execute`` with the result size and the zone-map
+    pruning outcome as attributes, correlating each supervisor step with
+    the exact scan it triggered.
+    """
+    with get_tracer().span(
+        "sql.execute",
+        grouped=bool(stmt.group_by)
+        or any(ast.contains_aggregate(item.expr) for item in stmt.items),
+        joins=len(stmt.joins),
+    ) as sp:
+        result = _execute_statement(db, stmt, scan_stats)
+        sp.set(rows=result.num_rows)
+        if scan_stats is not None:
+            sp.set(
+                row_groups_total=scan_stats.row_groups_total,
+                row_groups_skipped=scan_stats.row_groups_skipped,
+            )
+    get_registry().counter("sql.queries").inc()
+    return result
+
+
+def _execute_statement(
+    db, stmt: ast.SelectStatement, scan_stats: ScanStats | None = None
+) -> Frame:
     chunks = _source_chunks(db, stmt, scan_stats)
     needs_group = bool(stmt.group_by) or any(
         ast.contains_aggregate(item.expr) for item in stmt.items

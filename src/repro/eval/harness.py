@@ -23,7 +23,6 @@ column-corpus embedding cost; hit/miss counters and runs/s land in
 from __future__ import annotations
 
 import os
-import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -38,8 +37,17 @@ from repro.eval.questions import (
     classify_question,
 )
 from repro.llm.errors import ErrorModel
+from repro.obs.export import phase_rollups, write_jsonl
+from repro.obs.metrics import (
+    empty_snapshot,
+    get_registry,
+    merge_snapshots,
+    snapshot_delta,
+)
+from repro.obs.tracer import TraceContext, Tracer, use_tracer
 from repro.rag.cache import CacheStats, stats_snapshot
 from repro.sim.ensemble import Ensemble
+from repro.util.timing import SimulatedClock, WallClock
 
 
 @dataclass
@@ -62,6 +70,12 @@ class RunOutcome:
     cache_stats: CacheStats
     wall_s: float
     report: object | None = None
+    # serialized spans of the cell (parented under the suite's root span,
+    # so the parent process can merge every worker into one trace)
+    spans: list[dict] = field(default_factory=list)
+    # obs-metrics delta measured around the cell; deltas from worker
+    # processes merge element-wise into the suite total
+    obs_metrics: dict = field(default_factory=empty_snapshot)
 
 
 @dataclass
@@ -73,6 +87,10 @@ class HarnessPerf:
     runs_per_s: float
     per_run_wall_s: list[float]
     cache: CacheStats
+    # per-phase span rollups (spans/total_s/errors keyed by phase) over
+    # the merged suite trace, plus the merged obs-metrics snapshot
+    span_rollups: dict = field(default_factory=dict)
+    obs_metrics: dict = field(default_factory=empty_snapshot)
 
     def as_dict(self) -> dict:
         return {
@@ -81,6 +99,8 @@ class HarnessPerf:
             "runs_per_s": self.runs_per_s,
             "per_run_wall_s": list(self.per_run_wall_s),
             "cache": self.cache.as_dict(),
+            "span_rollups": dict(self.span_rollups),
+            "obs_metrics": dict(self.obs_metrics),
         }
 
 
@@ -90,6 +110,10 @@ class HarnessResult:
     metrics: list[RunMetrics]
     reports: list = field(default_factory=list)
     perf: HarnessPerf | None = None
+    # the merged suite trace (suite root span + every cell's spans, in
+    # canonical grid order) and where it was written on disk
+    spans: list[dict] = field(default_factory=list)
+    trace_path: Path | None = None
 
     def ranges(self) -> dict[str, tuple[float, float]]:
         """Per-query min/max of the §4.1.3/§4.1.4 resource metrics.
@@ -139,15 +163,24 @@ def _pool_init(ensemble_root: str, workdir: str, config: HarnessConfig) -> None:
     )
 
 
-def _pool_execute(question: EvalQuestion, run_index: int) -> RunOutcome:
-    return _WORKER_STATE["harness"]._execute_cell(question, run_index)
+def _pool_execute(
+    question: EvalQuestion, run_index: int, ctx: TraceContext | None
+) -> RunOutcome:
+    return _WORKER_STATE["harness"]._execute_cell(question, run_index, ctx)
 
 
 class EvaluationHarness:
-    def __init__(self, ensemble: Ensemble, workdir: str | Path, config: HarnessConfig | None = None):
+    def __init__(
+        self,
+        ensemble: Ensemble,
+        workdir: str | Path,
+        config: HarnessConfig | None = None,
+        clock: WallClock | SimulatedClock | None = None,
+    ):
         self.ensemble = ensemble
         self.workdir = Path(workdir)
         self.config = config or HarnessConfig()
+        self.clock = clock or WallClock()
 
     # ------------------------------------------------------------------
     def resolve_workers(self, workers: int | None = None) -> int:
@@ -166,12 +199,23 @@ class EvaluationHarness:
         n_workers = self.resolve_workers(workers)
         grid = [(question, run_index) for question in questions for run_index in range(runs)]
 
-        start = time.perf_counter()
-        if n_workers <= 1 or len(grid) <= 1:
-            outcomes = [self._execute_cell(q, ri) for q, ri in grid]
-        else:
-            outcomes = self._run_parallel(grid, n_workers)
-        total_wall = time.perf_counter() - start
+        # the suite tracer owns the root span; its TraceContext is handed to
+        # every cell — in both modes, so sequential and parallel runs build
+        # the same span tree
+        tracer = Tracer(clock=self.clock)
+        start = tracer.clock.now()
+        with use_tracer(tracer), tracer.span(
+            "harness.run_suite",
+            questions=len(questions),
+            runs_per_question=runs,
+            workers=n_workers,
+        ):
+            ctx = tracer.context()
+            if n_workers <= 1 or len(grid) <= 1:
+                outcomes = [self._execute_cell(q, ri, ctx) for q, ri in grid]
+            else:
+                outcomes = self._run_parallel(grid, n_workers, ctx)
+        total_wall = tracer.clock.now() - start
 
         # canonical-order merge: outcomes arrive in grid order regardless
         # of which worker finished first, so the row list is identical to
@@ -180,41 +224,69 @@ class EvaluationHarness:
         kept: list = []
         cache_total = CacheStats()
         per_run_wall: list[float] = []
+        all_spans: list[dict] = list(tracer.span_dicts())
+        obs_total = empty_snapshot()
         for outcome in outcomes:
             aggregator.add(outcome.metrics)
             cache_total.merge(outcome.cache_stats)
             per_run_wall.append(outcome.wall_s)
+            all_spans.extend(outcome.spans)
+            obs_total = merge_snapshots(obs_total, outcome.obs_metrics)
             if outcome.report is not None:
                 kept.append(outcome.report)
+        trace_path = self.workdir / "trace.jsonl"
+        write_jsonl(all_spans, trace_path)
         perf = HarnessPerf(
             workers=n_workers,
             total_wall_s=total_wall,
             runs_per_s=len(grid) / total_wall if total_wall > 0 else 0.0,
             per_run_wall_s=per_run_wall,
             cache=cache_total,
+            span_rollups=phase_rollups(all_spans),
+            obs_metrics=obs_total,
         )
         return HarnessResult(
-            aggregator=aggregator, metrics=aggregator.rows, reports=kept, perf=perf
+            aggregator=aggregator,
+            metrics=aggregator.rows,
+            reports=kept,
+            perf=perf,
+            spans=all_spans,
+            trace_path=trace_path,
         )
 
     def _run_parallel(
-        self, grid: list[tuple[EvalQuestion, int]], n_workers: int
+        self,
+        grid: list[tuple[EvalQuestion, int]],
+        n_workers: int,
+        ctx: TraceContext | None,
     ) -> list[RunOutcome]:
         with ProcessPoolExecutor(
             max_workers=n_workers,
             initializer=_pool_init,
             initargs=(str(self.ensemble.root), str(self.workdir), self.config),
         ) as pool:
-            futures = [pool.submit(_pool_execute, q, ri) for q, ri in grid]
+            futures = [pool.submit(_pool_execute, q, ri, ctx) for q, ri in grid]
             return [f.result() for f in futures]
 
     # ------------------------------------------------------------------
-    def _execute_cell(self, question: EvalQuestion, run_index: int) -> RunOutcome:
+    def _execute_cell(
+        self,
+        question: EvalQuestion,
+        run_index: int,
+        ctx: TraceContext | None = None,
+    ) -> RunOutcome:
         """One grid cell: run, judge, classify, and measure."""
         stats_before = stats_snapshot()
-        t0 = time.perf_counter()
-        report = self.run_once(question, run_index)
-        wall = time.perf_counter() - t0
+        obs_before = get_registry().snapshot()
+        # a fresh tracer per cell (unique span-id prefix, so merged worker
+        # traces never collide) parented under the suite's root span
+        cell_tracer = Tracer(clock=self.clock, context=ctx)
+        t0 = cell_tracer.clock.now()
+        with use_tracer(cell_tracer), cell_tracer.span(
+            "harness.cell", qid=question.qid, run_index=run_index
+        ):
+            report = self.run_once(question, run_index)
+        wall = cell_tracer.clock.now() - t0
         data_ok, visual_ok = oracle_assess(report)
         classification = classify_question(question)
         metrics = RunMetrics(
@@ -239,6 +311,8 @@ class EvaluationHarness:
             cache_stats=stats_snapshot().delta(stats_before),
             wall_s=wall,
             report=report if self.config.keep_reports else None,
+            spans=cell_tracer.span_dicts() + list(report.trace_spans),
+            obs_metrics=snapshot_delta(get_registry().snapshot(), obs_before),
         )
 
     def run_once(self, question: EvalQuestion, run_index: int):
@@ -253,5 +327,6 @@ class EvaluationHarness:
                 llm_latency_s=self.config.llm_latency_s,
                 retrieval_cache_dir=str(self.workdir / ".retrieval_cache"),
             ),
+            clock=self.clock,
         )
         return app.run_query(question.text, feedback=AutoApprove())

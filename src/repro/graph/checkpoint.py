@@ -24,6 +24,10 @@ class Checkpoint:
     node: str
     next_node: str | None
     state: dict[str, Any]
+    # serialized ExecutionEvent dicts up to this point; restored tolerantly
+    # on resume so event history (including timing fields) survives the
+    # round-trip even across schema evolution
+    events: list[dict[str, Any]] = field(default_factory=list)
 
 
 @dataclass
@@ -39,6 +43,7 @@ class Checkpointer:
         node: str,
         next_node: str | None,
         state: dict[str, Any],
+        events: list[dict[str, Any]] | None = None,
     ) -> Checkpoint:
         cp = Checkpoint(
             checkpoint_id=f"{thread_id}:{seq}",
@@ -47,6 +52,7 @@ class Checkpointer:
             node=node,
             next_node=next_node,
             state=copy.deepcopy(state),
+            events=copy.deepcopy(events or []),
         )
         self._threads.setdefault(thread_id, []).append(cp)
         return cp
@@ -87,6 +93,7 @@ class Checkpointer:
                     node=cp.node,
                     next_node=cp.next_node,
                     state=copy.deepcopy(cp.state),
+                    events=copy.deepcopy(cp.events),
                 )
             )
         self._threads[new_thread_id] = chain

@@ -2,13 +2,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any
 
 
 @dataclass
 class ExecutionEvent:
-    """One node execution in a graph run."""
+    """One node execution in a graph run.
+
+    ``started_at``/``duration`` come from the graph's injected clock
+    (``None`` for events that carry no timing, e.g. interrupts, or events
+    decoded from a checkpoint written before timing existed).
+    """
 
     seq: int
     node: str
@@ -16,6 +21,8 @@ class ExecutionEvent:
     updated_keys: list[str] = field(default_factory=list)
     detail: str = ""
     checkpoint_id: str | None = None
+    started_at: float | None = None
+    duration: float | None = None
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -25,4 +32,23 @@ class ExecutionEvent:
             "updated_keys": self.updated_keys,
             "detail": self.detail,
             "checkpoint_id": self.checkpoint_id,
+            "started_at": self.started_at,
+            "duration": self.duration,
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "ExecutionEvent":
+        """Tolerant decode for checkpoint round-trips.
+
+        Unknown keys (from newer writers) are ignored and missing keys
+        (from older checkpoints) fall back to field defaults, so events
+        survive schema evolution in either direction.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in doc.items() if k in known}
+        kwargs.setdefault("seq", 0)
+        kwargs.setdefault("node", "")
+        kwargs.setdefault("status", "ok")
+        if kwargs.get("updated_keys") is not None:
+            kwargs["updated_keys"] = list(kwargs.get("updated_keys") or [])
+        return cls(**kwargs)

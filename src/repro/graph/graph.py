@@ -8,6 +8,7 @@ from typing import Any, Callable
 from repro.graph.checkpoint import Checkpointer
 from repro.graph.events import ExecutionEvent
 from repro.graph.state import Channel, apply_update, initial_state
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 END = "__end__"
 
@@ -71,6 +72,7 @@ class StateGraph:
         checkpointer: Checkpointer | None = None,
         interrupt_before: list[str] | None = None,
         max_steps: int = 500,
+        tracer: Tracer | NullTracer | None = None,
     ) -> "CompiledGraph":
         if self.entry is None:
             raise GraphError("no entry point set")
@@ -93,6 +95,7 @@ class StateGraph:
             checkpointer=checkpointer,
             interrupt_before=set(interrupt_before or []),
             max_steps=max_steps,
+            tracer=tracer or NULL_TRACER,
         )
 
 
@@ -118,6 +121,7 @@ class CompiledGraph:
     checkpointer: Checkpointer | None = None
     interrupt_before: set[str] = field(default_factory=set)
     max_steps: int = 500
+    tracer: Tracer | NullTracer = field(default_factory=lambda: NULL_TRACER)
     _seq: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -141,6 +145,9 @@ class CompiledGraph:
                 raise GraphError(f"nothing to resume for thread {thread_id!r}")
             current = cp.next_node or END
             run_state = dict(cp.state)
+            # restore event history tolerantly: events written by older or
+            # newer engine versions decode with defaults / ignored extras
+            events = [ExecutionEvent.from_dict(d) for d in cp.events]
             skip_interrupt_at = current
         else:
             run_state = initial_state(self.channels, state)
@@ -164,10 +171,15 @@ class CompiledGraph:
             fn = self.nodes.get(current)
             if fn is None:
                 raise GraphError(f"unknown node {current!r}")
-            update = fn(run_state) or {}
-            if not isinstance(update, dict):
-                raise GraphError(f"node {current!r} must return a dict update")
-            run_state = apply_update(self.channels, run_state, update)
+            started_at = self.tracer.clock.now()
+            with self.tracer.span(
+                f"graph.node.{current}", thread=thread_id, seq=self._seq.get(thread_id, 0)
+            ):
+                update = fn(run_state) or {}
+                if not isinstance(update, dict):
+                    raise GraphError(f"node {current!r} must return a dict update")
+                run_state = apply_update(self.channels, run_state, update)
+            duration = self.tracer.clock.now() - started_at
 
             next_node = self._route(current, run_state)
             event = ExecutionEvent(
@@ -175,6 +187,8 @@ class CompiledGraph:
                 current,
                 "ok",
                 updated_keys=sorted(update.keys()),
+                started_at=started_at,
+                duration=duration,
             )
             events.append(event)
             self._checkpoint(thread_id, current, next_node, run_state, events, event)
@@ -209,10 +223,18 @@ class CompiledGraph:
         if self.checkpointer is None:
             return
         cp = self.checkpointer.save(
-            thread_id, self._seq.get(thread_id, 0), node, next_node, state
+            thread_id,
+            self._seq.get(thread_id, 0),
+            node,
+            next_node,
+            state,
+            events=[e.as_dict() for e in events],
         )
         if event is not None:
             event.checkpoint_id = cp.checkpoint_id
+            if cp.events:
+                # the serialized copy was taken before the id existed
+                cp.events[-1]["checkpoint_id"] = cp.checkpoint_id
 
     # ------------------------------------------------------------------
     def resume_from_branch(self, checkpoint_id: str, new_thread_id: str) -> RunResult:

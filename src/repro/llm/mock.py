@@ -33,6 +33,7 @@ from repro.llm.base import ChatMessage, ChatResponse, prompt_tokens_of
 from repro.llm.errors import ErrorModel, choose_corruptions
 from repro.llm.interpret import interpret_question
 from repro.llm.plan import expand_intent, semantic_level
+from repro.obs.tracer import get_tracer
 from repro.util.rngs import SeedSequenceFactory
 from repro.util.tokens import count_tokens
 
@@ -103,17 +104,24 @@ class MockLLM:
         pm = _PAYLOAD_RE.search(last)
         if pm:
             payload = json.loads(pm.group(1))
-        handler = getattr(self, f"_skill_{skill}", None)
-        if handler is None:
-            completion = self._skill_doc(payload, last)
-        else:
-            completion = handler(payload, last)
-        return ChatResponse(
-            content=completion,
-            prompt_tokens=prompt_tokens_of(messages),
-            completion_tokens=count_tokens(completion),
-            latency_s=self.latency_per_call_s,
-        )
+        with get_tracer().span("llm.chat", skill=skill) as sp:
+            handler = getattr(self, f"_skill_{skill}", None)
+            if handler is None:
+                completion = self._skill_doc(payload, last)
+            else:
+                completion = handler(payload, last)
+            response = ChatResponse(
+                content=completion,
+                prompt_tokens=prompt_tokens_of(messages),
+                completion_tokens=count_tokens(completion),
+                latency_s=self.latency_per_call_s,
+            )
+            sp.set(
+                prompt_tokens=response.prompt_tokens,
+                completion_tokens=response.completion_tokens,
+                latency_s=response.latency_s,
+            )
+        return response
 
     # ------------------------------------------------------------------
     # skills

@@ -1,0 +1,74 @@
+"""``repro.obs`` — end-to-end tracing, metrics, and logging.
+
+Dependency-free observability for the whole assistant: hierarchical
+spans over supervisor steps, graph nodes, SQL, sandbox runs, retrieval
+and LLM exchanges (:mod:`repro.obs.tracer`); mergeable process-local
+counters/gauges/histograms (:mod:`repro.obs.metrics`); JSONL +
+Chrome-trace exporters and trace analyzers (:mod:`repro.obs.export`);
+and the single ``repro`` logging hierarchy (:mod:`repro.obs.logsetup`).
+"""
+
+from repro.obs.export import (
+    canonical_tree,
+    chrome_trace_json,
+    phase_rollups,
+    read_spans,
+    render_tree,
+    summarize,
+    to_chrome_trace,
+    token_totals,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.logsetup import get_logger, setup_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    empty_snapshot,
+    get_registry,
+    merge_snapshots,
+    snapshot_delta,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    current_context,
+    get_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "canonical_tree",
+    "chrome_trace_json",
+    "current_context",
+    "empty_snapshot",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "merge_snapshots",
+    "phase_rollups",
+    "read_spans",
+    "render_tree",
+    "setup_logging",
+    "snapshot_delta",
+    "summarize",
+    "to_chrome_trace",
+    "token_totals",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,259 @@
+"""Trace exporters and analyzers.
+
+Two output formats:
+
+* **JSONL** — one span dict per line, the provenance-native format.  Each
+  session's trace is registered on its provenance trail with
+  ``kind="trace"``, so the trail is self-describing: the artifacts *and*
+  the execution that produced them.
+* **Chrome trace format** — a ``traceEvents`` JSON document loadable in
+  ``chrome://tracing`` / Perfetto for flame views of a run.
+
+Plus the read-side helpers the ``repro trace`` CLI and the harness
+rollups share: per-phase wall-time rollups, token totals from LLM spans,
+an indented tree renderer, and a timing-free canonical tree used to
+assert that a parallel evaluation produced the same span structure as a
+sequential one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.tracer import Span
+
+SpanLike = Span | dict
+
+
+def _as_dict(span: SpanLike) -> dict[str, Any]:
+    return span.as_dict() if isinstance(span, Span) else span
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def write_jsonl(spans: list[SpanLike], path: str | Path) -> int:
+    """Write one span per line; returns bytes written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = "".join(json.dumps(_as_dict(s)) + "\n" for s in spans)
+    data = payload.encode("utf-8")
+    path.write_bytes(data)
+    return len(data)
+
+
+def find_trace_file(path: str | Path) -> Path:
+    """Resolve a trace file from a path that may be a session directory.
+
+    Directories are searched for provenance-registered ``*trace.jsonl``
+    files (latest sequence number wins, matching "the session's trace").
+    """
+    path = Path(path)
+    if path.is_file():
+        return path
+    if path.is_dir():
+        candidates = sorted(path.glob("*trace.jsonl"))
+        if candidates:
+            return candidates[-1]
+        raise FileNotFoundError(f"no *trace.jsonl under {path}")
+    raise FileNotFoundError(f"no trace at {path}")
+
+
+def read_spans(path: str | Path) -> list[dict[str, Any]]:
+    """Load span dicts from a trace file or a session directory."""
+    trace_path = find_trace_file(path)
+    spans: list[dict[str, Any]] = []
+    with trace_path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Chrome trace format (chrome://tracing, Perfetto)
+# ----------------------------------------------------------------------
+def to_chrome_trace(spans: list[SpanLike]) -> dict[str, Any]:
+    """Complete ('ph': 'X') events; timestamps in microseconds."""
+    events: list[dict[str, Any]] = []
+    for raw in spans:
+        span = _as_dict(raw)
+        args = dict(span.get("attributes", {}))
+        args["span_id"] = span.get("span_id", "")
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        if span.get("status") == "error":
+            args["error"] = f"{span.get('error_type', '')}: {span.get('error_message', '')}"
+        events.append(
+            {
+                "name": span.get("name", ""),
+                "cat": span.get("name", "").split(".")[0] or "span",
+                "ph": "X",
+                "ts": round(float(span.get("start", 0.0)) * 1e6, 3),
+                "dur": round(float(span.get("duration", 0.0)) * 1e6, 3),
+                "pid": 1,
+                "tid": _tid_of(span),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _tid_of(span: dict[str, Any]) -> int:
+    """Stable small lane number per span-id prefix (one per tracer, which
+    in practice means one per worker process)."""
+    prefix = str(span.get("span_id", "")).split("-")[0]
+    return (int(prefix, 16) % 997) + 1 if prefix else 1
+
+
+def chrome_trace_json(spans: list[SpanLike]) -> str:
+    """Deterministically formatted Chrome trace document."""
+    return json.dumps(to_chrome_trace(spans), indent=1, sort_keys=True)
+
+
+def write_chrome_trace(spans: list[SpanLike], path: str | Path) -> int:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = chrome_trace_json(spans).encode("utf-8")
+    path.write_bytes(data)
+    return len(data)
+
+
+# ----------------------------------------------------------------------
+# rollups and views
+# ----------------------------------------------------------------------
+def phase_of(name: str) -> str:
+    """Rollup phase of a span name: the prefix before the first dot."""
+    return name.split(".")[0] if name else "?"
+
+
+def phase_rollups(spans: list[SpanLike]) -> dict[str, dict[str, float]]:
+    """Per-phase span count, total wall seconds, and error count."""
+    rollups: dict[str, dict[str, float]] = {}
+    for raw in spans:
+        span = _as_dict(raw)
+        phase = phase_of(span.get("name", ""))
+        agg = rollups.setdefault(phase, {"spans": 0, "total_s": 0.0, "errors": 0})
+        agg["spans"] += 1
+        agg["total_s"] += float(span.get("duration", 0.0))
+        if span.get("status") == "error":
+            agg["errors"] += 1
+    return dict(sorted(rollups.items()))
+
+
+def token_totals(spans: list[SpanLike]) -> dict[str, int]:
+    """Cumulative LLM token counters carried on ``llm.chat`` spans."""
+    prompt = completion = calls = 0
+    for raw in spans:
+        span = _as_dict(raw)
+        if span.get("name") != "llm.chat":
+            continue
+        attrs = span.get("attributes", {})
+        prompt += int(attrs.get("prompt_tokens", 0))
+        completion += int(attrs.get("completion_tokens", 0))
+        calls += 1
+    return {
+        "calls": calls,
+        "prompt_tokens": prompt,
+        "completion_tokens": completion,
+        "total_tokens": prompt + completion,
+    }
+
+
+def _children_index(spans: list[dict[str, Any]]) -> tuple[list[dict], dict[str, list[dict]]]:
+    by_id = {s.get("span_id"): s for s in spans}
+    roots: list[dict] = []
+    children: dict[str, list[dict]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    order = lambda s: (float(s.get("start", 0.0)), str(s.get("span_id", "")))
+    roots.sort(key=order)
+    for sibs in children.values():
+        sibs.sort(key=order)
+    return roots, children
+
+
+def render_tree(spans: list[SpanLike]) -> str:
+    """Indented text tree of a trace with durations and statuses."""
+    dicts = [_as_dict(s) for s in spans]
+    roots, children = _children_index(dicts)
+    lines: list[str] = []
+
+    def walk(span: dict[str, Any], depth: int) -> None:
+        mark = "" if span.get("status") == "ok" else f" [{span.get('status')}]"
+        dur_ms = float(span.get("duration", 0.0)) * 1e3
+        attrs = span.get("attributes", {})
+        hint = ""
+        for key in ("qid", "run_index", "step", "attempt", "skill", "rows"):
+            if key in attrs:
+                hint += f" {key}={attrs[key]}"
+        lines.append(f"{'  ' * depth}{span.get('name')}  {dur_ms:.2f} ms{hint}{mark}")
+        for child in children.get(span.get("span_id"), []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+# attributes that vary run to run without the traced work differing:
+# latency-shaped measurements, plus the execution mode (worker count)
+_TIMING_ATTRS = {"latency_s", "wall_s", "duration_s", "workers"}
+
+
+def canonical_tree(spans: list[SpanLike]) -> tuple:
+    """Timing-free canonical form of a trace's span tree.
+
+    Nodes are ``(name, sorted non-timing attrs, sorted children)``; ids,
+    start/end times, latency-shaped attributes, and the worker count are
+    dropped, so a parallel evaluation compares equal to a sequential one
+    whenever the same operations happened with the same structure.
+    """
+    dicts = [_as_dict(s) for s in spans]
+    roots, children = _children_index(dicts)
+
+    def canon(span: dict[str, Any]) -> tuple:
+        attrs = tuple(
+            sorted(
+                (k, repr(v))
+                for k, v in span.get("attributes", {}).items()
+                if k not in _TIMING_ATTRS
+            )
+        )
+        kids = tuple(sorted(canon(c) for c in children.get(span.get("span_id"), [])))
+        return (span.get("name", ""), span.get("status", ""), attrs, kids)
+
+    return tuple(sorted(canon(r) for r in roots))
+
+
+def summarize(spans: list[SpanLike]) -> str:
+    """Human-readable trace summary: per-phase wall time + token counters."""
+    dicts = [_as_dict(s) for s in spans]
+    if not dicts:
+        return "empty trace"
+    trace_id = dicts[0].get("trace_id", "?")
+    rollups = phase_rollups(dicts)
+    roots, _ = _children_index(dicts)
+    root_wall = sum(float(r.get("duration", 0.0)) for r in roots)
+    lines = [
+        f"trace {trace_id}: {len(dicts)} spans, {root_wall:.3f} s across {len(roots)} root span(s)",
+        f"{'phase':<14} {'spans':>6} {'total_s':>10} {'errors':>7}",
+    ]
+    for phase, agg in rollups.items():
+        lines.append(
+            f"{phase:<14} {int(agg['spans']):>6} {agg['total_s']:>10.3f} {int(agg['errors']):>7}"
+        )
+    tokens = token_totals(dicts)
+    lines.append(
+        f"llm tokens: prompt={tokens['prompt_tokens']:,} "
+        f"completion={tokens['completion_tokens']:,} "
+        f"total={tokens['total_tokens']:,} over {tokens['calls']} calls"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Logging for the ``repro`` hierarchy.
+
+Library modules log through ``logging.getLogger("repro.<area>")`` and
+never print; the CLI (or any embedding application) decides whether and
+where those records surface by calling :func:`setup_logging` once.  The
+default posture without setup is the stdlib's usual one — warnings and
+above to stderr via the last-resort handler — so importing the library
+stays silent.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(levelname).1s %(name)s: %(message)s"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the single ``repro`` hierarchy."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def setup_logging(verbosity: int = 0, stream: TextIO | None = None) -> logging.Logger:
+    """Configure the ``repro`` logger tree for terminal use.
+
+    ``verbosity``: negative = warnings only (``-q``), 0 = info (default),
+    positive = debug (``-v``).  Idempotent: reconfigures the single
+    handler it owns instead of stacking new ones.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    if verbosity < 0:
+        level = logging.WARNING
+    elif verbosity == 0:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    logger.setLevel(level)
+    logger.propagate = False
+
+    handler = next(
+        (h for h in logger.handlers if getattr(h, "_repro_cli_handler", False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_cli_handler = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    elif stream is not None and stream is not handler.stream:
+        try:
+            handler.setStream(stream)
+        except ValueError:
+            # the previous stream was already closed (common when test
+            # harnesses swap sys.stderr per test); skip its final flush
+            handler.stream = stream
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    return logger

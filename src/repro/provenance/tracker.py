@@ -18,18 +18,18 @@ including the analysis database when it is registered — Table 2's
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.frame import Frame
 from repro.frame.io import write_csv
+from repro.util.timing import SimulatedClock, WallClock
 
 
 @dataclass
 class ArtifactRecord:
     seq: int
-    kind: str               # query | plan | code | sql | result | figure | llm | qa | note
+    kind: str               # query | plan | code | sql | result | figure | llm | qa | note | trace
     path: str | None        # file name inside the session dir (None = inline)
     step_index: int | None
     nbytes: int
@@ -49,14 +49,22 @@ class ArtifactRecord:
 class ProvenanceTracker:
     """Records artifacts for one analysis session."""
 
-    def __init__(self, root: str | Path, session_id: str = "session"):
+    def __init__(
+        self,
+        root: str | Path,
+        session_id: str = "session",
+        clock: WallClock | SimulatedClock | None = None,
+    ):
         self.root = Path(root) / session_id
         self.root.mkdir(parents=True, exist_ok=True)
         self.session_id = session_id
         self.records: list[ArtifactRecord] = []
         self._trail = self.root / "trail.jsonl"
         self._extra_paths: list[Path] = []
-        self._t0 = time.time()
+        # injected clock (DESIGN: components never call time APIs directly),
+        # so provenance timestamps are deterministic under SimulatedClock
+        self.clock = clock or WallClock()
+        self._t0 = self.clock.now()
 
     # ------------------------------------------------------------------
     def _record(
@@ -131,6 +139,19 @@ class ProvenanceTracker:
     def record_note(self, text: str, step_index: int | None = None, **meta) -> ArtifactRecord:
         return self._record("note", None, step_index, 0, text=text[:500], **meta)
 
+    def record_trace(self, spans: list[dict]) -> ArtifactRecord:
+        """Persist a session's execution trace as a JSONL artifact.
+
+        Every trail thereby carries its own execution trace (``kind="trace"``):
+        the artifacts *and* the spans that produced them, inspectable with
+        ``repro trace summary/tree <session-dir>``.
+        """
+        path = self._file("trace", ".jsonl")
+        data = "".join(json.dumps(span) + "\n" for span in spans).encode("utf-8")
+        path.write_bytes(data)
+        trace_id = spans[0].get("trace_id", "") if spans else ""
+        return self._record("trace", path, None, len(data), spans=len(spans), trace_id=trace_id)
+
     def register_external(self, path: str | Path) -> None:
         """Count an external artifact (e.g. the analysis database directory)
         toward this session's storage overhead."""
@@ -149,7 +170,7 @@ class ProvenanceTracker:
         return total
 
     def elapsed_s(self) -> float:
-        return time.time() - self._t0
+        return self.clock.now() - self._t0
 
     def trail(self) -> list[dict]:
         return [r.as_dict() for r in self.records]

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.llm.embeddings import HashedEmbedder
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.rag.cache import RetrievalArtifactCache
 from repro.rag.documents import ColumnDocument, build_documents
 from repro.rag.index import VectorIndex
@@ -79,17 +81,22 @@ class ColumnRetriever:
             prompts["plan"] = plan
         prompts["important"] = self._important_prompt
 
-        matrix = self.index.embedding_matrix()
-        merged: dict[str, ColumnDocument] = {}
-        per_prompt: dict[str, list[str]] = {}
-        for name, prompt in prompts.items():
-            sims = self.index.similarities(prompt)
-            chosen = mmr_select(sims, matrix, k_per_prompt, self.lambda_mult)
-            ids = []
-            for i in chosen:
-                doc = self.documents[i]
-                ids.append(doc.doc_id)
-                if len(merged) < max_total:
-                    merged.setdefault(doc.doc_id, doc)
-            per_prompt[name] = ids
+        with get_tracer().span("rag.retrieve", prompts=len(prompts)) as sp:
+            matrix = self.index.embedding_matrix()
+            merged: dict[str, ColumnDocument] = {}
+            per_prompt: dict[str, list[str]] = {}
+            for name, prompt in prompts.items():
+                sims = self.index.similarities(prompt)
+                chosen = mmr_select(sims, matrix, k_per_prompt, self.lambda_mult)
+                ids = []
+                for i in chosen:
+                    doc = self.documents[i]
+                    ids.append(doc.doc_id)
+                    if len(merged) < max_total:
+                        merged.setdefault(doc.doc_id, doc)
+                per_prompt[name] = ids
+            sp.set(documents=len(merged))
+        registry = get_registry()
+        registry.counter("retrieval.requests").inc()
+        registry.counter("retrieval.documents").inc(len(merged))
         return RetrievalResult(documents=list(merged.values()), per_prompt=per_prompt)

@@ -1,5 +1,7 @@
 """CLI commands (invoked in-process via main(argv))."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -63,11 +65,13 @@ class TestEval:
             "--runs-per-question", "1",
         ])
         assert code == 0
-        out = capsys.readouterr().out
-        assert "Table 2" in out
-        assert "Total" in out
-        assert "[perf] workers=1" in out
-        assert "retrieval cache" in out
+        captured = capsys.readouterr()
+        assert "Table 2" in captured.out
+        assert "Total" in captured.out
+        # status lines go through the repro logger on stderr, not stdout
+        assert "[perf] workers=1" in captured.err
+        assert "retrieval cache" in captured.err
+        assert "merged trace:" in captured.err
 
     def test_eval_workers_flag(self, cli_ensemble, tmp_path, capsys):
         code = main([
@@ -77,9 +81,9 @@ class TestEval:
             "--workers", "2",
         ])
         assert code == 0
-        out = capsys.readouterr().out
-        assert "Table 2" in out
-        assert "[perf] workers=2" in out
+        captured = capsys.readouterr()
+        assert "Table 2" in captured.out
+        assert "[perf] workers=2" in captured.err
 
 
 class TestSQL:
@@ -126,6 +130,72 @@ class TestChat:
         # the second proposed plan (after 'drop viz') has no viz step
         final_plan = out.rsplit("proposed plan:", 1)[1]
         assert "[viz]" not in final_plan.split("approve?")[0]
+
+
+@pytest.fixture()
+def traced_session(cli_ensemble, tmp_path):
+    """A completed query session directory (contains a *trace.jsonl)."""
+    code = main([
+        "query", "top 5 halos at timestep 624 in simulation 0",
+        "--ensemble", str(cli_ensemble),
+        "--workdir", str(tmp_path / "traced"),
+        "--no-errors",
+    ])
+    assert code == 0
+    return next((tmp_path / "traced").glob("query_*"))
+
+
+class TestTrace:
+    def test_summary(self, traced_session, capsys):
+        capsys.readouterr()
+        assert main(["trace", "summary", str(traced_session)]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+        assert "llm tokens:" in out
+
+    def test_tree(self, traced_session, capsys):
+        capsys.readouterr()
+        assert main(["trace", "tree", str(traced_session)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("session")
+        assert "  supervisor.execute" in out
+
+    def test_export_chrome(self, traced_session, tmp_path, capsys):
+        out_path = tmp_path / "chrome.json"
+        code = main(["trace", "export", str(traced_session),
+                     "--chrome", "--out", str(out_path)])
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        assert str(out_path) in capsys.readouterr().out
+
+    def test_missing_trace_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["trace", "summary", str(tmp_path / "nowhere")])
+
+
+class TestVerbosity:
+    def test_quiet_suppresses_status(self, cli_ensemble, tmp_path, capsys):
+        code = main([
+            "-q", "eval", "--ensemble", str(cli_ensemble),
+            "--workdir", str(tmp_path / "eq"),
+            "--runs-per-question", "1",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Table 2" in captured.out      # results still on stdout
+        assert "[perf]" not in captured.err   # status muted below WARNING
+
+    def test_verbose_adds_debug_lines(self, cli_ensemble, tmp_path, capsys):
+        code = main([
+            "-v", "query", "top 3 halos at timestep 624 in simulation 0",
+            "--ensemble", str(cli_ensemble),
+            "--workdir", str(tmp_path / "vq"),
+            "--no-errors",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "trace:" in err                # the cmd_query debug line
 
 
 class TestParser:

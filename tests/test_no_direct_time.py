@@ -1,0 +1,35 @@
+"""Lint: library code must take a clock dependency, never call time APIs.
+
+DESIGN's determinism invariant: every timed component accepts an injected
+``WallClock``/``SimulatedClock`` so that tests and cost models can run
+bit-stable.  ``util/timing.py`` is the one place allowed to touch
+``time`` (it *implements* the clocks); ``obs/`` is excluded as the
+observability layer's modules are clock consumers audited by review.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+DIRECT_TIME = re.compile(r"\btime\.(time|perf_counter|monotonic|process_time)\s*\(")
+
+ALLOWED = {
+    SRC / "util" / "timing.py",
+}
+ALLOWED_DIRS = {
+    SRC / "obs",
+}
+
+
+def test_no_direct_time_calls():
+    offenders: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED or any(parent in ALLOWED_DIRS for parent in path.parents):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if DIRECT_TIME.search(line):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "direct time API calls found (inject a clock instead):\n" + "\n".join(offenders)
+    )
