@@ -8,6 +8,7 @@
 * ``eval``     — run the 20-question evaluation suite and print Table 2
 * ``sql``      — run SQL directly against an analysis database
 * ``trace``    — inspect a recorded execution trace (summary/tree/export)
+* ``cache``    — report or clear the shared query-result/retrieval caches
 
 All commands are plain functions over the library API; the CLI adds no
 behaviour of its own, so scripted use and the Python API stay equivalent.
@@ -99,6 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export in Chrome trace format (chrome://tracing / Perfetto)")
     trace.add_argument("--out", default=None, help="export output path")
 
+    cache = sub.add_parser("cache", help="inspect or clear the shared caches")
+    cache.add_argument("action", choices=("stats", "clear"),
+                       help="stats: tiered hit/miss counters + on-disk footprint; "
+                            "clear: drop in-process tiers and on-disk entries")
+    cache.add_argument("--workdir", default="infera_workspace",
+                       help="workdir whose .query_cache/.retrieval_cache to report")
+
     chat = sub.add_parser(
         "chat", help="interactive session with plan review (the paper's intended mode)"
     )
@@ -179,11 +187,58 @@ def cmd_eval(args: argparse.Namespace) -> int:
                  "query memo %d/%d hits",
                  cache.matrix_hits, cache.memory_hits, cache.disk_hits, cache.builds,
                  cache.query_memo_hits, cache.query_memo_hits + cache.query_memo_misses)
+        qc = perf.query_cache
+        log.info("[perf] query cache: %d hits (%d memory, %d disk, %d incremental), "
+                 "%d misses (%.1f%% hit ratio); %d invalidations",
+                 qc.hits, qc.memory_hits, qc.disk_hits, qc.incremental_hits,
+                 qc.misses, 100.0 * qc.hit_ratio, qc.invalidations)
         for phase, agg in perf.span_rollups.items():
             log.debug("[trace] %-12s %4d spans %8.3f s %d errors",
                       phase, int(agg["spans"]), agg["total_s"], int(agg["errors"]))
     if result.trace_path is not None:
         log.info("merged trace: %s (%d spans)", result.trace_path, len(result.spans))
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.db import cache as query_cache
+    from repro.rag import cache as rag_cache
+
+    workdir = Path(args.workdir)
+    store = query_cache.QueryResultCache(workdir / ".query_cache")
+    retrieval_dir = workdir / ".retrieval_cache"
+    retrieval_files = (
+        sorted(retrieval_dir.glob("retrieval_*")) if retrieval_dir.is_dir() else []
+    )
+    retrieval_bytes = sum(f.stat().st_size for f in retrieval_files)
+
+    if args.action == "clear":
+        query_cache.clear_memory_cache()
+        rag_cache.clear_memory_cache()
+        dropped = store.clear_disk()
+        for f in retrieval_files:
+            f.unlink(missing_ok=True)
+        print(f"query cache: dropped {dropped} result entries under {store.cache_dir}")
+        print(f"retrieval cache: dropped {len(retrieval_files)} artifacts "
+              f"({retrieval_bytes:,} bytes) under {retrieval_dir}")
+        return 0
+
+    qstats = query_cache.stats_snapshot()
+    print(f"query result cache ({store.cache_dir})")
+    print(f"  disk: {len(store.disk_entries())} entries, {store.footprint_bytes():,} bytes")
+    print(f"  process counters: memory={qstats.memory_hits} disk={qstats.disk_hits} "
+          f"incremental={qstats.incremental_hits} miss={qstats.misses} "
+          f"(hit ratio {qstats.hit_ratio:.1%} of {qstats.requests})")
+    print(f"  stores={qstats.stores} evictions={qstats.evictions} "
+          f"invalidations={qstats.invalidations}")
+    rstats = rag_cache.stats_snapshot()
+    print(f"retrieval artifact cache ({retrieval_dir})")
+    print(f"  disk: {len(retrieval_files)} files, {retrieval_bytes:,} bytes")
+    print(f"  process counters: memory={rstats.memory_hits} disk={rstats.disk_hits} "
+          f"builds={rstats.builds}")
+    print(f"  query memo: {rstats.query_memo_hits}/{rstats.query_memo_hits + rstats.query_memo_misses} "
+          f"hits, {rstats.query_memo_evictions} evictions "
+          f"(capacity {rag_cache.query_memo_capacity()})")
     return 0
 
 
@@ -272,6 +327,7 @@ _COMMANDS = {
     "query": cmd_query,
     "eval": cmd_eval,
     "sql": cmd_sql,
+    "cache": cmd_cache,
     "chat": cmd_chat,
     "trace": cmd_trace,
 }

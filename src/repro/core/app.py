@@ -141,7 +141,8 @@ class InferA:
             )
         retriever = self._retriever
         provenance = ProvenanceTracker(self.workdir, session_id, clock=self.clock)
-        db = Database(self.workdir / session_id / "analysis.db")
+        query_cache_dir = cfg.query_cache_dir or self.workdir / ".query_cache"
+        db = Database(self.workdir / session_id / "analysis.db", cache_dir=query_cache_dir)
         provenance.register_external(db.path)
         if cfg.sandbox_url:
             sandbox = SandboxClient(cfg.sandbox_url)

@@ -18,6 +18,7 @@ Errors carry the known column/table names so the agents' quality-assurance
 loop can repair near-miss identifiers, the paper's dominant failure mode.
 """
 
+from repro.db.cache import QueryCacheStats, QueryResultCache
 from repro.db.database import Database
 from repro.db.errors import (
     DBError,
@@ -29,6 +30,8 @@ from repro.db.errors import (
 __all__ = [
     "Database",
     "DBError",
+    "QueryCacheStats",
+    "QueryResultCache",
     "SQLSyntaxError",
     "UnknownColumnError",
     "UnknownTableError",

@@ -11,12 +11,20 @@ The database is a directory; every table is a column-segmented subdirectory
 (see :mod:`repro.db.storage`).  All query execution streams from disk.
 ``nbytes()`` reports exact on-disk footprint — the paper's storage-overhead
 metric counts these bytes.
+
+Every catalog entry carries a monotonic ``version`` bumped on
+create/append/drop; combined with the store's content signature it forms
+the per-table state that keys the semantic query-result cache
+(:mod:`repro.db.cache`), so appending rows provably invalidates every
+cached result computed over the old contents.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
+import tempfile
 from pathlib import Path
 
 from repro.db.errors import DBError, UnknownTableError
@@ -30,9 +38,20 @@ _NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
 
 
 class Database:
-    """An embedded, directory-backed columnar SQL database."""
+    """An embedded, directory-backed columnar SQL database.
 
-    def __init__(self, path: str | Path):
+    ``cache_dir`` enables the on-disk tier of the query-result cache
+    (shared across processes pointing at the same directory); the
+    in-process memoization tier is always active unless ``result_cache``
+    is False.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        cache_dir: str | Path | None = None,
+        result_cache: bool = True,
+    ):
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self._catalog_path = self.path / "catalog.json"
@@ -40,6 +59,12 @@ class Database:
             self._tables: dict[str, dict] = json.loads(self._catalog_path.read_text())
         else:
             self._tables = {}
+        if result_cache:
+            from repro.db.cache import QueryResultCache
+
+            self._result_cache = QueryResultCache(cache_dir)
+        else:
+            self._result_cache = None
 
     # ------------------------------------------------------------------
     # catalog
@@ -60,8 +85,36 @@ class Database:
         store = self.store(name)
         return {c: store.dtype_of(c).name for c in store.columns}
 
+    def table_version(self, name: str) -> int:
+        """Monotonic catalog version of a table (bumped on create/append)."""
+        meta = self._tables.get(name)
+        if meta is None:
+            raise UnknownTableError(name, self.list_tables())
+        return int(meta.get("version", 0))
+
+    def table_state(self, name: str) -> str:
+        """Cache-key component identifying a table's exact contents.
+
+        Prefers the store's content signature (schema + per-segment
+        checksums), which is identical across databases holding the same
+        bytes — that is what lets harness worker processes share one
+        on-disk result cache.  Legacy tables without checksums fall back
+        to a path-scoped state, which is always safe, never shared.
+        """
+        version = self.table_version(name)
+        signature = self.store(name).content_signature()
+        if signature is None:
+            signature = f"path={self.path.resolve()}"
+        return f"{name}@v{version}:{signature}"
+
     def _flush_catalog(self) -> None:
-        self._catalog_path.write_text(json.dumps(self._tables, indent=1))
+        """Crash-safe catalog publish: temp file + atomic rename (a
+        cache-invalidation version bump that dies mid-write must not
+        corrupt the catalog)."""
+        fd, tmp_name = tempfile.mkstemp(dir=self.path, prefix="catalog.", suffix=".tmp")
+        with os.fdopen(fd, "w") as fh:
+            json.dump(self._tables, fh, indent=1)
+        os.replace(tmp_name, self._catalog_path)
 
     # ------------------------------------------------------------------
     # DDL / loading
@@ -77,7 +130,7 @@ class Database:
             raise DBError(f"invalid table name {name!r}")
         if name in self._tables:
             raise DBError(f"table {name!r} already exists")
-        self._tables[name] = {"row_group_size": row_group_size}
+        self._tables[name] = {"row_group_size": row_group_size, "version": 1}
         if frame is not None and frame.num_columns:
             TableStore(self.path / name).append(frame, row_group_size)
         self._flush_catalog()
@@ -88,6 +141,8 @@ class Database:
         if meta is None:
             raise UnknownTableError(name, self.list_tables())
         TableStore(self.path / name).append(frame, meta["row_group_size"])
+        meta["version"] = int(meta.get("version", 0)) + 1
+        self._flush_catalog()
 
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
@@ -104,18 +159,24 @@ class Database:
 
         ``CREATE TABLE name AS SELECT ...`` persists the result and returns
         it; a bare SELECT just returns the result frame.  Zone-map pruning
-        accounting for the scan is exposed as ``last_scan_stats``.
+        accounting for the scan is exposed as ``last_scan_stats``; SELECT
+        results flow through the semantic query-result cache when enabled.
         """
         from repro.db.sql.executor import ScanStats
 
         stmt = parse_sql(sql)
         self.last_scan_stats = ScanStats()
         if isinstance(stmt, CreateTableAs):
-            result = execute(self, stmt.select, self.last_scan_stats)
+            result = self._execute_select(stmt.select)
             self.create_table(stmt.name, result)
             return result
         assert isinstance(stmt, SelectStatement)
-        return execute(self, stmt, self.last_scan_stats)
+        return self._execute_select(stmt)
+
+    def _execute_select(self, stmt: SelectStatement) -> Frame:
+        if self._result_cache is None:
+            return execute(self, stmt, self.last_scan_stats)
+        return self._result_cache.execute(self, stmt, self.last_scan_stats)
 
     def table_frame(self, name: str) -> Frame:
         """Materialize a whole table (result-sized tables only)."""

@@ -48,12 +48,19 @@ class ScanStats:
         return self.row_groups_skipped / self.row_groups_total
 
 
-def execute(db, stmt: ast.SelectStatement, scan_stats: ScanStats | None = None) -> Frame:
+def execute(
+    db,
+    stmt: ast.SelectStatement,
+    scan_stats: ScanStats | None = None,
+    cache_outcome: str | None = None,
+) -> Frame:
     """Run a SELECT against ``db`` (a :class:`repro.db.database.Database`).
 
     Traced as span ``sql.execute`` with the result size and the zone-map
     pruning outcome as attributes, correlating each supervisor step with
-    the exact scan it triggered.
+    the exact scan it triggered.  ``cache_outcome`` is stamped onto the
+    span by the query-result cache (``"miss"`` on a full execution; hits
+    never reach this function — see :mod:`repro.db.cache`).
     """
     with get_tracer().span(
         "sql.execute",
@@ -63,6 +70,8 @@ def execute(db, stmt: ast.SelectStatement, scan_stats: ScanStats | None = None) 
     ) as sp:
         result = _execute_statement(db, stmt, scan_stats)
         sp.set(rows=result.num_rows)
+        if cache_outcome is not None:
+            sp.set(cache=cache_outcome)
         if scan_stats is not None:
             sp.set(
                 row_groups_total=scan_stats.row_groups_total,
@@ -72,10 +81,25 @@ def execute(db, stmt: ast.SelectStatement, scan_stats: ScanStats | None = None) 
     return result
 
 
+def execute_over_frame(stmt: ast.SelectStatement, frame: Frame) -> Frame:
+    """Run a SELECT over one in-memory frame instead of stored tables.
+
+    The incremental re-execution path of the query-result cache: a redo
+    whose WHERE is strictly narrower than a cached parent's re-filters
+    the parent's result frame through the ordinary grouped/plain pipeline
+    (the statement's residual WHERE, projection, GROUP BY, ORDER BY and
+    LIMIT all apply) without touching row groups on disk.
+    """
+    return _execute_over_chunks(stmt, iter([frame]))
+
+
 def _execute_statement(
     db, stmt: ast.SelectStatement, scan_stats: ScanStats | None = None
 ) -> Frame:
-    chunks = _source_chunks(db, stmt, scan_stats)
+    return _execute_over_chunks(stmt, _source_chunks(db, stmt, scan_stats))
+
+
+def _execute_over_chunks(stmt: ast.SelectStatement, chunks: Iterator[Frame]) -> Frame:
     needs_group = bool(stmt.group_by) or any(
         ast.contains_aggregate(item.expr) for item in stmt.items
     )

@@ -1,0 +1,288 @@
+"""Semantic canonicalization of parsed SELECT statements.
+
+The QA redo loop re-issues queries that are semantically identical up to
+surface noise — a renamed table alias, reordered AND conjuncts, swapped
+operands of a commutative operator.  This module folds that noise away:
+
+* :func:`normalize` reduces a :class:`~repro.db.sql.ast.SelectStatement`
+  to a :class:`NormalizedPlan` whose ``fingerprint`` is stable under
+
+  - table-alias renaming (``FROM halos h WHERE h.x`` ≡ ``FROM halos
+    WHERE x`` — aliases are resolved to real table names, and the
+    qualifier is dropped entirely for single-table queries),
+  - AND/OR conjunct/disjunct order (chains are flattened and sorted by
+    canonical form),
+  - operand order of symmetric operators (``=``, ``!=``, ``+``, ``*``)
+    and direction of comparisons (``a > b`` ≡ ``b < a``),
+  - literal spelling (values are hash-folded with a type tag, so ``1.0``
+    and ``1`` stay distinct but formatting does not).
+
+* the WHERE clause is exposed as a set of canonical *conjunct keys* plus
+  a map back to the original expressions, which is what lets the result
+  cache recognise a redo whose WHERE is strictly narrower than a cached
+  parent's and re-filter the cached frame instead of re-scanning disk
+  (see :mod:`repro.db.cache`).
+
+Fingerprints are purely syntactic-semantic: they never look at table
+*content*.  Content identity enters the cache key separately through the
+per-table version/checksum state (``Database.table_state``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+
+from repro.db.sql import ast
+
+# operators whose operand order never changes the result
+_SYMMETRIC_OPS = {"=", "!=", "+", "*", "AND", "OR"}
+# comparison directions normalized to their mirrored twin
+_MIRROR_OPS = {">": "<", ">=": "<="}
+
+
+def _alias_map(stmt: ast.SelectStatement) -> dict[str, str]:
+    """Binding name -> real table name for every FROM/JOIN table."""
+    mapping: dict[str, str] = {}
+    for ref in (stmt.table, *(j.table for j in stmt.joins)):
+        if ref.name is not None:
+            mapping[ref.binding] = ref.name
+    return mapping
+
+
+def _resolve_column(col: ast.Column, aliases: dict[str, str], single_table: bool) -> ast.Column:
+    if col.table is None:
+        return col
+    real = aliases.get(col.table, col.table)
+    if single_table:
+        return ast.Column(col.name)
+    return ast.Column(col.name, table=real)
+
+
+def normalize_expr(
+    expr: ast.Expr, aliases: dict[str, str] | None = None, single_table: bool = True
+) -> ast.Expr:
+    """Canonical form of an expression (alias-resolved, order-normalized)."""
+    aliases = aliases or {}
+
+    def norm(e: ast.Expr) -> ast.Expr:
+        if isinstance(e, ast.Column):
+            return _resolve_column(e, aliases, single_table)
+        if isinstance(e, ast.Unary):
+            return replace(e, operand=norm(e.operand))
+        if isinstance(e, ast.Binary):
+            op, left, right = e.op, norm(e.left), norm(e.right)
+            if op in _MIRROR_OPS:
+                op, left, right = _MIRROR_OPS[op], right, left
+            if op in _SYMMETRIC_OPS and canonical(left) > canonical(right):
+                left, right = right, left
+            return ast.Binary(op, left, right)
+        if isinstance(e, ast.FuncCall):
+            return replace(e, args=tuple(norm(a) for a in e.args))
+        if isinstance(e, ast.InList):
+            options = tuple(sorted((norm(o) for o in e.options), key=canonical))
+            return replace(e, operand=norm(e.operand), options=options)
+        if isinstance(e, ast.Between):
+            return replace(e, operand=norm(e.operand), low=norm(e.low), high=norm(e.high))
+        if isinstance(e, ast.Case):
+            return replace(
+                e,
+                whens=tuple((norm(c), norm(v)) for c, v in e.whens),
+                default=norm(e.default) if e.default is not None else None,
+            )
+        return e
+
+    return norm(expr)
+
+
+def canonical(expr: ast.Expr) -> str:
+    """Deterministic S-expression string of an expression tree.
+
+    Literal values are folded with a type tag so ``'624'`` (string) and
+    ``624`` (int) canonicalize differently while float/int numeric
+    equality (``624`` vs ``624.0``) is preserved.
+    """
+    if isinstance(expr, ast.Literal):
+        v = expr.value
+        if v is None:
+            return "(lit null)"
+        if isinstance(v, str):
+            return f"(lit s:{hashlib.blake2b(v.encode(), digest_size=8).hexdigest()})"
+        return f"(lit n:{float(v)!r})"
+    if isinstance(expr, ast.Column):
+        return f"(col {expr.qualified})"
+    if isinstance(expr, ast.Star):
+        return "(star)"
+    if isinstance(expr, ast.Unary):
+        return f"(u {expr.op} {canonical(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        return f"(b {expr.op} {canonical(expr.left)} {canonical(expr.right)})"
+    if isinstance(expr, ast.FuncCall):
+        args = " ".join(canonical(a) for a in expr.args)
+        return f"(f {expr.name}{' distinct' if expr.distinct else ''} {args})"
+    if isinstance(expr, ast.InList):
+        opts = " ".join(canonical(o) for o in expr.options)
+        return f"(in{' not' if expr.negated else ''} {canonical(expr.operand)} [{opts}])"
+    if isinstance(expr, ast.Between):
+        return (
+            f"(between{' not' if expr.negated else ''} {canonical(expr.operand)} "
+            f"{canonical(expr.low)} {canonical(expr.high)})"
+        )
+    if isinstance(expr, ast.Case):
+        whens = " ".join(f"({canonical(c)} {canonical(v)})" for c, v in expr.whens)
+        default = canonical(expr.default) if expr.default is not None else "null"
+        return f"(case {whens} {default})"
+    return f"(?{type(expr).__name__})"
+
+
+def conjuncts(where: ast.Expr | None) -> list[ast.Expr]:
+    """Flatten an AND tree into its conjunct list (empty for None)."""
+    if where is None:
+        return []
+    if isinstance(where, ast.Binary) and where.op == "AND":
+        return conjuncts(where.left) + conjuncts(where.right)
+    return [where]
+
+
+def conjoin(parts: list[ast.Expr]) -> ast.Expr | None:
+    """Re-assemble conjuncts into an AND tree (None for an empty list)."""
+    if not parts:
+        return None
+    out = parts[0]
+    for p in parts[1:]:
+        out = ast.Binary("AND", out, p)
+    return out
+
+
+def table_names(stmt: ast.SelectStatement) -> tuple[str, ...]:
+    """Every real table the statement touches, subqueries included."""
+    names: list[str] = []
+
+    def visit(s: ast.SelectStatement) -> None:
+        for ref in (s.table, *(j.table for j in s.joins)):
+            if ref.is_subquery:
+                visit(ref.subquery)
+            elif ref.name is not None and ref.name not in names:
+                names.append(ref.name)
+
+    visit(stmt)
+    return tuple(names)
+
+
+@dataclass(frozen=True)
+class NormalizedPlan:
+    """A statement reduced to cache-relevant identity."""
+
+    statement: ast.SelectStatement
+    canonical: str                    # full canonical form (debuggable)
+    fingerprint: str                  # blake2b of `canonical`
+    tables: tuple[str, ...]           # real table names, FROM order
+    scaffold: str                     # canonical FROM/JOIN shape only
+    conjunct_keys: frozenset[str]     # canonical keys of WHERE conjuncts
+    conjunct_map: dict[str, ast.Expr]  # canonical key -> ORIGINAL conjunct
+
+    @property
+    def single_table(self) -> bool:
+        return (
+            not self.statement.joins
+            and not self.statement.table.is_subquery
+            and self.statement.table.name is not None
+        )
+
+
+def _canonical_table_ref(ref: ast.TableRef) -> str:
+    if ref.is_subquery:
+        return f"(subq {normalize(ref.subquery).canonical})"
+    return f"(table {ref.name})"
+
+
+def normalize(stmt: ast.SelectStatement) -> NormalizedPlan:
+    """Reduce a SELECT to its alias/order/literal-insensitive identity."""
+    aliases = _alias_map(stmt)
+    single = not stmt.joins and not stmt.table.is_subquery
+
+    def norm(e: ast.Expr) -> ast.Expr:
+        return normalize_expr(e, aliases, single)
+
+    where_parts = conjuncts(stmt.where)
+    conjunct_map: dict[str, ast.Expr] = {}
+    for part in where_parts:
+        conjunct_map.setdefault(canonical(norm(part)), part)
+    conjunct_keys = frozenset(conjunct_map)
+
+    scaffold_bits = [_canonical_table_ref(stmt.table)]
+    for join in stmt.joins:
+        keys = " ".join(
+            f"({canonical(norm(lk))} {canonical(norm(rk))})" for lk, rk in join.keys
+        )
+        scaffold_bits.append(f"(join {join.kind} {_canonical_table_ref(join.table)} {keys})")
+    scaffold = " ".join(scaffold_bits)
+
+    items = " ".join(
+        f"(item {canonical(norm(i.expr))} as:{i.alias or ''})" for i in stmt.items
+    )
+    group = " ".join(sorted(canonical(norm(g)) for g in stmt.group_by))
+    having = canonical(norm(stmt.having)) if stmt.having is not None else ""
+    order = " ".join(
+        f"({canonical(norm(o.expr))} {'asc' if o.ascending else 'desc'})"
+        for o in stmt.order_by
+    )
+    canon = (
+        f"(select{' distinct' if stmt.distinct else ''} [{items}] from [{scaffold}] "
+        f"where [{' '.join(sorted(conjunct_keys))}] group [{group}] having [{having}] "
+        f"order [{order}] limit {stmt.limit} offset {stmt.offset})"
+    )
+    return NormalizedPlan(
+        statement=stmt,
+        canonical=canon,
+        fingerprint=hashlib.blake2b(canon.encode(), digest_size=16).hexdigest(),
+        tables=table_names(stmt),
+        scaffold=scaffold,
+        conjunct_keys=conjunct_keys,
+        conjunct_map=conjunct_map,
+    )
+
+
+def residual_conjuncts(plan: NormalizedPlan, parent_keys: frozenset[str]) -> list[ast.Expr] | None:
+    """Original conjuncts of ``plan`` not already applied by a parent.
+
+    Returns None unless the parent's conjunct set is a subset of the
+    plan's (i.e. the plan's WHERE is equal or strictly narrower); an
+    empty list means the WHEREs are semantically identical.
+    """
+    if not parent_keys <= plan.conjunct_keys:
+        return None
+    return [plan.conjunct_map[k] for k in sorted(plan.conjunct_keys - parent_keys)]
+
+
+def referenced_column_names(stmt: ast.SelectStatement) -> set[str] | None:
+    """Bare column names the statement reads; None when it needs all (``*``).
+
+    A ``*`` inside an aggregate call (``COUNT(*)``) counts rows without
+    reading any column, so it adds no requirement; only a projection-level
+    ``*`` demands the full row.
+    """
+    names: set[str] = set()
+    exprs: list[ast.Expr] = [item.expr for item in stmt.items]
+    if stmt.where is not None:
+        exprs.append(stmt.where)
+    if stmt.having is not None:
+        exprs.append(stmt.having)
+    exprs.extend(stmt.group_by)
+    exprs.extend(o.expr for o in stmt.order_by)
+    for j in stmt.joins:
+        for lk, rk in j.keys:
+            exprs.extend((lk, rk))
+
+    in_call: list[ast.Expr] = []
+    for e in exprs:
+        for node in ast.walk(e):
+            if isinstance(node, ast.FuncCall):
+                in_call.extend(a for a in node.args if isinstance(a, ast.Star))
+    for e in exprs:
+        for node in ast.walk(e):
+            if isinstance(node, ast.Star) and not any(node is s for s in in_call):
+                return None
+            if isinstance(node, ast.Column):
+                names.add(node.name)
+    return names

@@ -15,8 +15,12 @@ free, giving zero-copy selective column reads.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import shutil
+import tempfile
+import zlib
 from collections.abc import Iterator, Sequence
 from pathlib import Path
 
@@ -51,6 +55,29 @@ class TableStore:
     def num_row_groups(self) -> int:
         return len(self._meta["row_groups"])
 
+    @property
+    def version(self) -> int:
+        """Monotonic content version; bumped on every append."""
+        return int(self._meta.get("version", 0))
+
+    def content_signature(self) -> str | None:
+        """Content hash over schema + per-segment checksums.
+
+        The query-result cache keys cached frames on this signature, which
+        makes results shareable across databases (and across harness
+        worker processes) that hold byte-identical tables.  Tables written
+        before checksums existed return None; callers must then fall back
+        to a path-scoped key.
+        """
+        checksums = self._meta.get("checksums", [])
+        if len(checksums) != self.num_row_groups:
+            return None
+        doc = json.dumps(
+            [self._meta["columns"], self._meta["row_groups"], checksums],
+            sort_keys=True,
+        )
+        return hashlib.blake2b(doc.encode(), digest_size=16).hexdigest()
+
     def dtype_of(self, name: str) -> np.dtype:
         try:
             return np.dtype(self._meta["columns"][name])
@@ -80,28 +107,46 @@ class TableStore:
                 )
         self.path.mkdir(parents=True, exist_ok=True)
         self._meta.setdefault("zone_maps", [])
+        self._meta.setdefault("checksums", [])
         for start in range(0, frame.num_rows, row_group_size):
             chunk = frame[start : start + row_group_size]
             rg_index = len(self._meta["row_groups"])
             rg_dir = self.path / f"rg{rg_index:05d}"
             rg_dir.mkdir(parents=True, exist_ok=True)
             zone_map: dict[str, list[float]] = {}
+            checksums: dict[str, int] = {}
             for name in self._meta["columns"]:
                 col = np.asarray(chunk.column(name))
                 if col.dtype == object:
                     col = col.astype(str)
                 elif np.issubdtype(col.dtype, np.number) and len(col):
-                    finite = col[np.isfinite(col.astype(np.float64))]
-                    if len(finite):
-                        zone_map[name] = [float(finite.min()), float(finite.max())]
+                    # a zone map is only sound when it bounds EVERY row:
+                    # NaN/inf escape [min(finite), max(finite)], so groups
+                    # holding any non-finite value publish no stats and
+                    # are never pruned (see repro.db.sql.pruning)
+                    as_float = col.astype(np.float64)
+                    if np.isfinite(as_float).all():
+                        zone_map[name] = [float(as_float.min()), float(as_float.max())]
+                checksums[name] = zlib.crc32(np.ascontiguousarray(col).tobytes())
                 np.save(rg_dir / f"{name}.npy", col, allow_pickle=False)
             self._meta["row_groups"].append(chunk.num_rows)
             self._meta["zone_maps"].append(zone_map)
+            self._meta["checksums"].append(checksums)
+        self._meta["version"] = self.version + 1
         self._flush_meta()
 
     def _flush_meta(self) -> None:
+        """Crash-safe metadata publish: temp file + atomic rename.
+
+        A process dying mid-write must never leave a truncated meta.json
+        behind — that would corrupt the whole table, not just the append
+        (or the cache-invalidating version bump) in flight.
+        """
         self.path.mkdir(parents=True, exist_ok=True)
-        (self.path / "meta.json").write_text(json.dumps(self._meta))
+        fd, tmp_name = tempfile.mkstemp(dir=self.path, prefix="meta.", suffix=".tmp")
+        with os.fdopen(fd, "w") as fh:
+            json.dump(self._meta, fh)
+        os.replace(tmp_name, self.path / "meta.json")
 
     # ------------------------------------------------------------------
     def read_row_group(

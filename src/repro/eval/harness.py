@@ -16,8 +16,10 @@ parallel ``RunMetrics`` rows identical to a sequential run's (except the
 measured wall-clock ``time_s``, which is a per-run measurement, not a
 derived output).  All runs share one retrieval-artifact cache (see
 :mod:`repro.rag.cache`) so only the first run per corpus pays the
-column-corpus embedding cost; hit/miss counters and runs/s land in
-``HarnessResult.perf``.
+column-corpus embedding cost, and one semantic query-result cache (see
+:mod:`repro.db.cache`) so a SELECT executed in any run — or any redo
+attempt — is served from memory or mmap everywhere else; hit/miss
+counters for both land in ``HarnessResult.perf``.
 """
 
 from __future__ import annotations
@@ -30,6 +32,8 @@ from pathlib import Path
 
 from repro.agents.planner import AutoApprove
 from repro.core import InferA, InferAConfig
+from repro.db.cache import QueryCacheStats
+from repro.db.cache import stats_snapshot as query_stats_snapshot
 from repro.eval.metrics import MetricsAggregator, RunMetrics, oracle_assess
 from repro.eval.questions import (
     QUESTION_SUITE,
@@ -70,6 +74,9 @@ class RunOutcome:
     cache_stats: CacheStats
     wall_s: float
     report: object | None = None
+    # semantic query-result cache counters (repro.db.cache) measured
+    # around the cell, merged across workers like ``cache_stats``
+    query_cache_stats: QueryCacheStats = field(default_factory=QueryCacheStats)
     # serialized spans of the cell (parented under the suite's root span,
     # so the parent process can merge every worker into one trace)
     spans: list[dict] = field(default_factory=list)
@@ -87,6 +94,7 @@ class HarnessPerf:
     runs_per_s: float
     per_run_wall_s: list[float]
     cache: CacheStats
+    query_cache: QueryCacheStats = field(default_factory=QueryCacheStats)
     # per-phase span rollups (spans/total_s/errors keyed by phase) over
     # the merged suite trace, plus the merged obs-metrics snapshot
     span_rollups: dict = field(default_factory=dict)
@@ -99,6 +107,7 @@ class HarnessPerf:
             "runs_per_s": self.runs_per_s,
             "per_run_wall_s": list(self.per_run_wall_s),
             "cache": self.cache.as_dict(),
+            "query_cache": self.query_cache.as_dict(),
             "span_rollups": dict(self.span_rollups),
             "obs_metrics": dict(self.obs_metrics),
         }
@@ -199,6 +208,15 @@ class EvaluationHarness:
         n_workers = self.resolve_workers(workers)
         grid = [(question, run_index) for question in questions for run_index in range(runs)]
 
+        # worker parity: pool workers start with empty in-process cache
+        # tiers, so the main process must too — otherwise a sequential
+        # suite could be served from memory warmed by earlier work in this
+        # interpreter and diverge from a parallel run of the same grid.
+        # Cross-suite reuse flows through the shared on-disk tier instead.
+        from repro.db import cache as query_cache
+
+        query_cache.clear_memory_cache()
+
         # the suite tracer owns the root span; its TraceContext is handed to
         # every cell — in both modes, so sequential and parallel runs build
         # the same span tree
@@ -223,12 +241,14 @@ class EvaluationHarness:
         aggregator = MetricsAggregator()
         kept: list = []
         cache_total = CacheStats()
+        query_cache_total = QueryCacheStats()
         per_run_wall: list[float] = []
         all_spans: list[dict] = list(tracer.span_dicts())
         obs_total = empty_snapshot()
         for outcome in outcomes:
             aggregator.add(outcome.metrics)
             cache_total.merge(outcome.cache_stats)
+            query_cache_total.merge(outcome.query_cache_stats)
             per_run_wall.append(outcome.wall_s)
             all_spans.extend(outcome.spans)
             obs_total = merge_snapshots(obs_total, outcome.obs_metrics)
@@ -242,6 +262,7 @@ class EvaluationHarness:
             runs_per_s=len(grid) / total_wall if total_wall > 0 else 0.0,
             per_run_wall_s=per_run_wall,
             cache=cache_total,
+            query_cache=query_cache_total,
             span_rollups=phase_rollups(all_spans),
             obs_metrics=obs_total,
         )
@@ -277,6 +298,7 @@ class EvaluationHarness:
     ) -> RunOutcome:
         """One grid cell: run, judge, classify, and measure."""
         stats_before = stats_snapshot()
+        query_before = query_stats_snapshot()
         obs_before = get_registry().snapshot()
         # a fresh tracer per cell (unique span-id prefix, so merged worker
         # traces never collide) parented under the suite's root span
@@ -309,6 +331,7 @@ class EvaluationHarness:
         return RunOutcome(
             metrics=metrics,
             cache_stats=stats_snapshot().delta(stats_before),
+            query_cache_stats=query_stats_snapshot().delta(query_before),
             wall_s=wall,
             report=report if self.config.keep_reports else None,
             spans=cell_tracer.span_dicts() + list(report.trace_spans),
@@ -326,6 +349,7 @@ class EvaluationHarness:
                 error_model=self.config.error_model,
                 llm_latency_s=self.config.llm_latency_s,
                 retrieval_cache_dir=str(self.workdir / ".retrieval_cache"),
+                query_cache_dir=str(self.workdir / ".query_cache"),
             ),
             clock=self.clock,
         )

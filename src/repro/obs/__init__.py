@@ -14,6 +14,7 @@ from repro.obs.export import (
     phase_rollups,
     read_spans,
     render_tree,
+    sql_cache_counts,
     summarize,
     to_chrome_trace,
     token_totals,
@@ -65,6 +66,7 @@ __all__ = [
     "render_tree",
     "setup_logging",
     "snapshot_delta",
+    "sql_cache_counts",
     "summarize",
     "to_chrome_trace",
     "token_totals",

@@ -206,14 +206,20 @@ def render_tree(spans: list[SpanLike]) -> str:
 # attributes that vary run to run without the traced work differing:
 # latency-shaped measurements, plus the execution mode (worker count)
 _TIMING_ATTRS = {"latency_s", "wall_s", "duration_s", "workers"}
+# attributes that depend on which query-result-cache tier served a SELECT
+# (and how much scan work it therefore did) — a memory hit in one process
+# is a disk hit or a full scan in another without the *result* differing,
+# so these are dropped from canonicalization like timing
+_CACHE_ATTRS = {"cache", "residual_conjuncts", "row_groups_total", "row_groups_skipped"}
 
 
 def canonical_tree(spans: list[SpanLike]) -> tuple:
     """Timing-free canonical form of a trace's span tree.
 
     Nodes are ``(name, sorted non-timing attrs, sorted children)``; ids,
-    start/end times, latency-shaped attributes, and the worker count are
-    dropped, so a parallel evaluation compares equal to a sequential one
+    start/end times, latency-shaped attributes, the worker count, and
+    cache-tier/scan-work attributes are dropped, so a parallel (or
+    cache-warm) evaluation compares equal to a sequential cold one
     whenever the same operations happened with the same structure.
     """
     dicts = [_as_dict(s) for s in spans]
@@ -224,7 +230,7 @@ def canonical_tree(spans: list[SpanLike]) -> tuple:
             sorted(
                 (k, repr(v))
                 for k, v in span.get("attributes", {}).items()
-                if k not in _TIMING_ATTRS
+                if k not in _TIMING_ATTRS and k not in _CACHE_ATTRS
             )
         )
         kids = tuple(sorted(canon(c) for c in children.get(span.get("span_id"), [])))
@@ -256,4 +262,30 @@ def summarize(spans: list[SpanLike]) -> str:
         f"completion={tokens['completion_tokens']:,} "
         f"total={tokens['total_tokens']:,} over {tokens['calls']} calls"
     )
+    cache = sql_cache_counts(dicts)
+    if cache["queries"]:
+        lines.append(
+            f"sql cache: memory={cache['memory']} disk={cache['disk']} "
+            f"incremental={cache['incremental']} miss={cache['miss']} "
+            f"over {cache['queries']} queries"
+        )
     return "\n".join(lines)
+
+
+def sql_cache_counts(spans: list[SpanLike]) -> dict[str, int]:
+    """Query-result-cache outcomes recorded on ``sql.execute`` spans.
+
+    Every SELECT emits exactly one ``sql.execute`` span whose ``cache``
+    attribute names the tier that served it (``memory`` / ``disk`` /
+    ``incremental`` / ``miss``; absent for cache-disabled execution,
+    counted as a miss here).
+    """
+    counts = {"memory": 0, "disk": 0, "incremental": 0, "miss": 0, "queries": 0}
+    for span in spans:
+        doc = _as_dict(span)
+        if doc.get("name") != "sql.execute":
+            continue
+        counts["queries"] += 1
+        tier = doc.get("attributes", {}).get("cache", "miss")
+        counts[tier if tier in counts else "miss"] += 1
+    return counts

@@ -15,7 +15,9 @@ hundreds of column embeddings.  Three tiers:
 
 1. in-process memo (dict, exact same object back);
 2. on-disk ``.npy`` opened with ``mmap_mode='r'`` (validated against the
-   sidecar's fingerprint and shape);
+   sidecar's fingerprint and shape; matrices up to
+   ``MATERIALIZE_MAX_BYTES`` are then copied into memory, because MMR's
+   per-row indexed dot products are ~4x slower over a memmap);
 3. cold build via ``embedder.embed_batch`` followed by an atomic
    write-then-rename publish, so racing processes never observe a
    half-written artifact.
@@ -32,22 +34,30 @@ import hashlib
 import json
 import os
 import tempfile
-from dataclasses import dataclass, fields
+from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from repro.llm.embeddings import HashedEmbedder
+from repro.util.stats import MergeableCounters
 
 SIDECAR_SUFFIX = ".json"
 MATRIX_SUFFIX = ".npy"
+QUERY_MEMO_MAX = 1024
+# below this size a disk-loaded matrix is copied into memory: MMR does
+# thousands of per-row indexed dot products per retrieval, which run
+# ~4x slower over a memmap subclass than over a plain ndarray.  Large
+# corpora stay memory-mapped so workers still share one on-disk copy.
+MATERIALIZE_MAX_BYTES = int(os.environ.get("REPRO_RAG_MMAP_THRESHOLD", 32 << 20))
 
 
 # ----------------------------------------------------------------------
 # statistics
 # ----------------------------------------------------------------------
 @dataclass
-class CacheStats:
+class CacheStats(MergeableCounters):
     """Process-local counters for every cache tier (mergeable)."""
 
     memory_hits: int = 0
@@ -55,6 +65,7 @@ class CacheStats:
     builds: int = 0                  # cold misses: full corpus re-embeds
     query_memo_hits: int = 0
     query_memo_misses: int = 0
+    query_memo_evictions: int = 0
 
     @property
     def matrix_hits(self) -> int:
@@ -64,27 +75,18 @@ class CacheStats:
     def matrix_requests(self) -> int:
         return self.memory_hits + self.disk_hits + self.builds
 
-    def merge(self, other: "CacheStats") -> "CacheStats":
-        for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
-        return self
-
-    def delta(self, earlier: "CacheStats") -> "CacheStats":
-        return CacheStats(
-            **{f.name: getattr(self, f.name) - getattr(earlier, f.name) for f in fields(self)}
-        )
-
-    def copy(self) -> "CacheStats":
-        return CacheStats(**{f.name: getattr(self, f.name) for f in fields(self)})
-
-    def as_dict(self) -> dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
-
 
 GLOBAL_STATS = CacheStats()
 
 # in-process matrix memo: key -> ndarray (tier 1)
 _MATRIX_MEMO: dict[str, np.ndarray] = {}
+
+# shared query-embedding memo: (embedder key, query text) -> vector.
+# Bounded LRU shared by every VectorIndex in the process — the agents
+# re-embed the same handful of prompts across retrieve calls, redo
+# attempts, and harness runs, so one memo beats one per index instance.
+_QUERY_MEMO: OrderedDict[tuple[str, str], np.ndarray] = OrderedDict()
+_QUERY_MEMO_CAPACITY = int(os.environ.get("REPRO_QUERY_MEMO_ENTRIES", QUERY_MEMO_MAX))
 
 
 def stats_snapshot() -> CacheStats:
@@ -93,16 +95,43 @@ def stats_snapshot() -> CacheStats:
 
 
 def clear_memory_cache() -> None:
-    """Drop the in-process matrix memo (tests use this to force disk reads)."""
+    """Drop the in-process memos (tests use this to force disk reads)."""
     _MATRIX_MEMO.clear()
+    _QUERY_MEMO.clear()
 
 
-def record_query_memo(hit: bool) -> None:
-    """Called by ``VectorIndex`` for every query-embedding lookup."""
-    if hit:
+def query_memo_capacity() -> int:
+    return _QUERY_MEMO_CAPACITY
+
+
+def set_query_memo_capacity(entries: int) -> None:
+    """Resize the shared query-embedding LRU (evicting down if needed)."""
+    global _QUERY_MEMO_CAPACITY
+    _QUERY_MEMO_CAPACITY = max(0, int(entries))
+    while len(_QUERY_MEMO) > _QUERY_MEMO_CAPACITY:
+        _QUERY_MEMO.popitem(last=False)
+        GLOBAL_STATS.query_memo_evictions += 1
+
+
+def query_memo_size() -> int:
+    return len(_QUERY_MEMO)
+
+
+def memoized_query_embedding(embedder: HashedEmbedder, query: str) -> np.ndarray:
+    """Embed ``query``, served from the shared bounded LRU when possible."""
+    key = (embedder.cache_key(), query)
+    vec = _QUERY_MEMO.get(key)
+    if vec is not None:
         GLOBAL_STATS.query_memo_hits += 1
-    else:
-        GLOBAL_STATS.query_memo_misses += 1
+        _QUERY_MEMO.move_to_end(key)
+        return vec
+    GLOBAL_STATS.query_memo_misses += 1
+    vec = embedder.embed(query)
+    _QUERY_MEMO[key] = vec
+    while len(_QUERY_MEMO) > _QUERY_MEMO_CAPACITY:
+        _QUERY_MEMO.popitem(last=False)
+        GLOBAL_STATS.query_memo_evictions += 1
+    return vec
 
 
 # ----------------------------------------------------------------------
@@ -181,6 +210,8 @@ class RetrievalArtifactCache:
             return None
         if matrix.shape != (n_documents, dim):
             return None
+        if matrix.nbytes <= MATERIALIZE_MAX_BYTES:
+            return np.ascontiguousarray(matrix)
         return matrix
 
     def _publish(self, key: str, matrix: np.ndarray, embedder: HashedEmbedder) -> None:

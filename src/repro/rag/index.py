@@ -5,12 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.llm.embeddings import HashedEmbedder
-from repro.rag.cache import record_query_memo
+from repro.rag.cache import QUERY_MEMO_MAX, memoized_query_embedding  # noqa: F401
 from repro.rag.documents import ColumnDocument
-
-# the retriever re-embeds the same handful of prompts (query, plan,
-# [IMPORTANT]) on every retrieve call within a run; a small memo is enough
-QUERY_MEMO_MAX = 256
 
 
 class VectorIndex:
@@ -39,23 +35,12 @@ class VectorIndex:
             self._matrix = matrix
         else:
             self._matrix = self.embedder.embed_batch([d.text for d in self.documents])
-        self._query_memo: dict[str, np.ndarray] = {}
-
     def __len__(self) -> int:
         return len(self.documents)
 
     def embed_query(self, query: str) -> np.ndarray:
-        """Memoized query embedding (bounded, FIFO eviction)."""
-        vec = self._query_memo.get(query)
-        if vec is not None:
-            record_query_memo(hit=True)
-            return vec
-        record_query_memo(hit=False)
-        vec = self.embedder.embed(query)
-        if len(self._query_memo) >= QUERY_MEMO_MAX:
-            self._query_memo.pop(next(iter(self._query_memo)))
-        self._query_memo[query] = vec
-        return vec
+        """Memoized query embedding (shared bounded LRU, see repro.rag.cache)."""
+        return memoized_query_embedding(self.embedder, query)
 
     def similarities(self, query: str) -> np.ndarray:
         """Cosine similarity of every document to ``query``."""

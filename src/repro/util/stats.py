@@ -1,0 +1,36 @@
+"""Mergeable integer-counter dataclasses.
+
+Both shared caches (the retrieval-artifact cache in :mod:`repro.rag.cache`
+and the query-result cache in :mod:`repro.db.cache`) count their tiered
+hits/misses in process-local dataclasses that the evaluation harness
+snapshots around each grid cell and merges across worker processes.  The
+arithmetic is identical for any all-integer-field dataclass, so it lives
+here once: subclass :class:`MergeableCounters` with plain ``int`` fields
+and ``merge``/``delta``/``copy``/``as_dict`` come for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+
+class MergeableCounters:
+    """Field-wise arithmetic over an all-int-field dataclass."""
+
+    def merge(self, other):
+        """Fold ``other`` into ``self`` (field-wise addition)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def delta(self, earlier):
+        """What happened between two snapshots of the same counters."""
+        return type(self)(
+            **{f.name: getattr(self, f.name) - getattr(earlier, f.name) for f in fields(self)}
+        )
+
+    def copy(self):
+        return type(self)(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

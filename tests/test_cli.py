@@ -97,6 +97,65 @@ class TestSQL:
         assert "row groups" in out
 
 
+class TestCache:
+    def test_stats_after_query(self, cli_ensemble, tmp_path, capsys):
+        workdir = tmp_path / "w"
+        main([
+            "query", "top 5 halos at timestep 624 in simulation 0",
+            "--ensemble", str(cli_ensemble),
+            "--workdir", str(workdir),
+            "--no-errors",
+        ])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--workdir", str(workdir)]) == 0
+        out = capsys.readouterr().out
+        assert "query result cache" in out
+        assert "retrieval artifact cache" in out
+        assert "hit ratio" in out and "invalidations" in out
+        assert "query memo:" in out
+        # a real query ran, so results were published on disk
+        entries = int(out.split("disk: ")[1].split(" entries")[0])
+        assert entries > 0
+
+    def test_eval_reports_query_cache_perf(self, cli_ensemble, tmp_path, capsys):
+        code = main([
+            "eval", "--ensemble", str(cli_ensemble),
+            "--workdir", str(tmp_path / "qc"),
+            "--runs-per-question", "1",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "query cache:" in err and "hit ratio" in err
+
+    def test_clear_removes_disk_entries(self, cli_ensemble, tmp_path, capsys):
+        # cold memory caches so the query publishes fresh disk artifacts
+        from repro.rag.cache import clear_memory_cache
+
+        clear_memory_cache()
+        workdir = tmp_path / "w"
+        main([
+            "query", "top 5 halos at timestep 624 in simulation 0",
+            "--ensemble", str(cli_ensemble),
+            "--workdir", str(workdir),
+            "--no-errors",
+        ])
+        assert any((workdir / ".query_cache").glob("q_*"))
+        assert any((workdir / ".retrieval_cache").glob("retrieval_*"))
+        capsys.readouterr()
+        assert main(["cache", "clear", "--workdir", str(workdir)]) == 0
+        out = capsys.readouterr().out
+        assert "dropped" in out
+        assert not any((workdir / ".query_cache").glob("q_*"))
+        assert not any((workdir / ".retrieval_cache").glob("retrieval_*"))
+        # stats on an empty workdir still works
+        assert main(["cache", "stats", "--workdir", str(workdir)]) == 0
+
+    def test_stats_on_missing_workdir(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--workdir", str(tmp_path / "none")]) == 0
+        out = capsys.readouterr().out
+        assert "0 entries, 0 bytes" in out
+
+
 class TestChat:
     def test_chat_session(self, cli_ensemble, tmp_path, capsys, monkeypatch):
         answers = iter([

@@ -88,3 +88,61 @@ class TestQueries:
     def test_table_frame(self, db):
         f = db.table_frame("halos")
         assert f.num_rows == 100
+
+
+class TestVersionsAndStates:
+    def test_create_sets_version_one(self, tmp_path):
+        db = Database(tmp_path / "v.db")
+        db.create_table("t", Frame({"x": np.arange(5)}))
+        assert db.table_version("t") == 1
+
+    def test_append_bumps_catalog_version(self, tmp_path):
+        db = Database(tmp_path / "v.db")
+        db.create_table("t", Frame({"x": np.arange(5)}))
+        db.append("t", Frame({"x": np.arange(5)}))
+        assert db.table_version("t") == 2
+        # and it persists across a reopen
+        assert Database(tmp_path / "v.db").table_version("t") == 2
+
+    def test_table_state_changes_with_content(self, tmp_path):
+        db = Database(tmp_path / "v.db")
+        db.create_table("t", Frame({"x": np.arange(5)}))
+        s1 = db.table_state("t")
+        db.append("t", Frame({"x": np.arange(5)}))
+        assert db.table_state("t") != s1
+
+    def test_identical_databases_share_state(self, tmp_path):
+        a = Database(tmp_path / "a.db")
+        b = Database(tmp_path / "b.db")
+        for db in (a, b):
+            db.create_table("t", Frame({"x": np.arange(50)}), row_group_size=10)
+        assert a.table_state("t") == b.table_state("t")
+
+    def test_unknown_table_version_raises(self, tmp_path):
+        with pytest.raises(UnknownTableError):
+            Database(tmp_path / "v.db").table_version("nope")
+
+
+class TestCrashSafeCatalog:
+    def test_no_temp_files_after_ddl(self, tmp_path):
+        db = Database(tmp_path / "c.db")
+        db.create_table("t", Frame({"x": np.arange(5)}))
+        db.append("t", Frame({"x": np.arange(5)}))
+        db.create_table("u", Frame({"y": np.arange(3)}))
+        db.drop_table("u")
+        assert list(db.path.glob("catalog.*.tmp")) == []
+
+    def test_failed_flush_preserves_catalog(self, tmp_path, monkeypatch):
+        import repro.db.database as database_mod
+
+        db = Database(tmp_path / "c.db")
+        db.create_table("t", Frame({"x": np.arange(5)}))
+        good = (db.path / "catalog.json").read_text()
+        monkeypatch.setattr(
+            database_mod.os, "replace",
+            lambda s, d: (_ for _ in ()).throw(OSError("simulated crash")),
+        )
+        with pytest.raises(OSError):
+            db.create_table("u", Frame({"y": np.arange(3)}))
+        assert (db.path / "catalog.json").read_text() == good
+        assert Database(tmp_path / "c.db").list_tables() == ["t"]

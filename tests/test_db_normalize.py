@@ -1,0 +1,149 @@
+"""Semantic SELECT canonicalization (repro.db.sql.normalize)."""
+
+import pytest
+
+from repro.db.sql.normalize import (
+    conjoin,
+    conjuncts,
+    normalize,
+    referenced_column_names,
+    residual_conjuncts,
+)
+from repro.db.sql.parser import parse_sql
+
+
+def fp(sql: str) -> str:
+    return normalize(parse_sql(sql)).fingerprint
+
+
+class TestFingerprintStability:
+    def test_identical_statements(self):
+        assert fp("SELECT x FROM t WHERE x > 1") == fp("SELECT x FROM t WHERE x > 1")
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            # table-alias renaming and qualifier dropping (single table)
+            ("SELECT h.x FROM halos h WHERE h.x > 1",
+             "SELECT x FROM halos WHERE x > 1"),
+            ("SELECT a.x FROM halos a WHERE a.x > 1",
+             "SELECT b.x FROM halos b WHERE b.x > 1"),
+            # AND conjunct order
+            ("SELECT x FROM t WHERE x > 1 AND y < 2",
+             "SELECT x FROM t WHERE y < 2 AND x > 1"),
+            # OR disjunct order
+            ("SELECT x FROM t WHERE x = 1 OR y = 2",
+             "SELECT x FROM t WHERE y = 2 OR x = 1"),
+            # symmetric operand order
+            ("SELECT x FROM t WHERE x = 5", "SELECT x FROM t WHERE 5 = x"),
+            ("SELECT x + y AS s FROM t", "SELECT y + x AS s FROM t"),
+            # mirrored comparisons
+            ("SELECT x FROM t WHERE x > 5", "SELECT x FROM t WHERE 5 < x"),
+            ("SELECT x FROM t WHERE x >= 5", "SELECT x FROM t WHERE 5 <= x"),
+            # IN list order
+            ("SELECT x FROM t WHERE x IN (1, 2, 3)",
+             "SELECT x FROM t WHERE x IN (3, 1, 2)"),
+            # numeric literal spelling
+            ("SELECT x FROM t WHERE x > 5", "SELECT x FROM t WHERE x > 5.0"),
+            # GROUP BY key order
+            ("SELECT COUNT(*) AS n FROM t GROUP BY a, b",
+             "SELECT COUNT(*) AS n FROM t GROUP BY b, a"),
+            # whitespace / case noise
+            ("select x from t where x>1", "SELECT  x  FROM  t  WHERE  x > 1"),
+        ],
+    )
+    def test_equivalent_forms_share_fingerprint(self, a, b):
+        assert fp(a) == fp(b)
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            # different tables, columns, literals, operators
+            ("SELECT x FROM t WHERE x > 1", "SELECT x FROM u WHERE x > 1"),
+            ("SELECT x FROM t WHERE x > 1", "SELECT y FROM t WHERE x > 1"),
+            ("SELECT x FROM t WHERE x > 1", "SELECT x FROM t WHERE x > 2"),
+            ("SELECT x FROM t WHERE x > 1", "SELECT x FROM t WHERE x >= 1"),
+            # string vs numeric literal with the same spelling
+            ("SELECT x FROM t WHERE x = 624", "SELECT x FROM t WHERE x = '624'"),
+            # asymmetric operator operand order matters
+            ("SELECT x - y AS d FROM t", "SELECT y - x AS d FROM t"),
+            # projection alias changes the output schema
+            ("SELECT x AS a FROM t", "SELECT x AS b FROM t"),
+            # DISTINCT / LIMIT / OFFSET are semantic
+            ("SELECT x FROM t", "SELECT DISTINCT x FROM t"),
+            ("SELECT x FROM t", "SELECT x FROM t LIMIT 5"),
+            ("SELECT x FROM t LIMIT 5", "SELECT x FROM t LIMIT 5 OFFSET 1"),
+            # ORDER BY direction and key order are semantic
+            ("SELECT x FROM t ORDER BY x", "SELECT x FROM t ORDER BY x DESC"),
+            ("SELECT x FROM t ORDER BY x, y", "SELECT x FROM t ORDER BY y, x"),
+        ],
+    )
+    def test_distinct_statements_differ(self, a, b):
+        assert fp(a) != fp(b)
+
+    def test_join_alias_insensitive(self):
+        a = fp("SELECT p.x, q.y FROM t1 p JOIN t2 q ON p.k = q.k")
+        b = fp("SELECT a.x, b.y FROM t1 a JOIN t2 b ON a.k = b.k")
+        assert a == b
+
+    def test_subquery_normalized_recursively(self):
+        a = fp("SELECT x FROM (SELECT x FROM t WHERE x > 1 AND y < 2) s")
+        b = fp("SELECT x FROM (SELECT x FROM t WHERE y < 2 AND x > 1) s")
+        assert a == b
+
+
+class TestConjuncts:
+    def test_flatten_and_reassemble(self):
+        stmt = parse_sql("SELECT x FROM t WHERE a > 1 AND b < 2 AND c = 3")
+        parts = conjuncts(stmt.where)
+        assert len(parts) == 3
+        rebuilt = conjoin(parts)
+        assert conjuncts(rebuilt) == parts
+
+    def test_empty(self):
+        assert conjuncts(None) == []
+        assert conjoin([]) is None
+
+    def test_or_is_one_conjunct(self):
+        stmt = parse_sql("SELECT x FROM t WHERE a = 1 OR b = 2")
+        assert len(conjuncts(stmt.where)) == 1
+
+
+class TestResidualConjuncts:
+    def plan(self, sql):
+        return normalize(parse_sql(sql))
+
+    def test_narrower_where_yields_residual(self):
+        parent = self.plan("SELECT x FROM t WHERE a > 1")
+        child = self.plan("SELECT x FROM t WHERE a > 1 AND b < 2")
+        residual = residual_conjuncts(child, parent.conjunct_keys)
+        assert residual is not None and len(residual) == 1
+
+    def test_equal_where_yields_empty_residual(self):
+        parent = self.plan("SELECT x FROM t WHERE a > 1 AND b < 2")
+        child = self.plan("SELECT x FROM t WHERE b < 2 AND a > 1")
+        assert residual_conjuncts(child, parent.conjunct_keys) == []
+
+    def test_wider_where_rejected(self):
+        parent = self.plan("SELECT x FROM t WHERE a > 1 AND b < 2")
+        child = self.plan("SELECT x FROM t WHERE a > 1")
+        assert residual_conjuncts(child, parent.conjunct_keys) is None
+
+    def test_alias_noise_in_child_still_matches(self):
+        parent = self.plan("SELECT x, b FROM t WHERE a > 1")
+        child = self.plan("SELECT q.x FROM t q WHERE q.a > 1 AND q.b = 7")
+        residual = residual_conjuncts(child, parent.conjunct_keys)
+        assert residual is not None and len(residual) == 1
+
+
+class TestReferencedColumns:
+    def test_bare_columns(self):
+        stmt = parse_sql("SELECT x, y + z AS s FROM t WHERE w > 1 ORDER BY v")
+        assert referenced_column_names(stmt) == {"x", "y", "z", "w", "v"}
+
+    def test_star_returns_none(self):
+        assert referenced_column_names(parse_sql("SELECT * FROM t WHERE x > 1")) is None
+
+    def test_count_star_needs_no_columns(self):
+        stmt = parse_sql("SELECT COUNT(*) AS n FROM t WHERE x > 1")
+        assert referenced_column_names(stmt) == {"x"}

@@ -104,6 +104,76 @@ class TestEndToEndPruning:
         assert out.num_rows == 2
         assert d.last_scan_stats.row_groups_skipped == 1
 
+    def test_nan_group_never_pruned_for_not_equal(self, tmp_path):
+        """A group holding [5, NaN] must not be skipped for ``x != 5``:
+        NaN != 5 is elementwise True, so the NaN row matches.  Groups with
+        any non-finite value publish no zone map at all (storage-level
+        soundness rule)."""
+        d = Database(tmp_path / "ne.db")
+        d.create_table(
+            "t",
+            Frame({"x": np.asarray([5.0, np.nan, 5.0, 5.0])}),
+            row_group_size=2,
+        )
+        out = d.query("SELECT x FROM t WHERE x != 5")
+        assert out.num_rows == 1 and np.isnan(out["x"][0])
+        # the all-finite [5, 5] group is legitimately refuted; the NaN
+        # group was scanned (skipping it would have lost the NaN row)
+        assert d.last_scan_stats.row_groups_skipped == 1
+
+    def test_inf_group_never_pruned_above_finite_max(self, tmp_path):
+        """[1, inf] must not be refuted for ``x > 100``."""
+        d = Database(tmp_path / "inf.db")
+        d.create_table(
+            "t",
+            Frame({"x": np.asarray([1.0, np.inf, 2.0, 3.0])}),
+            row_group_size=2,
+        )
+        out = d.query("SELECT x FROM t WHERE x > 100")
+        assert out.num_rows == 1 and np.isinf(out["x"][0])
+
+    def test_all_nan_column_queries_correctly(self, tmp_path):
+        d = Database(tmp_path / "an.db")
+        d.create_table(
+            "t",
+            Frame({"x": np.full(6, np.nan), "k": np.arange(6)}),
+            row_group_size=2,
+        )
+        assert d.query("SELECT k FROM t WHERE x = 1").num_rows == 0
+        out = d.query("SELECT k FROM t WHERE x != 1")
+        assert out.num_rows == 6  # NaN != 1 is True for every row
+        assert d.last_scan_stats.row_groups_skipped == 0
+        # the finite column is still prunable alongside the NaN one
+        d.query("SELECT x FROM t WHERE k >= 4")
+        assert d.last_scan_stats.row_groups_skipped == 2
+
+    def test_predicate_on_column_absent_from_stats(self, tmp_path):
+        """String columns publish no zone map; predicates on them must
+        scan everything rather than skip anything."""
+        d = Database(tmp_path / "ab.db")
+        d.create_table(
+            "t",
+            Frame({"name": np.asarray(["a", "b", "c", "d"]), "k": np.arange(4)}),
+            row_group_size=2,
+        )
+        out = d.query("SELECT k FROM t WHERE name = 'd'")
+        assert out.num_rows == 1 and out["k"][0] == 3
+        assert d.last_scan_stats.row_groups_skipped == 0
+        # AND with a prunable numeric conjunct may still skip via k
+        out = d.query("SELECT k FROM t WHERE name = 'a' AND k >= 2")
+        assert out.num_rows == 0
+        assert d.last_scan_stats.row_groups_skipped == 1
+
+    def test_mixed_finite_and_nonfinite_groups(self, tmp_path):
+        """Finite groups keep pruning; only the non-finite group scans."""
+        d = Database(tmp_path / "mx.db")
+        x = np.asarray([1.0, 2.0, np.nan, 4.0, 100.0, 200.0])
+        d.create_table("t", Frame({"x": x}), row_group_size=2)
+        out = d.query("SELECT x FROM t WHERE x > 50")
+        assert sorted(out["x"].tolist()) == [100.0, 200.0]
+        # group [1,2] refuted by zone map; group [nan,4] must be scanned
+        assert d.last_scan_stats.row_groups_skipped == 1
+
     def test_legacy_table_without_zone_maps(self, tmp_path):
         """Tables written before zone maps existed must still query fine."""
         import json

@@ -93,3 +93,80 @@ class TestAppendScan:
         chunk = store.read_row_group(0, ["a"], mmap=True)
         assert isinstance(chunk["a"], np.ndarray)
         assert chunk["a"][5] == 5
+
+
+class TestVersioningAndSignatures:
+    def test_version_bumps_on_append(self, store):
+        assert store.version == 0
+        store.append(make_frame(10))
+        assert store.version == 1
+        store.append(make_frame(10))
+        assert store.version == 2
+
+    def test_version_survives_reload(self, store, tmp_path):
+        store.append(make_frame(10))
+        assert TableStore(tmp_path / "t").version == 1
+
+    def test_identical_content_identical_signature(self, tmp_path):
+        a, b = TableStore(tmp_path / "a"), TableStore(tmp_path / "b")
+        a.append(make_frame(100), row_group_size=30)
+        b.append(make_frame(100), row_group_size=30)
+        assert a.content_signature() == b.content_signature()
+        assert a.content_signature() is not None
+
+    def test_different_content_different_signature(self, tmp_path):
+        a, b = TableStore(tmp_path / "a"), TableStore(tmp_path / "b")
+        a.append(make_frame(100))
+        b.append(make_frame(100, offset=1))
+        assert a.content_signature() != b.content_signature()
+
+    def test_signature_changes_on_append(self, store):
+        store.append(make_frame(10))
+        before = store.content_signature()
+        store.append(make_frame(10, offset=10))
+        assert store.content_signature() != before
+
+    def test_legacy_meta_without_checksums(self, store, tmp_path):
+        import json
+
+        store.append(make_frame(10))
+        meta_path = tmp_path / "t" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        del meta["checksums"]
+        meta_path.write_text(json.dumps(meta))
+        assert TableStore(tmp_path / "t").content_signature() is None
+
+
+class TestCrashSafeMeta:
+    def test_no_temp_files_left_behind(self, store, tmp_path):
+        store.append(make_frame(100), row_group_size=30)
+        store.append(make_frame(50), row_group_size=30)
+        leftovers = list((tmp_path / "t").glob("meta.*.tmp"))
+        assert leftovers == []
+
+    def test_meta_always_valid_json(self, store, tmp_path):
+        import json
+
+        store.append(make_frame(10))
+        doc = json.loads((tmp_path / "t" / "meta.json").read_text())
+        assert doc["version"] == 1
+        assert len(doc["checksums"]) == len(doc["row_groups"])
+
+    def test_failed_write_preserves_old_meta(self, store, tmp_path, monkeypatch):
+        """If the replace step never happens, the previous meta survives."""
+        import json
+
+        store.append(make_frame(10))
+        good = (tmp_path / "t" / "meta.json").read_text()
+
+        import repro.db.storage as storage_mod
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(storage_mod.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            store.append(make_frame(10))
+        assert (tmp_path / "t" / "meta.json").read_text() == good
+        reloaded = TableStore(tmp_path / "t")
+        assert reloaded.version == 1 and reloaded.num_rows == 10

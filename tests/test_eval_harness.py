@@ -174,6 +174,69 @@ class TestRetrievalCacheSharing:
         assert perf.total_wall_s >= max(perf.per_run_wall_s)
 
 
+def _rows_modulo_storage(result):
+    """Rows on every deterministic field except storage_bytes: a re-run
+    over the same workdir reuses session dirs, so provenance trails
+    accumulate bytes without the computed answers differing."""
+    names = [n for n in DETERMINISTIC_FIELDS if n != "storage_bytes"]
+    return [tuple(getattr(m, n) for n in names) for m in result.metrics]
+
+
+class TestQueryCacheSharing:
+    def test_warm_suite_served_from_cache(self, ensemble, tmp_path):
+        """Second suite over the same workdir re-executes nothing: every
+        SELECT is served from the shared on-disk result cache."""
+        harness = EvaluationHarness(
+            ensemble,
+            tmp_path / "h",
+            HarnessConfig(runs_per_question=1, error_model=NO_ERRORS),
+        )
+        cold = harness.run_suite(questions=QUESTION_SUITE[:2])
+        cold_qc = cold.perf.query_cache
+        assert cold_qc.misses > 0 and cold_qc.stores > 0
+
+        warm = harness.run_suite(questions=QUESTION_SUITE[:2])
+        warm_qc = warm.perf.query_cache
+        assert warm_qc.misses == 0
+        assert warm_qc.hits == warm_qc.requests == cold_qc.requests
+        assert warm_qc.hit_ratio == 1.0
+        assert _rows_modulo_storage(warm) == _rows_modulo_storage(cold)
+
+    def test_counters_visible_in_perf_dict(self, ensemble, tmp_path):
+        harness = EvaluationHarness(
+            ensemble,
+            tmp_path / "h",
+            HarnessConfig(runs_per_question=1, error_model=NO_ERRORS),
+        )
+        result = harness.run_suite(questions=QUESTION_SUITE[:1])
+        doc = result.perf.as_dict()
+        assert "query_cache" in doc
+        assert {"memory_hits", "disk_hits", "incremental_hits", "misses",
+                "stores", "evictions", "invalidations"} <= set(doc["query_cache"])
+
+    def test_parallel_workers_share_disk_cache_without_corruption(
+        self, ensemble, tmp_path
+    ):
+        """4 workers hammering one .query_cache directory must produce
+        the same rows as a sequential run, cold and warm."""
+        questions = QUESTION_SUITE[:2]
+        seq = EvaluationHarness(
+            ensemble,
+            tmp_path / "seq",
+            HarnessConfig(runs_per_question=2, error_model=NO_ERRORS),
+        ).run_suite(questions=questions)
+        par_harness = EvaluationHarness(
+            ensemble,
+            tmp_path / "par",
+            HarnessConfig(runs_per_question=2, workers=4, error_model=NO_ERRORS),
+        )
+        par_cold = par_harness.run_suite(questions=questions)
+        par_warm = par_harness.run_suite(questions=questions)
+        assert _deterministic_rows(par_cold) == _deterministic_rows(seq)
+        assert _rows_modulo_storage(par_warm) == _rows_modulo_storage(seq)
+        assert par_warm.perf.query_cache.hits > 0
+
+
 class TestRangesGuard:
     def test_empty_result_yields_zero_ranges(self):
         result = HarnessResult(aggregator=MetricsAggregator(), metrics=[])

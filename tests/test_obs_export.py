@@ -13,6 +13,7 @@ from repro.obs.export import (
     phase_rollups,
     read_spans,
     render_tree,
+    sql_cache_counts,
     summarize,
     token_totals,
     write_chrome_trace,
@@ -142,3 +143,47 @@ class TestTreeViews:
         a, b = build_reference_trace(), build_reference_trace()
         b[-1]["status"] = "ok"
         assert canonical_tree(a) != canonical_tree(b)
+
+
+def build_cached_trace() -> list[dict]:
+    """sql.execute spans in every cache tier plus an uncached miss."""
+    clock = SimulatedClock()
+    tracer = Tracer(clock=clock, context=TraceContext("trace-cache"), id_prefix="bb00")
+    with tracer.span("session", session_id="q1"):
+        for tier in ("memory", "disk", "incremental"):
+            with tracer.span("sql.execute", cache=tier, rows=5):
+                clock.advance(0.001)
+        with tracer.span("sql.execute", cache="miss", rows=5):
+            clock.advance(0.010)
+        with tracer.span("sql.execute", rows=5):   # legacy span, no attr
+            clock.advance(0.010)
+    return tracer.span_dicts()
+
+
+class TestSqlCacheViews:
+    def test_sql_cache_counts(self):
+        counts = sql_cache_counts(build_cached_trace())
+        assert counts == {
+            "memory": 1, "disk": 1, "incremental": 1, "miss": 2, "queries": 5,
+        }
+
+    def test_summarize_reports_cache_tiers(self):
+        text = summarize(build_cached_trace())
+        assert "sql cache:" in text
+        assert "memory=1" in text and "incremental=1" in text
+        assert "over 5 queries" in text
+
+    def test_summarize_omits_line_without_queries(self):
+        assert "sql cache" not in summarize(build_reference_trace())
+
+    def test_canonical_tree_ignores_cache_tier(self):
+        """Sequential and parallel runs may serve the same query from
+        different tiers; that must not read as a structural difference."""
+        a, b = build_cached_trace(), build_cached_trace()
+        for span in b:
+            if span["attributes"].get("cache") == "disk":
+                span["attributes"]["cache"] = "memory"
+            elif span["attributes"].get("cache") == "miss":
+                span["attributes"]["cache"] = "incremental"
+                span["attributes"]["residual_conjuncts"] = 1
+        assert canonical_tree(a) == canonical_tree(b)

@@ -142,7 +142,9 @@ class TestRetrievalArtifactCache:
         assert second is first
         assert delta.memory_hits == 1 and delta.builds == 0
 
-    def test_disk_hit_is_mmapped_and_identical(self, tmp_path):
+    def test_disk_hit_materialized_and_identical(self, tmp_path):
+        """Small matrices are copied into memory on disk load (MMR's
+        per-row dot products are ~4x slower over a memmap subclass)."""
         embedder = HashedEmbedder(64)
         texts = ["halo mass", "galaxy stellar mass"]
         cache = self._fresh(tmp_path)
@@ -152,6 +154,19 @@ class TestRetrievalArtifactCache:
         loaded = cache.matrix_for(texts, embedder)
         delta = stats_snapshot().delta(before)
         assert delta.disk_hits == 1 and delta.builds == 0
+        assert isinstance(loaded, np.ndarray) and not isinstance(loaded, np.memmap)
+        np.testing.assert_array_equal(np.asarray(loaded), built)
+
+    def test_disk_hit_above_threshold_stays_mmapped(self, tmp_path, monkeypatch):
+        from repro.rag import cache as rag_cache_module
+
+        monkeypatch.setattr(rag_cache_module, "MATERIALIZE_MAX_BYTES", 0)
+        embedder = HashedEmbedder(64)
+        texts = ["halo mass", "galaxy stellar mass"]
+        cache = self._fresh(tmp_path)
+        built = np.asarray(cache.matrix_for(texts, embedder))
+        clear_memory_cache()
+        loaded = cache.matrix_for(texts, embedder)
         assert isinstance(loaded, np.memmap)
         np.testing.assert_array_equal(np.asarray(loaded), built)
 
@@ -213,6 +228,7 @@ class TestRetrievalArtifactCache:
 
 class TestQueryMemo:
     def test_repeated_query_embeds_once(self):
+        clear_memory_cache()
         docs = build_documents(COLUMN_DESCRIPTIONS)
         index = VectorIndex(docs)
         before = stats_snapshot()
@@ -222,13 +238,35 @@ class TestQueryMemo:
         assert delta.query_memo_misses == 1 and delta.query_memo_hits == 1
         np.testing.assert_array_equal(s1, s2)
 
-    def test_memo_bounded(self):
-        from repro.rag.index import QUERY_MEMO_MAX
+    def test_memo_shared_across_indexes(self):
+        clear_memory_cache()
+        docs = build_documents({"e": {"c": "desc"}})
+        VectorIndex(docs).similarities("shared prompt")
+        before = stats_snapshot()
+        VectorIndex(docs).similarities("shared prompt")
+        delta = stats_snapshot().delta(before)
+        assert delta.query_memo_hits == 1 and delta.query_memo_misses == 0
 
+    def test_memo_bounded_lru(self):
+        from repro.rag import cache
+
+        clear_memory_cache()
         index = VectorIndex(build_documents({"e": {"c": "desc"}}))
-        for i in range(QUERY_MEMO_MAX + 10):
-            index.similarities(f"query {i}")
-        assert len(index._query_memo) <= QUERY_MEMO_MAX
+        old_cap = cache.query_memo_capacity()
+        before = stats_snapshot()
+        try:
+            cache.set_query_memo_capacity(8)
+            for i in range(20):
+                index.similarities(f"query {i}")
+            assert cache.query_memo_size() <= 8
+            delta = stats_snapshot().delta(before)
+            assert delta.query_memo_evictions == 20 - 8
+            # LRU: the most recent query is still memoized
+            before = stats_snapshot()
+            index.similarities("query 19")
+            assert stats_snapshot().delta(before).query_memo_hits == 1
+        finally:
+            cache.set_query_memo_capacity(old_cap)
 
 
 class TestColumnRetriever:
