@@ -90,6 +90,7 @@ class Supervisor:
         supervisor_history: int | None = 6,
         use_checkpointer: bool = False,
         parallel_viz: bool = False,
+        checkpointer: "Checkpointer | None" = None,
     ):
         self.context = context
         self.data_loader = data_loader
@@ -101,7 +102,9 @@ class Supervisor:
         self.max_revisions = max_revisions
         self.enable_documentation = enable_documentation
         self.supervisor_history = supervisor_history
-        self.checkpointer = Checkpointer() if use_checkpointer else None
+        # an injected checkpointer (e.g. the durable on-disk store) wins
+        # over the plain in-memory one the boolean flag selects
+        self.checkpointer = checkpointer or (Checkpointer() if use_checkpointer else None)
         self.parallel_viz = parallel_viz
 
     # ------------------------------------------------------------------

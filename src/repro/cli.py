@@ -84,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--workers", type=int, default=1,
                           help="worker processes for the run grid "
                                "(1 = sequential, 0 = one per CPU core)")
+    evaluate.add_argument("--chaos", choices=("off", "light", "heavy"), default="off",
+                          help="inject deterministic infrastructure faults at the "
+                               "named intensity; the resilience layer must absorb "
+                               "them (fault counters are reported after the table)")
 
     sql = sub.add_parser("sql", help="run SQL against an analysis database")
     sql.add_argument("statement")
@@ -167,6 +171,12 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_eval(args: argparse.Namespace) -> int:
+    from repro.faults import FaultProfile
+
+    chaos = getattr(args, "chaos", "off")
+    fault_profile = (
+        FaultProfile.named(chaos, seed=args.seed) if chaos != "off" else None
+    )
     harness = EvaluationHarness(
         Ensemble(args.ensemble),
         args.workdir,
@@ -174,6 +184,7 @@ def cmd_eval(args: argparse.Namespace) -> int:
             runs_per_question=args.runs_per_question,
             seed=args.seed,
             workers=args.workers,
+            fault_profile=fault_profile,
         ),
     )
     result = harness.run_suite()
@@ -192,6 +203,12 @@ def cmd_eval(args: argparse.Namespace) -> int:
                  "%d misses (%.1f%% hit ratio); %d invalidations",
                  qc.hits, qc.memory_hits, qc.disk_hits, qc.incremental_hits,
                  qc.misses, 100.0 * qc.hit_ratio, qc.invalidations)
+        if fault_profile is not None or perf.fault_counters:
+            counters = perf.fault_counters
+            injected = counters.get("faults.injected", 0)
+            print(f"chaos[{chaos}]: {injected} faults injected")
+            for name, value in counters.items():
+                print(f"  {name} = {value}")
         for phase, agg in perf.span_rollups.items():
             log.debug("[trace] %-12s %4d spans %8.3f s %d errors",
                       phase, int(agg["spans"]), agg["total_s"], int(agg["errors"]))
@@ -223,14 +240,24 @@ def cmd_cache(args: argparse.Namespace) -> int:
               f"({retrieval_bytes:,} bytes) under {retrieval_dir}")
         return 0
 
+    if not store.cache_dir.is_dir() and not retrieval_dir.is_dir():
+        # a fresh or foreign workdir: say so instead of a wall of zeros
+        print(f"no caches under {workdir} "
+              f"(neither {store.cache_dir.name} nor {retrieval_dir.name} exists yet); "
+              f"run a query or the eval harness first")
+        return 0
+
     qstats = query_cache.stats_snapshot()
     print(f"query result cache ({store.cache_dir})")
     print(f"  disk: {len(store.disk_entries())} entries, {store.footprint_bytes():,} bytes")
+    quarantined_disk = len(store.quarantined_entries())
+    if quarantined_disk:
+        print(f"  quarantined: {quarantined_disk} corrupt entries moved aside")
     print(f"  process counters: memory={qstats.memory_hits} disk={qstats.disk_hits} "
           f"incremental={qstats.incremental_hits} miss={qstats.misses} "
           f"(hit ratio {qstats.hit_ratio:.1%} of {qstats.requests})")
     print(f"  stores={qstats.stores} evictions={qstats.evictions} "
-          f"invalidations={qstats.invalidations}")
+          f"invalidations={qstats.invalidations} quarantined={qstats.quarantined}")
     rstats = rag_cache.stats_snapshot()
     print(f"retrieval artifact cache ({retrieval_dir})")
     print(f"  disk: {len(retrieval_files)} files, {retrieval_bytes:,} bytes")

@@ -30,7 +30,9 @@ from repro.agents.planner import FeedbackProvider, PlanningResult
 from repro.agents.supervisor import RunReport
 from repro.agents.tools import default_toolset
 from repro.db import Database
+from repro.faults import FaultInjector, FaultProfile, use_faults
 from repro.frame import Frame
+from repro.graph.checkpoint import DurableCheckpointer
 from repro.llm import HashedEmbedder, MockLLM
 from repro.llm.base import MeteredModel
 from repro.obs.tracer import Tracer, current_context, use_tracer
@@ -117,6 +119,14 @@ class InferA:
         cache_dir = self.config.retrieval_cache_dir or self.workdir / ".retrieval_cache"
         self._retrieval_cache = RetrievalArtifactCache(cache_dir)
         self._retriever: ColumnRetriever | None = None
+        # chaos engineering: one injector per app so every query of a run
+        # draws from the same deterministic per-fault-point schedule.  An
+        # explicit profile wins; otherwise REPRO_FAULT_PROFILE (resolved
+        # here, never in library code, so unit tests stay fault-free).
+        profile = self.config.fault_profile
+        if profile is None:
+            profile = FaultProfile.from_env(seed=self.config.seed)
+        self.fault_injector = FaultInjector(profile)
 
     # ------------------------------------------------------------------
     def _build_context(self, session_id: str, tracer: Tracer) -> tuple[AgentContext, Database]:
@@ -145,7 +155,15 @@ class InferA:
         db = Database(self.workdir / session_id / "analysis.db", cache_dir=query_cache_dir)
         provenance.register_external(db.path)
         if cfg.sandbox_url:
-            sandbox = SandboxClient(cfg.sandbox_url)
+            # remote gateway behind the resilience ladder: bounded retries,
+            # circuit breaker, and graceful degradation onto an in-process
+            # executor with identical semantics when the gateway stays down
+            sandbox = SandboxClient(
+                cfg.sandbox_url,
+                clock=self.clock,
+                seed=cfg.seed,
+                fallback=InProcessClient(SandboxExecutor(tools=default_toolset())),
+            )
         else:
             sandbox = InProcessClient(SandboxExecutor(tools=default_toolset()))
         context = AgentContext(
@@ -182,7 +200,9 @@ class InferA:
         context, db = self._build_context(session_id, tracer)
         context.provenance.record_query(question)
 
-        with use_tracer(tracer), tracer.span("session", session_id=session_id):
+        with use_faults(self.fault_injector), use_tracer(tracer), tracer.span(
+            "session", session_id=session_id
+        ):
             planner = PlanningAgent(context)
             with tracer.span("plan.generate") as plan_span:
                 plan_result = planner.plan(question, feedback=feedback)
@@ -192,6 +212,11 @@ class InferA:
                 plan_result.steps = [dict(s, index=i) for i, s in enumerate(transformed)]
 
             loader = DataLoadingAgent(context, self.ensemble)
+            checkpointer = None
+            if self.config.use_checkpointer and self.config.durable_checkpoints:
+                checkpointer = DurableCheckpointer(
+                    self.workdir / session_id / "checkpoints"
+                )
             supervisor = Supervisor(
                 context,
                 loader,
@@ -201,6 +226,7 @@ class InferA:
                 supervisor_history=self.config.supervisor_history,
                 use_checkpointer=self.config.use_checkpointer,
                 parallel_viz=self.config.parallel_viz,
+                checkpointer=checkpointer,
             )
             self._last_supervisor = supervisor
             self._last_context = context

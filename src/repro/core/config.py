@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults import FaultProfile
 from repro.llm.errors import ErrorModel
 
 
@@ -43,3 +44,11 @@ class InferAConfig:
     # when set, generated code executes on a remote sandbox gateway (the
     # paper's ASGI-server deployment) instead of in-process
     sandbox_url: str | None = None
+    # deterministic infrastructure fault injection (repro.faults); None
+    # defers to the REPRO_FAULT_PROFILE environment variable, which in
+    # turn defaults to off.  Injected faults are absorbed by the
+    # resilience layer, so answers stay byte-identical to a fault-free run
+    fault_profile: FaultProfile | None = None
+    # persist checkpoints under "<workdir>/<session>/checkpoints" so a
+    # restarted process can resume/branch; only active with use_checkpointer
+    durable_checkpoints: bool = True

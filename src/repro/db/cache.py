@@ -32,6 +32,14 @@ databases (every harness run loads the same subset) share entries.
 All tiers count into the process-local :data:`QUERY_STATS` (mergeable —
 the harness ships deltas back from worker processes), into ``repro.obs``
 metrics counters, and onto ``sql.execute`` span attributes.
+
+**Self-healing.**  Every published column file carries a CRC32 in the
+sidecar.  A read that fails verification — a torn write that published a
+truncated column, a bit flipped on disk, a mangled sidecar — *quarantines*
+the entry (moved under ``<cache_dir>/.quarantine/``, counted as
+``db.cache.quarantine``) and falls through to recomputation, which
+re-publishes a good copy.  Corruption therefore costs one extra execution,
+never a wrong answer and never a crash.
 """
 
 from __future__ import annotations
@@ -41,12 +49,14 @@ import json
 import os
 import shutil
 import tempfile
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.db.errors import UnknownTableError
 from repro.db.sql import ast
 from repro.db.sql.executor import ScanStats, execute as sql_execute, execute_over_frame
@@ -58,11 +68,15 @@ from repro.db.sql.normalize import (
     residual_conjuncts,
 )
 from repro.frame import Frame
+from repro.obs.logsetup import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
 from repro.util.stats import MergeableCounters
 
+log = get_logger("db.cache")
+
 SIDECAR_NAME = "result.json"
+QUARANTINE_DIRNAME = ".quarantine"
 DEFAULT_MEMORY_ENTRIES = 128
 _PARENTS_PER_SCAFFOLD = 8
 _MAX_SCAFFOLDS = 256
@@ -83,6 +97,7 @@ class QueryCacheStats(MergeableCounters):
     stores: int = 0
     evictions: int = 0               # in-process LRU evictions
     invalidations: int = 0           # a known plan's table state changed
+    quarantined: int = 0             # corrupt disk entries moved aside
 
     @property
     def hits(self) -> int:
@@ -239,6 +254,10 @@ def _shape_attrs(plan: NormalizedPlan) -> dict:
 # ----------------------------------------------------------------------
 # the cache
 # ----------------------------------------------------------------------
+class _CorruptEntry(ValueError):
+    """A published disk entry failed verification; quarantine it."""
+
+
 class QueryResultCache:
     """Tiered result store driving ``Database.query`` SELECT execution.
 
@@ -353,23 +372,86 @@ class QueryResultCache:
     def _entry_dir(self, key: str) -> Path | None:
         return None if self.cache_dir is None else self.cache_dir / f"q_{key}"
 
+    def quarantined_entries(self) -> list[Path]:
+        if self.cache_dir is None:
+            return []
+        qdir = self.cache_dir / QUARANTINE_DIRNAME
+        if not qdir.is_dir():
+            return []
+        return sorted(p for p in qdir.iterdir() if p.is_dir())
+
     def _disk_load(self, key: str) -> Frame | None:
         entry = self._entry_dir(key)
-        if entry is None:
+        if entry is None or not entry.is_dir():
             return None
         try:
-            meta = json.loads((entry / SIDECAR_NAME).read_text())
-            if meta.get("key") != key:
-                return None
-            columns: dict[str, np.ndarray] = {}
-            for i, name in enumerate(meta["columns"]):
-                arr = np.load(entry / f"col{i:05d}.npy", mmap_mode="r", allow_pickle=False)
-                if len(arr) != int(meta["num_rows"]):
-                    return None
-                columns[name] = arr
-            return Frame(columns)
-        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return self._read_entry(entry, key)
+        except _CorruptEntry as exc:
+            self._quarantine(entry, str(exc))
             return None
+        except OSError:
+            return None  # raced with another process's quarantine/clear
+
+    def _read_entry(self, entry: Path, key: str) -> Frame:
+        """Load and *verify* one published entry.
+
+        Raises :class:`_CorruptEntry` for anything that should not be
+        possible under an intact publish: unreadable/mismatched sidecar,
+        a missing or CRC-failing column file, a row-count mismatch.
+        """
+        injector = faults.get_injector()
+        try:
+            meta = json.loads((entry / SIDECAR_NAME).read_text())
+        except FileNotFoundError:
+            raise _CorruptEntry("sidecar missing") from None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _CorruptEntry(f"sidecar unreadable: {exc}") from None
+        if not isinstance(meta, dict) or meta.get("key") != key:
+            raise _CorruptEntry("sidecar key mismatch")
+        crcs = meta.get("crc32")
+        try:
+            names = list(meta["columns"])
+            num_rows = int(meta["num_rows"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _CorruptEntry(f"sidecar schema: {exc}") from None
+        columns: dict[str, np.ndarray] = {}
+        for i, name in enumerate(names):
+            path = entry / f"col{i:05d}.npy"
+            if crcs is not None:
+                try:
+                    raw = path.read_bytes()
+                except FileNotFoundError:
+                    raise _CorruptEntry(f"column file {path.name} missing") from None
+                if injector.fire(faults.STORAGE_BIT_FLIP):
+                    raw = injector.flip_bit(faults.STORAGE_BIT_FLIP, raw)
+                if (zlib.crc32(raw) & 0xFFFFFFFF) != int(crcs[i]):
+                    raise _CorruptEntry(f"column {name!r} failed CRC")
+            try:
+                arr = np.load(path, mmap_mode="r", allow_pickle=False)
+            except (OSError, ValueError) as exc:
+                raise _CorruptEntry(f"column {name!r} unreadable: {exc}") from None
+            if len(arr) != num_rows:
+                raise _CorruptEntry(
+                    f"column {name!r} has {len(arr)} rows, sidecar says {num_rows}"
+                )
+            columns[name] = arr
+        return Frame(columns)
+
+    def _quarantine(self, entry: Path, detail: str) -> None:
+        """Move a corrupt entry aside so the next execution re-publishes."""
+        QUERY_STATS.quarantined += 1
+        get_registry().counter("db.cache.quarantine").inc()
+        span = get_tracer().current()
+        if span is not None:
+            attrs = span.attributes
+            attrs["cache_quarantined"] = int(attrs.get("cache_quarantined", 0)) + 1
+        log.warning("quarantining corrupt cache entry %s: %s", entry.name, detail)
+        qdir = entry.parent / QUARANTINE_DIRNAME
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(entry, qdir / entry.name)
+        except OSError:
+            shutil.rmtree(entry, ignore_errors=True)
 
     def _disk_store(self, key: str, frame: Frame) -> None:
         """Atomic write-temp-then-rename publish (racers lose quietly)."""
@@ -384,16 +466,27 @@ class QueryResultCache:
         except OSError:
             return  # read-only workdir degrades to in-process caching
         try:
+            crcs: list[int] = []
             for i, name in enumerate(frame.columns):
-                np.save(tmp / f"col{i:05d}.npy", np.asarray(frame.column(name)),
-                        allow_pickle=False)
+                path = tmp / f"col{i:05d}.npy"
+                np.save(path, np.asarray(frame.column(name)), allow_pickle=False)
+                crcs.append(zlib.crc32(path.read_bytes()) & 0xFFFFFFFF)
             sidecar = {
                 "key": key,
                 "columns": list(frame.columns),
                 "dtypes": [str(frame.column(n).dtype) for n in frame.columns],
                 "num_rows": frame.num_rows,
+                "crc32": crcs,
             }
             (tmp / SIDECAR_NAME).write_text(json.dumps(sidecar, indent=1))
+            injector = faults.get_injector()
+            if frame.columns and injector.fire(faults.STORAGE_TORN_WRITE):
+                # tear the first column file *after* its CRC was recorded:
+                # the publish "succeeds", and the read side must catch it
+                victim = tmp / "col00000.npy"
+                victim.write_bytes(
+                    injector.truncate(faults.STORAGE_TORN_WRITE, victim.read_bytes())
+                )
             os.rename(tmp, entry)
         except OSError:
             shutil.rmtree(tmp, ignore_errors=True)

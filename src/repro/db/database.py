@@ -22,16 +22,18 @@ cached result computed over the old contents.
 from __future__ import annotations
 
 import json
-import os
 import re
-import tempfile
 from pathlib import Path
 
 from repro.db.errors import DBError, UnknownTableError
 from repro.db.sql.ast import CreateTableAs, SelectStatement
 from repro.db.sql.executor import execute
 from repro.db.sql.parser import parse_sql
-from repro.db.storage import DEFAULT_ROW_GROUP_SIZE, TableStore
+from repro.db.storage import (
+    DEFAULT_ROW_GROUP_SIZE,
+    TableStore,
+    publish_json_verified,
+)
 from repro.frame import Frame
 
 _NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
@@ -56,7 +58,14 @@ class Database:
         self.path.mkdir(parents=True, exist_ok=True)
         self._catalog_path = self.path / "catalog.json"
         if self._catalog_path.exists():
-            self._tables: dict[str, dict] = json.loads(self._catalog_path.read_text())
+            try:
+                self._tables: dict[str, dict] = json.loads(
+                    self._catalog_path.read_text()
+                )
+            except (OSError, json.JSONDecodeError) as exc:
+                raise DBError(
+                    f"corrupt catalog at {self._catalog_path}: {exc}"
+                ) from exc
         else:
             self._tables = {}
         if result_cache:
@@ -108,13 +117,12 @@ class Database:
         return f"{name}@v{version}:{signature}"
 
     def _flush_catalog(self) -> None:
-        """Crash-safe catalog publish: temp file + atomic rename (a
-        cache-invalidation version bump that dies mid-write must not
+        """Crash-safe catalog publish: temp file + verify + atomic rename
+        (a cache-invalidation version bump that dies mid-write must not
         corrupt the catalog)."""
-        fd, tmp_name = tempfile.mkstemp(dir=self.path, prefix="catalog.", suffix=".tmp")
-        with os.fdopen(fd, "w") as fh:
-            json.dump(self._tables, fh, indent=1)
-        os.replace(tmp_name, self._catalog_path)
+        publish_json_verified(
+            self.path, "catalog.json", self._tables, what="catalog.json", indent=1
+        )
 
     # ------------------------------------------------------------------
     # DDL / loading

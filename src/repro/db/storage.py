@@ -26,10 +26,57 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.db.errors import DBError, UnknownColumnError
 from repro.frame import Frame
+from repro.obs.logsetup import get_logger
+from repro.obs.metrics import get_registry
+
+log = get_logger("db.storage")
 
 DEFAULT_ROW_GROUP_SIZE = 65536
+_PUBLISH_ATTEMPTS = 3
+
+
+def publish_json_verified(
+    dir_path: Path, final_name: str, obj, what: str, indent: int | None = None
+) -> None:
+    """Atomic JSON publish hardened with write-verify-retry.
+
+    Catalog and table metadata are re-read from disk by *fresh* objects on
+    every ``Database.store()`` call, so — unlike cache entries, which heal
+    on read — a torn publish here cannot be deferred to a read-side check:
+    the temp file is read back and compared against the intended bytes
+    before ``os.replace`` makes it visible, and a mismatch (the
+    ``storage.torn_write`` fault point, or a genuinely short write) is
+    rewritten.  After ``_PUBLISH_ATTEMPTS`` failures the publish raises a
+    classified :class:`DBError` instead of silently shipping garbage.
+    """
+    dir_path.mkdir(parents=True, exist_ok=True)
+    expected = json.dumps(obj, indent=indent).encode("utf-8")
+    injector = faults.get_injector()
+    fd, tmp_name = tempfile.mkstemp(dir=dir_path, prefix=final_name + ".", suffix=".tmp")
+    os.close(fd)
+    tmp = Path(tmp_name)
+    try:
+        for attempt in range(1, _PUBLISH_ATTEMPTS + 1):
+            data = expected
+            if injector.fire(faults.STORAGE_TORN_WRITE):
+                data = injector.truncate(faults.STORAGE_TORN_WRITE, data)
+            tmp.write_bytes(data)
+            if tmp.read_bytes() == expected:
+                os.replace(tmp, dir_path / final_name)
+                return
+            get_registry().counter("storage.write_verify_retry").inc()
+            log.warning(
+                "torn write publishing %s (attempt %d/%d); rewriting",
+                what, attempt, _PUBLISH_ATTEMPTS,
+            )
+        raise DBError(
+            f"could not publish intact {what} after {_PUBLISH_ATTEMPTS} attempts"
+        )
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 class TableStore:
@@ -40,7 +87,12 @@ class TableStore:
         self._meta: dict = {"columns": {}, "row_groups": []}
         meta_path = self.path / "meta.json"
         if meta_path.exists():
-            self._meta = json.loads(meta_path.read_text())
+            try:
+                self._meta = json.loads(meta_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise DBError(
+                    f"corrupt table metadata at {meta_path}: {exc}"
+                ) from exc
 
     # ------------------------------------------------------------------
     @property
@@ -136,17 +188,15 @@ class TableStore:
         self._flush_meta()
 
     def _flush_meta(self) -> None:
-        """Crash-safe metadata publish: temp file + atomic rename.
+        """Crash-safe metadata publish: temp file + verify + atomic rename.
 
         A process dying mid-write must never leave a truncated meta.json
         behind — that would corrupt the whole table, not just the append
         (or the cache-invalidating version bump) in flight.
         """
-        self.path.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=self.path, prefix="meta.", suffix=".tmp")
-        with os.fdopen(fd, "w") as fh:
-            json.dump(self._meta, fh)
-        os.replace(tmp_name, self.path / "meta.json")
+        publish_json_verified(
+            self.path, "meta.json", self._meta, what=f"meta.json of {self.path.name!r}"
+        )
 
     # ------------------------------------------------------------------
     def read_row_group(

@@ -40,6 +40,7 @@ from repro.eval.questions import (
     EvalQuestion,
     classify_question,
 )
+from repro.faults import FaultProfile
 from repro.llm.errors import ErrorModel
 from repro.obs.export import phase_rollups, write_jsonl
 from repro.obs.metrics import (
@@ -64,6 +65,11 @@ class HarnessConfig:
     # worker processes for the (question, run) grid; 1 = sequential,
     # 0 = one per CPU core; explicit values are honored as given
     workers: int = 1
+    # chaos mode: a FaultProfile threaded into every run's InferAConfig.
+    # Injected infrastructure faults are absorbed by the resilience layer,
+    # so the metrics rows stay identical to a fault-free suite; fault and
+    # recovery counters surface in ``HarnessPerf.fault_counters``.
+    fault_profile: FaultProfile | None = None
 
 
 @dataclass
@@ -100,6 +106,18 @@ class HarnessPerf:
     span_rollups: dict = field(default_factory=dict)
     obs_metrics: dict = field(default_factory=empty_snapshot)
 
+    @property
+    def fault_counters(self) -> dict[str, int]:
+        """Chaos accounting: injected faults and the recoveries that
+        absorbed them, pulled from the merged obs-metrics counters."""
+        prefixes = ("faults.", "resilience.", "checkpoint.corrupt",
+                    "db.cache.quarantine", "storage.write_verify_retry")
+        return {
+            name: value
+            for name, value in sorted(self.obs_metrics.get("counters", {}).items())
+            if name.startswith(prefixes)
+        }
+
     def as_dict(self) -> dict:
         return {
             "workers": self.workers,
@@ -108,6 +126,7 @@ class HarnessPerf:
             "per_run_wall_s": list(self.per_run_wall_s),
             "cache": self.cache.as_dict(),
             "query_cache": self.query_cache.as_dict(),
+            "fault_counters": self.fault_counters,
             "span_rollups": dict(self.span_rollups),
             "obs_metrics": dict(self.obs_metrics),
         }
@@ -350,6 +369,7 @@ class EvaluationHarness:
                 llm_latency_s=self.config.llm_latency_s,
                 retrieval_cache_dir=str(self.workdir / ".retrieval_cache"),
                 query_cache_dir=str(self.workdir / ".query_cache"),
+                fault_profile=self.config.fault_profile,
             ),
             clock=self.clock,
         )

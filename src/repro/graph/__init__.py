@@ -12,7 +12,7 @@ with LangGraph.  This package reproduces the parts InferA relies on:
 
 from repro.graph.state import Channel, replace_reducer, append_reducer, merge_reducer, add_reducer
 from repro.graph.graph import StateGraph, CompiledGraph, END, GraphError, GraphInterrupt
-from repro.graph.checkpoint import Checkpointer, Checkpoint
+from repro.graph.checkpoint import Checkpointer, Checkpoint, DurableCheckpointer
 from repro.graph.events import ExecutionEvent
 
 __all__ = [
@@ -28,5 +28,6 @@ __all__ = [
     "GraphInterrupt",
     "Checkpointer",
     "Checkpoint",
+    "DurableCheckpointer",
     "ExecutionEvent",
 ]

@@ -7,13 +7,37 @@ analysts can load from specific checkpoints and alter follow-up steps."
 Checkpoints snapshot the full state dict after every node.  Snapshots are
 deep copies, so later mutation cannot corrupt history; branching copies a
 checkpoint chain onto a new thread id and execution resumes from there.
+
+:class:`DurableCheckpointer` additionally persists every checkpoint as a
+CRC-framed blob under a workdir directory — one file per checkpoint,
+published atomically (temp file + ``os.replace``), hydrated lazily per
+thread on first access.  Resume is *tolerant*: a truncated or bit-flipped
+tail (a process killed mid-write, media corruption, or the chaos suite's
+``checkpoint.corrupt`` fault) is quarantined and counted, and the thread
+restarts from the last checkpoint that verifies — never a raw unpickling
+traceback.
 """
 
 from __future__ import annotations
 
 import copy
+import os
+import pickle
+import re
+import tempfile
+import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
+
+from repro import faults
+from repro.obs.logsetup import get_logger
+from repro.obs.metrics import get_registry
+
+log = get_logger("graph.checkpoint")
+
+# blob framing: magic + 4-byte little-endian CRC32 of the pickle payload
+_MAGIC = b"RCKP1\n"
 
 
 @dataclass
@@ -101,3 +125,160 @@ class Checkpointer:
 
     def threads(self) -> list[str]:
         return sorted(self._threads)
+
+
+# ----------------------------------------------------------------------
+# durable store
+# ----------------------------------------------------------------------
+def _encode_checkpoint(cp: Checkpoint) -> bytes:
+    payload = pickle.dumps(
+        {
+            "checkpoint_id": cp.checkpoint_id,
+            "thread_id": cp.thread_id,
+            "seq": cp.seq,
+            "node": cp.node,
+            "next_node": cp.next_node,
+            "state": cp.state,
+            "events": cp.events,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    return _MAGIC + zlib.crc32(payload).to_bytes(4, "little") + payload
+
+
+def _decode_checkpoint(blob: bytes) -> Checkpoint:
+    """Decode a framed blob; raises ``ValueError`` on any corruption."""
+    if not blob.startswith(_MAGIC) or len(blob) < len(_MAGIC) + 4:
+        raise ValueError("bad checkpoint framing")
+    crc = int.from_bytes(blob[len(_MAGIC) : len(_MAGIC) + 4], "little")
+    payload = blob[len(_MAGIC) + 4 :]
+    if zlib.crc32(payload) != crc:
+        raise ValueError("checkpoint CRC mismatch")
+    try:
+        doc = pickle.loads(payload)
+    except Exception as exc:  # corrupt pickles raise many exception types
+        raise ValueError(f"checkpoint unpickle failed: {exc}") from exc
+    return Checkpoint(**doc)
+
+
+def _thread_dirname(thread_id: str) -> str:
+    """Filesystem-safe, collision-resistant directory name for a thread."""
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", thread_id)[:80]
+    return f"{safe}-{zlib.crc32(thread_id.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+class DurableCheckpointer(Checkpointer):
+    """On-disk checkpoint store: survives process restarts.
+
+    ``root`` holds one directory per thread (``thread.txt`` records the
+    raw thread id; ``ckpt_<seq>.bin`` files hold the framed blobs).  The
+    in-memory chain remains authoritative within a process — faults that
+    corrupt the on-disk copy never perturb a live run, only what a
+    *restarted* process can recover.
+    """
+
+    def __init__(self, root: str | Path):
+        super().__init__()
+        self.root = Path(root)
+        self.dropped_corrupt = 0       # corrupt/truncated tail blobs skipped
+        self._hydrated: set[str] = set()
+
+    # -- persistence ----------------------------------------------------
+    def _thread_dir(self, thread_id: str) -> Path:
+        return self.root / _thread_dirname(thread_id)
+
+    def _persist(self, cp: Checkpoint) -> None:
+        blob = _encode_checkpoint(cp)
+        injector = faults.get_injector()
+        if injector.fire(faults.CHECKPOINT_CORRUPT):
+            # media corruption on the durable copy only: the in-memory run
+            # continues untouched, but a restarted process must exercise
+            # tolerant resume (CRC catches the flip, tail is dropped)
+            blob = injector.flip_bit(faults.CHECKPOINT_CORRUPT, blob)
+        tdir = self._thread_dir(cp.thread_id)
+        try:
+            tdir.mkdir(parents=True, exist_ok=True)
+            marker = tdir / "thread.txt"
+            if not marker.exists():
+                marker.write_text(cp.thread_id)
+            fd, tmp_name = tempfile.mkstemp(dir=tdir, prefix=".ckpt_", suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp_name, tdir / f"ckpt_{cp.seq:06d}.bin")
+        except OSError as exc:
+            # a read-only workdir degrades to in-memory checkpointing
+            log.warning("checkpoint persist failed for %s: %s", cp.checkpoint_id, exc)
+
+    def _hydrate(self, thread_id: str) -> None:
+        """Load a thread's chain from disk, dropping the corrupt tail."""
+        if thread_id in self._hydrated:
+            return
+        self._hydrated.add(thread_id)
+        if thread_id in self._threads:
+            return  # live in-memory chain wins over its own disk copy
+        tdir = self._thread_dir(thread_id)
+        if not tdir.is_dir():
+            return
+        chain: list[Checkpoint] = []
+        for path in sorted(tdir.glob("ckpt_*.bin")):
+            try:
+                chain.append(_decode_checkpoint(path.read_bytes()))
+            except (OSError, ValueError) as exc:
+                # tolerant tail: everything from the first bad blob on is
+                # unrecoverable — resume from the last checkpoint that
+                # verified, and say so
+                self.dropped_corrupt += 1
+                get_registry().counter("checkpoint.corrupt_dropped").inc()
+                log.warning(
+                    "dropping corrupt checkpoint tail of thread %r at %s: %s",
+                    thread_id, path.name, exc,
+                )
+                break
+        if chain:
+            self._threads[thread_id] = chain
+
+    def _hydrate_all(self) -> None:
+        if not self.root.is_dir():
+            return
+        for tdir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            marker = tdir / "thread.txt"
+            if marker.is_file():
+                self._hydrate(marker.read_text())
+
+    # -- overridden accessors -------------------------------------------
+    def save(
+        self,
+        thread_id: str,
+        seq: int,
+        node: str,
+        next_node: str | None,
+        state: dict[str, Any],
+        events: list[dict[str, Any]] | None = None,
+    ) -> Checkpoint:
+        cp = super().save(thread_id, seq, node, next_node, state, events)
+        self._persist(cp)
+        return cp
+
+    def history(self, thread_id: str) -> list[Checkpoint]:
+        self._hydrate(thread_id)
+        return super().history(thread_id)
+
+    def latest(self, thread_id: str) -> Checkpoint | None:
+        self._hydrate(thread_id)
+        return super().latest(thread_id)
+
+    def get(self, checkpoint_id: str) -> Checkpoint:
+        self._hydrate(checkpoint_id.rsplit(":", 1)[0])
+        return super().get(checkpoint_id)
+
+    def branch(self, checkpoint_id: str, new_thread_id: str) -> Checkpoint:
+        self._hydrate(checkpoint_id.rsplit(":", 1)[0])
+        self._hydrate(new_thread_id)
+        head = super().branch(checkpoint_id, new_thread_id)
+        for cp in self._threads[new_thread_id]:
+            self._persist(cp)
+        return head
+
+    def threads(self) -> list[str]:
+        self._hydrate_all()
+        return super().threads()

@@ -210,7 +210,16 @@ _TIMING_ATTRS = {"latency_s", "wall_s", "duration_s", "workers"}
 # (and how much scan work it therefore did) — a memory hit in one process
 # is a disk hit or a full scan in another without the *result* differing,
 # so these are dropped from canonicalization like timing
-_CACHE_ATTRS = {"cache", "residual_conjuncts", "row_groups_total", "row_groups_skipped"}
+_CACHE_ATTRS = {"cache", "residual_conjuncts", "row_groups_total", "row_groups_skipped",
+                "cache_quarantined"}
+# fault-injection and resilience accounting: a chaos run absorbs injected
+# faults (retries, fallbacks, quarantines) without the *work* differing,
+# so a chaos trace must canonicalize equal to a fault-free one
+_FAULT_ATTRS = {"faults", "retries", "attempts", "degraded", "degraded_reason", "probe"}
+
+
+def _is_fault_attr(key: str) -> bool:
+    return key in _FAULT_ATTRS or key.startswith("fault.")
 
 
 def canonical_tree(spans: list[SpanLike]) -> tuple:
@@ -230,7 +239,9 @@ def canonical_tree(spans: list[SpanLike]) -> tuple:
             sorted(
                 (k, repr(v))
                 for k, v in span.get("attributes", {}).items()
-                if k not in _TIMING_ATTRS and k not in _CACHE_ATTRS
+                if k not in _TIMING_ATTRS
+                and k not in _CACHE_ATTRS
+                and not _is_fault_attr(k)
             )
         )
         kids = tuple(sorted(canon(c) for c in children.get(span.get("span_id"), [])))
@@ -269,7 +280,29 @@ def summarize(spans: list[SpanLike]) -> str:
             f"incremental={cache['incremental']} miss={cache['miss']} "
             f"over {cache['queries']} queries"
         )
+    chaos = fault_counts(dicts)
+    if chaos["faults"] or chaos["degraded"] or chaos["quarantined"]:
+        lines.append(
+            f"faults: {chaos['faults']} injected, {chaos['retries']} retries, "
+            f"{chaos['degraded']} degraded spans, "
+            f"{chaos['quarantined']} cache entries quarantined"
+        )
     return "\n".join(lines)
+
+
+def fault_counts(spans: list[SpanLike]) -> dict[str, int]:
+    """Chaos accounting stamped on spans by :mod:`repro.faults` and the
+    resilience layer: injected-fault totals, retry totals, how many spans
+    degraded onto a fallback, and cache-entry quarantines."""
+    counts = {"faults": 0, "retries": 0, "degraded": 0, "quarantined": 0}
+    for span in spans:
+        attrs = _as_dict(span).get("attributes", {})
+        counts["faults"] += int(attrs.get("faults", 0))
+        counts["retries"] += int(attrs.get("retries", 0))
+        counts["quarantined"] += int(attrs.get("cache_quarantined", 0))
+        if attrs.get("degraded"):
+            counts["degraded"] += 1
+    return counts
 
 
 def sql_cache_counts(spans: list[SpanLike]) -> dict[str, int]:

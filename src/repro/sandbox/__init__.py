@@ -19,7 +19,12 @@ This package provides the same contract:
 from repro.sandbox.safety import audit_code, SafetyViolation
 from repro.sandbox.executor import SandboxExecutor, ExecutionResult
 from repro.sandbox.server import SandboxServer
-from repro.sandbox.client import SandboxClient, InProcessClient
+from repro.sandbox.client import (
+    HealthStatus,
+    InProcessClient,
+    SandboxClient,
+    SandboxUnavailable,
+)
 
 __all__ = [
     "audit_code",
@@ -29,4 +34,6 @@ __all__ = [
     "SandboxServer",
     "SandboxClient",
     "InProcessClient",
+    "HealthStatus",
+    "SandboxUnavailable",
 ]

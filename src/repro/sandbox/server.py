@@ -9,11 +9,20 @@ tables, and the figure serialized as SVG when one was produced.  Runs on
 a stdlib ``ThreadingHTTPServer`` so the sandbox really is a separate
 serving process boundary, as in the paper, without external dependencies.
 A ``GET /health`` endpoint reports liveness.
+
+Defensive posture: malformed JSON and schema violations answer **400**,
+oversized bodies **413** (bounded by ``max_body_bytes``), unexpected
+executor failures **500** — always with a structured
+``{"error": {"type", "message"}}`` body, so clients can classify without
+scraping tracebacks.  Each connection gets a socket read timeout
+(``read_timeout_s``), so a client that stalls mid-request cannot pin a
+server thread forever.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
@@ -22,12 +31,28 @@ from repro.sandbox.executor import SandboxExecutor
 from repro.sandbox.serialize import frame_from_json, frame_to_json
 from repro.viz import Figure, Scene3D
 
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+DEFAULT_READ_TIMEOUT_S = 30.0
+
+
+class BadRequest(ValueError):
+    """Client-side payload problem → 400 with a structured body."""
+
 
 class SandboxServer:
     """Owns the HTTP server lifecycle; use as a context manager in tests."""
 
-    def __init__(self, executor: SandboxExecutor | None = None, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        executor: SandboxExecutor | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+    ):
         self.executor = executor or SandboxExecutor()
+        self.max_body_bytes = int(max_body_bytes)
+        self.read_timeout_s = float(read_timeout_s)
         self._httpd = ThreadingHTTPServer((host, port), self._make_handler())
         self._thread: threading.Thread | None = None
 
@@ -42,8 +67,15 @@ class SandboxServer:
 
     def _make_handler(self):
         executor = self.executor
+        max_body = self.max_body_bytes
+        read_timeout = self.read_timeout_s
 
         class Handler(BaseHTTPRequestHandler):
+            # socket read timeout (applied in StreamRequestHandler.setup):
+            # a stalled client raises socket.timeout in rfile.read /
+            # request parsing instead of pinning the thread forever
+            timeout = read_timeout
+
             def log_message(self, *args: Any) -> None:  # silence request logs
                 pass
 
@@ -51,15 +83,14 @@ class SandboxServer:
                 if self.path == "/health":
                     self._reply(200, {"status": "ok"})
                 else:
-                    self._reply(404, {"error": "not found"})
+                    self._error(404, "NotFound", f"no route {self.path!r}")
 
             def do_POST(self) -> None:
                 if self.path != "/execute":
-                    self._reply(404, {"error": "not found"})
+                    self._error(404, "NotFound", f"no route {self.path!r}")
                     return
                 try:
-                    length = int(self.headers.get("Content-Length", "0"))
-                    payload = json.loads(self.rfile.read(length).decode("utf-8"))
+                    payload = self._read_payload()
                     tables = {
                         name: frame_from_json(doc)
                         for name, doc in payload.get("tables", {}).items()
@@ -71,21 +102,57 @@ class SandboxServer:
                     doc["tables"] = {
                         name: frame_to_json(frame) for name, frame in result.tables.items()
                     }
-                    if isinstance(result.figure, Figure):
-                        doc["figure_svg"] = result.figure.to_svg()
-                    elif isinstance(result.figure, Scene3D):
+                    if isinstance(result.figure, (Figure, Scene3D)):
                         doc["figure_svg"] = result.figure.to_svg()
                     self._reply(200, doc)
+                except _PayloadTooLarge as exc:
+                    self._error(413, "PayloadTooLarge", str(exc))
+                except BadRequest as exc:
+                    self._error(400, "BadRequest", str(exc))
+                except socket.timeout:
+                    # stalled client: close without a reply; the connection
+                    # is already unusable
+                    self.close_connection = True
                 except Exception as exc:  # defensive: gateway must not die
-                    self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+                    self._error(500, type(exc).__name__, str(exc))
+
+            def _read_payload(self) -> dict[str, Any]:
+                try:
+                    length = int(self.headers.get("Content-Length", ""))
+                except ValueError:
+                    raise BadRequest("missing or non-integer Content-Length") from None
+                if length < 0:
+                    raise BadRequest("negative Content-Length")
+                if length > max_body:
+                    raise _PayloadTooLarge(
+                        f"body of {length} bytes exceeds the {max_body}-byte limit"
+                    )
+                body = self.rfile.read(length)
+                try:
+                    payload = json.loads(body.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise BadRequest(f"body is not valid JSON: {exc}") from None
+                if not isinstance(payload, dict):
+                    raise BadRequest("payload must be a JSON object")
+                if not isinstance(payload.get("code"), str):
+                    raise BadRequest("payload must carry a string 'code' field")
+                if not isinstance(payload.get("tables", {}), dict):
+                    raise BadRequest("'tables' must be an object")
+                return payload
+
+            def _error(self, status: int, err_type: str, message: str) -> None:
+                self._reply(status, {"error": {"type": err_type, "message": message}})
 
             def _reply(self, status: int, doc: dict) -> None:
                 body = json.dumps(doc).encode("utf-8")
-                self.send_response(status)
-                self.send_header("Content-Type", "application/json")
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
+                try:
+                    self.send_response(status)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                except (BrokenPipeError, ConnectionResetError, socket.timeout):
+                    self.close_connection = True
 
         return Handler
 
@@ -105,3 +172,7 @@ class SandboxServer:
 
     def __exit__(self, *exc: Any) -> None:
         self.stop()
+
+
+class _PayloadTooLarge(BadRequest):
+    """Body exceeds ``max_body_bytes`` → 413."""

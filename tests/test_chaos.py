@@ -1,0 +1,188 @@
+"""Chaos suite: injected infrastructure faults must be absorbed.
+
+The acceptance bar for the whole resilience layer: a run under a fault
+profile produces the byte-identical final answer a fault-free run does —
+retries, fallbacks, quarantines, and recomputation are invisible in the
+result — or, when recovery is impossible by construction (no fallback
+configured), it fails with a *classified* error, never a raw transport
+traceback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents.tools import default_toolset
+from repro.core import InferA, InferAConfig
+from repro.faults import NO_FAULTS, FaultInjector, FaultProfile, use_faults
+from repro.frame import Frame
+from repro.llm.errors import NO_ERRORS
+from repro.sandbox import (
+    InProcessClient,
+    SandboxClient,
+    SandboxExecutor,
+    SandboxServer,
+    SandboxUnavailable,
+)
+from repro.util.timing import SimulatedClock
+
+QUESTION = (
+    "Can you find me the top 10 largest friends-of-friends halos from "
+    "timestep 624 in simulation 0?"
+)
+
+STORAGE_CHAOS = FaultProfile(
+    seed=13,
+    storage_torn_write=0.5,
+    storage_bit_flip=0.5,
+    checkpoint_corrupt=0.5,
+)
+
+
+def run_app(ensemble, workdir, profile, question=QUESTION, **cfg):
+    app = InferA(
+        ensemble,
+        workdir,
+        InferAConfig(
+            error_model=NO_ERRORS,
+            llm_latency_s=0.0,
+            fault_profile=profile,
+            **cfg,
+        ),
+    )
+    return app.run_query(question)
+
+
+def assert_same_answer(a, b):
+    assert a.completed == b.completed
+    wa, wb = a.tables.get("work"), b.tables.get("work")
+    assert (wa is None) == (wb is None)
+    if wa is not None:
+        assert wa.columns == wb.columns
+        for name in wa.columns:
+            x, y = np.asarray(wa[name]), np.asarray(wb[name])
+            assert x.dtype == y.dtype
+            assert x.tobytes() == y.tobytes()
+
+
+class TestStorageChaos:
+    def test_heavy_storage_faults_byte_identical(self, ensemble, tmp_path):
+        baseline = run_app(ensemble, tmp_path / "clean", NO_FAULTS)
+        chaotic = run_app(ensemble, tmp_path / "chaos", STORAGE_CHAOS)
+        assert_same_answer(baseline, chaotic)
+
+    def test_chaos_run_is_repeatable(self, ensemble, tmp_path):
+        """Same seed + profile => identical fault schedule and answer."""
+        one = run_app(ensemble, tmp_path / "one", STORAGE_CHAOS)
+        two = run_app(ensemble, tmp_path / "two", STORAGE_CHAOS)
+        assert_same_answer(one, two)
+
+    def test_checkpoint_chaos_with_durable_checkpointer(self, ensemble, tmp_path):
+        baseline = run_app(
+            ensemble, tmp_path / "clean", NO_FAULTS, use_checkpointer=True
+        )
+        chaotic = run_app(
+            ensemble,
+            tmp_path / "chaos",
+            NO_FAULTS.with_rates(checkpoint_corrupt=1.0),
+            use_checkpointer=True,
+        )
+        # every durable blob was corrupted, yet the live run is untouched
+        assert_same_answer(baseline, chaotic)
+
+
+class TestSandboxChaos:
+    @pytest.fixture(scope="class")
+    def gateway(self):
+        with SandboxServer(SandboxExecutor(tools=default_toolset())) as server:
+            yield server
+
+    def test_transport_faults_retried_transparently(self, gateway):
+        """Drop/5xx/garbage faults under the retry budget: same result,
+        no fallback needed."""
+        profile = FaultProfile(seed=3, sandbox_drop=0.4, sandbox_5xx=0.3,
+                               sandbox_garbage=0.2)
+        tables = {"work": Frame({"a": np.asarray([1.0, 2.0, 3.0])})}
+        code = "result = tables['work'].filter(tables['work']['a'] > 1.5)"
+        clean = SandboxClient(gateway.url).execute(code, tables)
+        with use_faults(FaultInjector(profile)):
+            chaotic = SandboxClient(
+                gateway.url,
+                retry_policy=None,  # default: 3 attempts
+            ).execute(code, tables)
+        assert chaotic.ok and clean.ok
+        assert np.asarray(chaotic.result["a"]).tobytes() == \
+            np.asarray(clean.result["a"]).tobytes()
+
+    def test_certain_faults_degrade_to_fallback(self, gateway):
+        """Every attempt faulted: retries exhaust, the client degrades to
+        the in-process executor and still answers correctly."""
+        profile = FaultProfile(seed=3, sandbox_drop=1.0)
+        tables = {"work": Frame({"a": np.asarray([1.0, 2.0, 3.0])})}
+        code = "result = tables['work'].filter(tables['work']['a'] > 1.5)"
+        clock = SimulatedClock()
+        with use_faults(FaultInjector(profile)):
+            client = SandboxClient(
+                gateway.url,
+                clock=clock,
+                fallback=InProcessClient(SandboxExecutor()),
+            )
+            result = client.execute(code, tables)
+        assert result.ok
+        assert result.result.num_rows == 2
+        assert client.breaker.consecutive_failures > 0
+
+    def test_no_fallback_fails_classified(self, gateway):
+        profile = FaultProfile(seed=3, sandbox_drop=1.0)
+        clock = SimulatedClock()
+        with use_faults(FaultInjector(profile)):
+            client = SandboxClient(gateway.url, clock=clock)
+            with pytest.raises(SandboxUnavailable) as exc:
+                client.execute("result = tables['work']",
+                               {"work": Frame({"a": [1]})})
+        assert exc.value.classification == "sandbox-unavailable"
+        # the cause chain carries the classified retry failure, not a
+        # raw urllib traceback at the top
+        assert "retries-exhausted" in str(exc.value.__cause__.classification)
+
+    def test_dead_gateway_trips_breaker_and_degrades(self):
+        """No server at all: after the breaker trips, later calls skip the
+        transport entirely (circuit-open) and run in-process."""
+        clock = SimulatedClock()
+        client = SandboxClient(
+            "http://127.0.0.1:9",   # discard port: connection refused
+            timeout_s=0.2,
+            clock=clock,
+            fallback=InProcessClient(SandboxExecutor()),
+        )
+        tables = {"work": Frame({"a": np.asarray([1.0, 2.0])})}
+        first = client.execute("result = tables['work']", tables)
+        assert first.ok
+        assert client.breaker.state == "open"
+        second = client.execute("result = tables['work']", tables)
+        assert second.ok  # served by fallback without re-dialling
+
+    def test_half_open_probe_recovers(self, gateway):
+        """After the reset timeout the health probe closes the breaker and
+        real traffic resumes against the live gateway."""
+        clock = SimulatedClock()
+        client = SandboxClient(gateway.url, clock=clock,
+                               fallback=InProcessClient(SandboxExecutor()))
+        # force the breaker open without any real failures
+        for _ in range(3):
+            client.breaker.record_failure()
+        assert client.breaker.state == "open"
+        clock.advance(10.0)
+        result = client.execute("result = tables['work']",
+                                {"work": Frame({"a": [1.0]})})
+        assert result.ok
+        assert client.breaker.state == "closed"
+
+    def test_e2e_app_over_chaotic_gateway(self, gateway, ensemble, tmp_path):
+        """Full InferA run with heavy sandbox chaos equals the clean run."""
+        baseline = run_app(ensemble, tmp_path / "clean", NO_FAULTS,
+                           sandbox_url=gateway.url)
+        profile = FaultProfile(seed=5, sandbox_drop=0.3, sandbox_5xx=0.3,
+                               sandbox_garbage=0.2)
+        chaotic = run_app(ensemble, tmp_path / "chaos", profile,
+                          sandbox_url=gateway.url)
+        assert_same_answer(baseline, chaotic)

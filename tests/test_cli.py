@@ -151,9 +151,20 @@ class TestCache:
         assert main(["cache", "stats", "--workdir", str(workdir)]) == 0
 
     def test_stats_on_missing_workdir(self, tmp_path, capsys):
+        """A workdir with no cache directories gets a clear empty-stats
+        message instead of a wall of zeros (and never an error)."""
         assert main(["cache", "stats", "--workdir", str(tmp_path / "none")]) == 0
         out = capsys.readouterr().out
-        assert "0 entries, 0 bytes" in out
+        assert "no caches under" in out
+        assert ".query_cache" in out and ".retrieval_cache" in out
+
+    def test_stats_reports_quarantined_entries(self, tmp_path, capsys):
+        workdir = tmp_path / "w"
+        qdir = workdir / ".query_cache" / ".quarantine" / "q_deadbeef"
+        qdir.mkdir(parents=True)
+        assert main(["cache", "stats", "--workdir", str(workdir)]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined: 1 corrupt entries moved aside" in out
 
 
 class TestChat:

@@ -133,13 +133,14 @@ class TestCrashSafeCatalog:
         assert list(db.path.glob("catalog.*.tmp")) == []
 
     def test_failed_flush_preserves_catalog(self, tmp_path, monkeypatch):
-        import repro.db.database as database_mod
+        # the catalog publish lives in storage.publish_json_verified now
+        import repro.db.storage as storage_mod
 
         db = Database(tmp_path / "c.db")
         db.create_table("t", Frame({"x": np.arange(5)}))
         good = (db.path / "catalog.json").read_text()
         monkeypatch.setattr(
-            database_mod.os, "replace",
+            storage_mod.os, "replace",
             lambda s, d: (_ for _ in ()).throw(OSError("simulated crash")),
         )
         with pytest.raises(OSError):

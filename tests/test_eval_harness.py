@@ -16,6 +16,7 @@ from repro.eval import (
 )
 from repro.eval.metrics import RunMetrics
 from repro.eval.questions import QUESTION_SUITE, classify_suite
+from repro.faults import NO_FAULTS
 from repro.llm.errors import NO_ERRORS
 from repro.rag.cache import clear_memory_cache
 
@@ -145,10 +146,14 @@ class TestRetrievalCacheSharing:
     def test_warm_cache_eliminates_rebuilds(self, ensemble, tmp_path):
         """Cold: exactly one corpus build; warm: hits only, zero builds."""
         clear_memory_cache()
+        # counter-exact assertions below: pin fault injection off so an
+        # ambient REPRO_FAULT_PROFILE (the chaos-smoke CI job) cannot turn
+        # cache hits into quarantine-and-recompute misses
         harness = EvaluationHarness(
             ensemble,
             tmp_path / "h",
-            HarnessConfig(runs_per_question=1, error_model=NO_ERRORS),
+            HarnessConfig(runs_per_question=1, error_model=NO_ERRORS,
+                          fault_profile=NO_FAULTS),
         )
         cold = harness.run_suite(questions=QUESTION_SUITE[:2])
         assert cold.perf.cache.builds == 1
@@ -186,10 +191,14 @@ class TestQueryCacheSharing:
     def test_warm_suite_served_from_cache(self, ensemble, tmp_path):
         """Second suite over the same workdir re-executes nothing: every
         SELECT is served from the shared on-disk result cache."""
+        # counter-exact assertions below: pin fault injection off so an
+        # ambient REPRO_FAULT_PROFILE (the chaos-smoke CI job) cannot turn
+        # cache hits into quarantine-and-recompute misses
         harness = EvaluationHarness(
             ensemble,
             tmp_path / "h",
-            HarnessConfig(runs_per_question=1, error_model=NO_ERRORS),
+            HarnessConfig(runs_per_question=1, error_model=NO_ERRORS,
+                          fault_profile=NO_FAULTS),
         )
         cold = harness.run_suite(questions=QUESTION_SUITE[:2])
         cold_qc = cold.perf.query_cache

@@ -1,11 +1,27 @@
 """HTTP gateway round-trips (the Uvicorn/FastAPI substitute)."""
 
+import json
+import urllib.error
+import urllib.request
+
 import numpy as np
 import pytest
 
 from repro.frame import Frame
 from repro.sandbox import SandboxClient, SandboxServer
 from repro.sandbox.serialize import frame_from_json, frame_to_json
+
+
+def post_raw(url, data, headers=None):
+    """POST raw bytes to /execute, returning (status, parsed body)."""
+    req = urllib.request.Request(
+        f"{url}/execute", data=data, method="POST", headers=headers or {}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
 
 
 @pytest.fixture(scope="module")
@@ -62,9 +78,6 @@ class TestGateway:
         assert result.meta["figure_svg"].startswith("<svg")
 
     def test_server_survives_bad_payload(self, client, server):
-        import urllib.request
-        import json
-
         req = urllib.request.Request(
             f"{server.url}/execute", data=b"not json", method="POST"
         )
@@ -73,8 +86,84 @@ class TestGateway:
         assert client.health()  # still alive
 
     def test_unknown_path_404(self, server):
-        import urllib.error
-        import urllib.request
-
         with pytest.raises(urllib.error.HTTPError):
             urllib.request.urlopen(f"{server.url}/nope", timeout=10)
+
+
+class TestStructuredErrors:
+    """Defensive posture: every rejection carries a machine-readable
+    ``{"error": {"type", "message"}}`` body, never a traceback page."""
+
+    def test_malformed_json_is_400_with_body(self, server):
+        status, body = post_raw(server.url, b"{not json at all")
+        assert status == 400
+        assert body["error"]["type"] == "BadRequest"
+        assert "JSON" in body["error"]["message"]
+
+    def test_non_object_payload_is_400(self, server):
+        status, body = post_raw(server.url, b"[1, 2, 3]")
+        assert status == 400
+        assert "JSON object" in body["error"]["message"]
+
+    def test_missing_code_field_is_400(self, server):
+        status, body = post_raw(server.url, json.dumps({"tables": {}}).encode())
+        assert status == 400
+        assert "'code'" in body["error"]["message"]
+
+    def test_non_dict_tables_is_400(self, server):
+        payload = json.dumps({"code": "result = 1", "tables": [1]}).encode()
+        status, body = post_raw(server.url, payload)
+        assert status == 400
+        assert "'tables'" in body["error"]["message"]
+
+    def test_bogus_content_length_is_400(self, server):
+        status, body = post_raw(
+            server.url, b"{}", headers={"Content-Length": "banana"}
+        )
+        assert status == 400
+        assert "Content-Length" in body["error"]["message"]
+
+    def test_oversized_body_is_413(self):
+        with SandboxServer(max_body_bytes=64) as small:
+            payload = json.dumps({"code": "x" * 1000, "tables": {}}).encode()
+            status, body = post_raw(small.url, payload)
+            assert status == 413
+            assert body["error"]["type"] == "PayloadTooLarge"
+            assert "64" in body["error"]["message"]
+            # a small request still goes through: the cap is per-body
+            ok, _ = post_raw(
+                small.url, json.dumps({"code": "result = 1"}).encode()
+            )
+            assert ok == 200
+
+    def test_404_body_is_structured_too(self, server):
+        try:
+            urllib.request.urlopen(f"{server.url}/nope", timeout=10)
+        except urllib.error.HTTPError as exc:
+            doc = json.loads(exc.read().decode())
+            assert doc["error"]["type"] == "NotFound"
+
+
+class TestHealthClassification:
+    def test_live_server_is_ok(self, client):
+        status = client.health()
+        assert status.ok and status.detail == "ok"
+
+    def test_connection_refused_classified(self):
+        # bind-then-close guarantees nothing listens on the port
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        status = SandboxClient(f"http://127.0.0.1:{port}", timeout_s=2.0).health()
+        assert not status.ok
+        assert status.detail == "refused"
+
+    def test_http_error_classified(self, server):
+        # /health only answers GET on the right path; a server that 404s
+        # the probe is live-but-wrong, distinct from refused/timeout
+        status = SandboxClient(f"{server.url}/bogus-prefix").health()
+        assert not status.ok
+        assert status.detail == "http-404"
