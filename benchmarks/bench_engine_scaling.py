@@ -1,0 +1,235 @@
+"""Morsel-driven engine scaling — threads 1/2/4 + bloom-vs-zone pruning.
+
+Measures the parallel SQL engine (``repro.db.sql.executor``) end to end
+and emits ``BENCH_engine.json`` so the perf trajectory is tracked across
+PRs.  Two sections:
+
+* **thread scaling** — a filtered scan and a grouped aggregation over a
+  multi-row-group table at 1/2/4 engine threads.  Asserted invariants:
+
+  - every parallel result is **byte-identical** to the sequential one
+    (columns, dtypes, raw bytes — the engine's core contract);
+  - on hosts with >= 4 cores, the 4-thread run is >= 1.5x faster than
+    sequential; on smaller hosts parallel must at least not regress
+    (>= 0.9x) — guaranteed by construction, since the engine clamps its
+    thread count to the host's cores rather than oversubscribing.
+
+* **segment pruning** — a selective *string*-equality query over a table
+  whose zone maps cannot refute anything (strings have no interval
+  statistics): the per-row-group bloom filters must skip > 0 groups while
+  the zone-map side skips exactly 0, alongside a numeric control query
+  where zone maps do the skipping.
+
+Runs under pytest (``pytest benchmarks/bench_engine_scaling.py``) and as
+a script (``python benchmarks/bench_engine_scaling.py --quick`` — the CI
+smoke configuration: smaller table, fewer timing rounds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.db import Database
+from repro.frame import Frame
+
+THREAD_COUNTS = (1, 2, 4)
+
+SCAN_SQL = "SELECT mass, x FROM halos WHERE mass > 15"
+AGG_SQL = (
+    "SELECT step, COUNT(*) AS n, SUM(mass) AS s, AVG(x) AS mx, "
+    "STDDEV(mass) AS sd FROM halos GROUP BY step ORDER BY step"
+)
+# zone maps cannot say anything about a string column; only the bloom
+# filters built over each group's distinct kinds can refute this
+BLOOM_SQL = "SELECT mass FROM halos WHERE kind = 'kind_03'"
+ZONE_SQL = "SELECT mass FROM halos WHERE step = 624"
+
+
+def build_db(root: Path, rows: int, row_group_size: int) -> Path:
+    """Loader-shaped table: sorted steps (tight zone maps) and a string
+    ``kind`` column blocked so each row group holds few distinct kinds
+    (bloom filters stay unsaturated) while every kind spans many steps."""
+    rng = np.random.default_rng(11)
+    steps = np.sort(rng.choice(np.asarray([0, 124, 249, 374, 498, 624]), rows))
+    block = np.arange(rows) // row_group_size
+    kind_codes = (block // 2) % 8  # two row groups per kind, 8 kinds cycling
+    frame = Frame(
+        {
+            "step": steps.astype(np.int64),
+            "kind": np.asarray([f"kind_{c:02d}" for c in kind_codes]),
+            "mass": rng.lognormal(3, 1, rows),
+            "x": rng.normal(0, 1, rows),
+        }
+    )
+    path = root / "engine.db"
+    db = Database(path, result_cache=False)
+    db.create_table("halos", frame, row_group_size=row_group_size)
+    return path
+
+
+def frames_byte_identical(a: Frame, b: Frame) -> bool:
+    if list(a.columns) != list(b.columns) or a.num_rows != b.num_rows:
+        return False
+    for n in a.columns:
+        ca, cb = np.asarray(a.column(n)), np.asarray(b.column(n))
+        if ca.dtype != cb.dtype:
+            return False
+        same = ca.tolist() == cb.tolist() if ca.dtype == object else ca.tobytes() == cb.tobytes()
+        if not same:
+            return False
+    return True
+
+
+def bench_scaling(db_path: Path, rows: int, rounds: int) -> tuple[list[dict], dict]:
+    dbs = {
+        t: Database(db_path, result_cache=False, num_threads=t)
+        for t in THREAD_COUNTS
+    }
+    # byte-identity gate + untimed warmup (thread-pool spin-up, page
+    # cache).  Forces the real thread pool past the cores clamp so the
+    # parallel merge path is verified even on a 1-core host.
+    reference = {}
+    os.environ["REPRO_SQL_FORCE_PARALLEL"] = "1"
+    try:
+        for threads, db in dbs.items():
+            scan = db.query(SCAN_SQL)
+            agg = db.query(AGG_SQL)
+            if threads == 1:
+                reference = {"scan": scan, "agg": agg}
+            else:
+                assert frames_byte_identical(reference["scan"], scan), \
+                    f"parallel scan at {threads} threads not byte-identical"
+                assert frames_byte_identical(reference["agg"], agg), \
+                    f"parallel aggregation at {threads} threads not byte-identical"
+    finally:
+        os.environ.pop("REPRO_SQL_FORCE_PARALLEL", None)
+
+    # timing uses the engine's natural behavior: requested threads clamp
+    # to the host's core count, so a small host never times an
+    # oversubscribed (pure-overhead) configuration
+
+    # interleave thread counts round-robin so ambient load on the host
+    # penalizes every configuration equally; best-of picks each config's
+    # quietest moment
+    best = {t: {"scan": float("inf"), "agg": float("inf")} for t in THREAD_COUNTS}
+    for _ in range(rounds):
+        for threads, db in dbs.items():
+            for key, sql in (("scan", SCAN_SQL), ("agg", AGG_SQL)):
+                t0 = time.perf_counter()
+                db.query(sql)
+                best[threads][key] = min(best[threads][key], time.perf_counter() - t0)
+
+    results: dict[int, dict] = {}
+    for threads, db in dbs.items():
+        results[threads] = {
+            "threads": threads,
+            "threads_effective": db.last_scan_stats.threads,
+            "scan_wall_s": round(best[threads]["scan"], 4),
+            "agg_wall_s": round(best[threads]["agg"], 4),
+            "morsels": db.last_scan_stats.morsels_executed,
+        }
+    base_scan = results[1]["scan_wall_s"]
+    base_agg = results[1]["agg_wall_s"]
+    for entry in results.values():
+        entry["scan_speedup"] = round(base_scan / max(entry["scan_wall_s"], 1e-9), 2)
+        entry["agg_speedup"] = round(base_agg / max(entry["agg_wall_s"], 1e-9), 2)
+        entry["scan_rows_per_s"] = int(rows / max(entry["scan_wall_s"], 1e-9))
+
+    cores = os.cpu_count() or 1
+    at4 = results[4]
+    floor = {"cores": cores, "byte_identical": True}
+    if cores >= 4:
+        floor["gate"] = "speedup>=1.5 at 4 threads"
+        assert at4["scan_speedup"] >= 1.5 or at4["agg_speedup"] >= 1.5, (
+            f"4-thread speedup below 1.5x on a {cores}-core host "
+            f"(scan {at4['scan_speedup']}x, agg {at4['agg_speedup']}x)"
+        )
+    else:
+        floor["gate"] = "no regression (>=0.9) on small host"
+        for entry in results.values():
+            assert entry["scan_speedup"] >= 0.9 and entry["agg_speedup"] >= 0.9, (
+                f"parallel regressed at {entry['threads']} threads "
+                f"(scan {entry['scan_speedup']}x, agg {entry['agg_speedup']}x)"
+            )
+    return [results[t] for t in THREAD_COUNTS], floor
+
+
+def bench_pruning(db_path: Path) -> dict:
+    db = Database(db_path, result_cache=False)
+
+    bloom_result = db.query(BLOOM_SQL)
+    bloom_stats = db.last_scan_stats
+    assert bloom_result.num_rows > 0
+    assert bloom_stats.row_groups_skipped_zone == 0, \
+        "zone maps cannot refute a string predicate"
+    assert bloom_stats.row_groups_skipped_bloom > 0, \
+        "bloom filters skipped nothing on a selective string query"
+    bloom = {
+        "query": BLOOM_SQL,
+        "row_groups_total": bloom_stats.row_groups_total,
+        "skipped_zone": bloom_stats.row_groups_skipped_zone,
+        "skipped_bloom": bloom_stats.row_groups_skipped_bloom,
+        "skip_fraction": round(bloom_stats.skip_fraction, 4),
+    }
+
+    zone_result = db.query(ZONE_SQL)
+    zone_stats = db.last_scan_stats
+    assert zone_result.num_rows > 0
+    assert zone_stats.row_groups_skipped_zone > 0
+    zone = {
+        "query": ZONE_SQL,
+        "row_groups_total": zone_stats.row_groups_total,
+        "skipped_zone": zone_stats.row_groups_skipped_zone,
+        "skipped_bloom": zone_stats.row_groups_skipped_bloom,
+        "skip_fraction": round(zone_stats.skip_fraction, 4),
+    }
+    return {"bloom_string_equality": bloom, "zone_numeric_equality": zone}
+
+
+def run(root: Path, output_dir: Path, quick: bool) -> dict:
+    from conftest import emit_json
+
+    rows = 120_000 if quick else 600_000
+    row_group_size = 4096
+    rounds = 5 if quick else 7
+
+    db_path = build_db(root, rows, row_group_size)
+    scaling, floor = bench_scaling(db_path, rows, rounds)
+    pruning = bench_pruning(db_path)
+    payload = {
+        "benchmark": "engine_scaling",
+        "quick": quick,
+        "rows": rows,
+        "row_group_size": row_group_size,
+        "scaling": scaling,
+        "gate": floor,
+        "pruning": pruning,
+    }
+    return emit_json(output_dir, "BENCH_engine.json", payload)
+
+
+def test_engine_scaling(output_dir, tmp_path):
+    run(tmp_path, output_dir, quick=False)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: smaller table, fewer timing rounds")
+    args = parser.parse_args(argv)
+    output_dir = Path(__file__).resolve().parent / "output"
+    output_dir.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(prefix="bench_engine_") as tmp:
+        run(Path(tmp), output_dir, quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

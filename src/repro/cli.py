@@ -276,7 +276,10 @@ def cmd_sql(args: argparse.Namespace) -> int:
     stats = db.last_scan_stats
     if stats.row_groups_total:
         print(f"(scanned {stats.row_groups_total - stats.row_groups_skipped}"
-              f"/{stats.row_groups_total} row groups)")
+              f"/{stats.row_groups_total} row groups; "
+              f"skipped {stats.row_groups_skipped_zone} by zone map, "
+              f"{stats.row_groups_skipped_bloom} by bloom filter; "
+              f"{stats.morsels_executed} morsels on {stats.threads} thread(s))")
     return 0
 
 

@@ -152,7 +152,11 @@ class InferA:
         retriever = self._retriever
         provenance = ProvenanceTracker(self.workdir, session_id, clock=self.clock)
         query_cache_dir = cfg.query_cache_dir or self.workdir / ".query_cache"
-        db = Database(self.workdir / session_id / "analysis.db", cache_dir=query_cache_dir)
+        db = Database(
+            self.workdir / session_id / "analysis.db",
+            cache_dir=query_cache_dir,
+            num_threads=cfg.sql_threads,
+        )
         provenance.register_external(db.path)
         if cfg.sandbox_url:
             # remote gateway behind the resilience ladder: bounded retries,

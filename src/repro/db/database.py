@@ -46,6 +46,11 @@ class Database:
     (shared across processes pointing at the same directory); the
     in-process memoization tier is always active unless ``result_cache``
     is False.
+
+    ``num_threads`` sets the morsel-driven engine's thread count for
+    queries against this database (None defers to ``REPRO_SQL_THREADS``,
+    then 1; 0 means one thread per core).  Parallel execution is
+    byte-identical to sequential, so this is purely a throughput knob.
     """
 
     def __init__(
@@ -53,8 +58,10 @@ class Database:
         path: str | Path,
         cache_dir: str | Path | None = None,
         result_cache: bool = True,
+        num_threads: int | None = None,
     ):
         self.path = Path(path)
+        self.num_threads = num_threads
         self.path.mkdir(parents=True, exist_ok=True)
         self._catalog_path = self.path / "catalog.json"
         if self._catalog_path.exists():

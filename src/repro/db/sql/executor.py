@@ -4,19 +4,36 @@ Execution strategy by query shape:
 
 * plain SELECT (no grouping): stream row groups through WHERE + projection,
   with early termination when an un-ordered LIMIT is satisfied;
-* grouped / aggregate SELECT: stream row groups through WHERE into
-  per-aggregate accumulators keyed by a global dense group registry, then
-  evaluate SELECT expressions over the per-group frame (aggregate nodes
-  substituted for materialized columns) and apply HAVING;
+* grouped / aggregate SELECT: each row group yields *partial* per-group
+  accumulators keyed by chunk-local dense codes, folded into the global
+  accumulators (via :meth:`Accumulator.merge`) in row-group order, then
+  SELECT expressions evaluate over the per-group frame (aggregate nodes
+  substituted for materialized columns) and HAVING applies;
 * JOIN queries materialize both sides column-pruned, merge via the Frame
   sort-merge join, then follow one of the two paths above in-memory.
 
 ORDER BY / LIMIT run last over the (result-sized) output.
+
+**Morsel-driven parallelism.**  When ``num_threads > 1`` (the Database's
+``num_threads``, or the ``REPRO_SQL_THREADS`` environment variable), the
+per-row-group work — segment read, WHERE, projection, partial
+aggregation — is dispatched as (row group index) morsels onto a shared
+thread pool.  Threads, not processes: the mmap'd ``.npy`` segments are
+shared zero-copy instead of pickled, and NumPy releases the GIL across
+the kernels doing the real work.  The coordinator consumes results in
+**row-group order** through a bounded reorder window, and the sequential
+path runs the *same* per-chunk functions through the same fold, so
+parallel execution is byte-identical to sequential by construction — the
+invariant the query-result cache, the chaos suite, and canonical traces
+all depend on.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+import os
+import threading
+from collections.abc import Callable, Iterable, Iterator
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 
 import numpy as np
@@ -27,7 +44,7 @@ from repro.db.errors import UnsupportedSQLError
 from repro.db.sql import ast
 from repro.db.sql.aggregates import Accumulator, make_accumulator
 from repro.db.sql.expressions import evaluate, expr_name
-from repro.db.sql.pruning import can_skip_row_group
+from repro.db.sql.pruning import skip_reason
 from repro.frame import Frame, concat
 from repro.frame.join import merge
 from repro.obs.metrics import get_registry
@@ -36,10 +53,17 @@ from repro.obs.tracer import get_tracer
 
 @_dataclass
 class ScanStats:
-    """Row-group pruning accounting for one query."""
+    """Row-group pruning and morsel accounting for one query."""
 
     row_groups_total: int = 0
-    row_groups_skipped: int = 0
+    row_groups_skipped_zone: int = 0
+    row_groups_skipped_bloom: int = 0
+    morsels_executed: int = 0
+    threads: int = 1
+
+    @property
+    def row_groups_skipped(self) -> int:
+        return self.row_groups_skipped_zone + self.row_groups_skipped_bloom
 
     @property
     def skip_fraction(self) -> float:
@@ -48,36 +72,125 @@ class ScanStats:
         return self.row_groups_skipped / self.row_groups_total
 
 
+# ----------------------------------------------------------------------
+# thread-pool plumbing
+# ----------------------------------------------------------------------
+def resolve_num_threads(explicit: int | None = None) -> int:
+    """Engine thread count: explicit knob > REPRO_SQL_THREADS > 1.
+
+    A value of 0 (or negative) means one thread per core.  The result is
+    clamped to the host's core count — the engine is CPU-bound, so
+    oversubscribing cores only adds scheduler overhead — unless
+    ``REPRO_SQL_FORCE_PARALLEL=1`` is set (a test/bench hook so the
+    parallel merge path can be exercised on small hosts).
+    """
+    cores = max(1, os.cpu_count() or 1)
+    if explicit is None:
+        env = os.environ.get("REPRO_SQL_THREADS", "").strip()
+        if not env:
+            return 1
+        try:
+            explicit = int(env)
+        except ValueError:
+            return 1
+    if explicit <= 0:
+        return cores
+    threads = int(explicit)
+    if os.environ.get("REPRO_SQL_FORCE_PARALLEL", "") != "1":
+        threads = min(threads, cores)
+    return threads
+
+
+_POOLS: dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _shared_pool(threads: int) -> ThreadPoolExecutor:
+    with _POOLS_LOCK:
+        pool = _POOLS.get(threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="repro-sql"
+            )
+            _POOLS[threads] = pool
+        return pool
+
+
+if hasattr(os, "register_at_fork"):
+    # the evaluation harness forks worker processes; a pool's threads do
+    # not survive fork, so children must drop the parent's dead pools
+    os.register_at_fork(after_in_child=_POOLS.clear)
+
+
+def _ordered_map(
+    fn: Callable, items: list, pool: ThreadPoolExecutor, window: int
+) -> Iterator:
+    """Map ``fn`` over ``items`` on ``pool``, yielding results *in order*.
+
+    At most ``window`` futures are in flight, so an early-terminating
+    consumer (un-ordered LIMIT) never schedules the whole table; pending
+    futures are cancelled when the consumer stops.
+    """
+    futures: dict[int, object] = {}
+    next_submit = 0
+    try:
+        for next_yield in range(len(items)):
+            while next_submit < len(items) and next_submit < next_yield + window:
+                futures[next_submit] = pool.submit(fn, items[next_submit])
+                next_submit += 1
+            yield futures.pop(next_yield).result()
+    finally:
+        for fut in futures.values():
+            fut.cancel()
+
+
 def execute(
     db,
     stmt: ast.SelectStatement,
     scan_stats: ScanStats | None = None,
     cache_outcome: str | None = None,
+    num_threads: int | None = None,
 ) -> Frame:
     """Run a SELECT against ``db`` (a :class:`repro.db.database.Database`).
 
-    Traced as span ``sql.execute`` with the result size and the zone-map
-    pruning outcome as attributes, correlating each supervisor step with
-    the exact scan it triggered.  ``cache_outcome`` is stamped onto the
-    span by the query-result cache (``"miss"`` on a full execution; hits
-    never reach this function — see :mod:`repro.db.cache`).
+    Traced as span ``sql.execute`` with the result size, thread count and
+    the segment-pruning outcome (zone-map vs bloom-filter skips, morsels
+    executed) as attributes, correlating each supervisor step with the
+    exact scan it triggered.  ``cache_outcome`` is stamped onto the span
+    by the query-result cache (``"miss"`` on a full execution; hits never
+    reach this function — see :mod:`repro.db.cache`).
+
+    ``num_threads=None`` defers to ``db.num_threads`` and then to the
+    ``REPRO_SQL_THREADS`` environment variable.
     """
+    if num_threads is None:
+        num_threads = getattr(db, "num_threads", None)
+    threads = resolve_num_threads(num_threads)
+    stats = scan_stats if scan_stats is not None else ScanStats()
+    stats.threads = max(stats.threads, threads)
     with get_tracer().span(
         "sql.execute",
         grouped=bool(stmt.group_by)
         or any(ast.contains_aggregate(item.expr) for item in stmt.items),
         joins=len(stmt.joins),
     ) as sp:
-        result = _execute_statement(db, stmt, scan_stats)
+        result = _execute_statement(db, stmt, stats, threads)
         sp.set(rows=result.num_rows)
         if cache_outcome is not None:
             sp.set(cache=cache_outcome)
-        if scan_stats is not None:
-            sp.set(
-                row_groups_total=scan_stats.row_groups_total,
-                row_groups_skipped=scan_stats.row_groups_skipped,
-            )
-    get_registry().counter("sql.queries").inc()
+        sp.set(
+            threads=threads,
+            morsels=stats.morsels_executed,
+            row_groups_total=stats.row_groups_total,
+            row_groups_skipped=stats.row_groups_skipped,
+            row_groups_skipped_zone=stats.row_groups_skipped_zone,
+            row_groups_skipped_bloom=stats.row_groups_skipped_bloom,
+        )
+    registry = get_registry()
+    registry.counter("sql.queries").inc()
+    registry.counter("sql.engine.morsels").inc(stats.morsels_executed)
+    registry.counter("sql.engine.skipped.zone").inc(stats.row_groups_skipped_zone)
+    registry.counter("sql.engine.skipped.bloom").inc(stats.row_groups_skipped_bloom)
     return result
 
 
@@ -90,32 +203,81 @@ def execute_over_frame(stmt: ast.SelectStatement, frame: Frame) -> Frame:
     (the statement's residual WHERE, projection, GROUP BY, ORDER BY and
     LIMIT all apply) without touching row groups on disk.
     """
-    return _execute_over_chunks(stmt, iter([frame]))
+    return _execute_over_source(stmt, _FrameSource([frame]), 1, None)
 
 
 def _execute_statement(
-    db, stmt: ast.SelectStatement, scan_stats: ScanStats | None = None
+    db, stmt: ast.SelectStatement, stats: ScanStats | None, threads: int
 ) -> Frame:
-    return _execute_over_chunks(stmt, _source_chunks(db, stmt, scan_stats))
-
-
-def _execute_over_chunks(stmt: ast.SelectStatement, chunks: Iterator[Frame]) -> Frame:
-    needs_group = bool(stmt.group_by) or any(
-        ast.contains_aggregate(item.expr) for item in stmt.items
+    return _execute_over_source(
+        stmt, _resolve_source(db, stmt, stats, threads), threads, stats
     )
-    if needs_group:
-        result = _execute_grouped(stmt, chunks)
-    else:
-        result = _execute_plain(stmt, chunks)
-    if stmt.distinct:
-        result = result.drop_duplicates()
-    result = _order_and_limit(stmt, result)
-    return result
 
 
 # ----------------------------------------------------------------------
 # source resolution
 # ----------------------------------------------------------------------
+class _FrameSource:
+    """Chunk source over already-materialized frames (subquery, join,
+    cache incremental re-execution)."""
+
+    def __init__(self, frames: list[Frame]):
+        self.frames = frames
+
+    @property
+    def schema(self) -> dict[str, np.dtype]:
+        sch: dict[str, np.dtype] = {}
+        for f in self.frames:
+            for n in f.columns:
+                sch.setdefault(n, np.asarray(f.column(n)).dtype)
+        return sch
+
+    def morsels(self) -> None:
+        return None  # frames are in memory already; nothing to parallelize
+
+    def chunks(self) -> Iterator[Frame]:
+        return iter(self.frames)
+
+
+class _StoreSource:
+    """Chunk source over an on-disk table: prunes row groups through zone
+    maps and bloom filters, then serves survivors sequentially or as
+    parallel morsels (``read()`` is thread-safe: segment reads mmap)."""
+
+    def __init__(self, store, columns, where, stats: ScanStats | None):
+        self.store = store
+        self.columns = columns
+        self.survivors: list[int] = []
+        for i in range(store.num_row_groups):
+            if stats is not None:
+                stats.row_groups_total += 1
+            if where is not None:
+                reason = skip_reason(where, store.zone_map(i), store.blooms(i))
+                if reason is not None:
+                    if stats is not None:
+                        if reason == "zone":
+                            stats.row_groups_skipped_zone += 1
+                        else:
+                            stats.row_groups_skipped_bloom += 1
+                    continue
+            self.survivors.append(i)
+
+    @property
+    def schema(self) -> dict[str, np.dtype]:
+        names = self.columns if self.columns is not None else self.store.columns
+        return {n: self.store.dtype_of(n) for n in names}
+
+    def morsels(self) -> list[int]:
+        return self.survivors
+
+    def read(self, index: int) -> Frame:
+        return self.store.read_row_group(index, self.columns)
+
+    def chunks(self) -> Iterator[Frame]:
+        for i in self.survivors:
+            yield self.read(i)
+
+
 def _referenced_columns(stmt: ast.SelectStatement) -> set[str] | None:
     """Bare column names the query touches; None means SELECT * (all)."""
     names: set[str] = set()
@@ -139,33 +301,21 @@ def _referenced_columns(stmt: ast.SelectStatement) -> set[str] | None:
     return names
 
 
-def _source_chunks(
-    db, stmt: ast.SelectStatement, scan_stats: ScanStats | None = None
-) -> Iterator[Frame]:
+def _resolve_source(
+    db, stmt: ast.SelectStatement, stats: ScanStats | None, threads: int
+):
     needed = _referenced_columns(stmt)
     if stmt.table.is_subquery and not stmt.joins:
-        inner = execute(db, stmt.table.subquery, scan_stats)
-        return iter([inner])
+        inner = execute(db, stmt.table.subquery, stats, num_threads=threads)
+        return _FrameSource([inner])
     if not stmt.joins:
         store = db.store(stmt.table.name)
         columns = None if needed is None else [c for c in store.columns if c in needed]
         if columns is not None and not columns:
             # pure COUNT(*)-style query: stream the cheapest column
             columns = store.columns[:1]
-        return _pruned_scan(store, columns, stmt.where, scan_stats)
-    return iter([_materialize_join(db, stmt, needed)])
-
-
-def _pruned_scan(store, columns, where, scan_stats: ScanStats | None) -> Iterator[Frame]:
-    """Scan skipping row groups whose zone maps refute the WHERE clause."""
-    for i in range(store.num_row_groups):
-        if scan_stats is not None:
-            scan_stats.row_groups_total += 1
-        if where is not None and can_skip_row_group(where, store.zone_map(i)):
-            if scan_stats is not None:
-                scan_stats.row_groups_skipped += 1
-            continue
-        yield store.read_row_group(i, columns)
+        return _StoreSource(store, columns, stmt.where, stats)
+    return _FrameSource([_materialize_join(db, stmt, needed)])
 
 
 def _materialize_join(db, stmt: ast.SelectStatement, needed: set[str] | None) -> Frame:
@@ -197,6 +347,68 @@ def _materialize_join(db, stmt: ast.SelectStatement, needed: set[str] | None) ->
 
 
 # ----------------------------------------------------------------------
+# morsel dispatch
+# ----------------------------------------------------------------------
+def _piece_stream(source, work: Callable, threads: int, stats: ScanStats | None):
+    """Per-chunk results of ``work``, always yielded in row-group order.
+
+    Parallel dispatch only for store-backed sources with more than one
+    surviving row group; everything else (frames, joins, subqueries) is
+    already materialized and runs inline.
+    """
+    morsels = source.morsels()
+    if threads > 1 and morsels is not None and len(morsels) > 1:
+        pool = _shared_pool(threads)
+        stream = _ordered_map(
+            lambda i: work(source.read(i)), morsels, pool, window=2 * threads
+        )
+    else:
+        stream = (work(chunk) for chunk in source.chunks())
+    for piece in stream:
+        if stats is not None:
+            stats.morsels_executed += 1
+        yield piece
+
+
+def _execute_over_source(
+    stmt: ast.SelectStatement, source, threads: int, stats: ScanStats | None
+) -> Frame:
+    needs_group = bool(stmt.group_by) or any(
+        ast.contains_aggregate(item.expr) for item in stmt.items
+    )
+    schema = source.schema
+    if needs_group:
+        agg_calls = _collect_aggregates(stmt)
+        group_exprs = list(stmt.group_by)
+        pieces = _piece_stream(
+            source,
+            lambda chunk: _grouped_partial(stmt, chunk, agg_calls, group_exprs),
+            threads,
+            stats,
+        )
+        result = _merge_grouped(stmt, pieces, agg_calls, group_exprs, schema)
+    else:
+        pieces = _piece_stream(
+            source, lambda chunk: _plain_piece(stmt, chunk), threads, stats
+        )
+        topk_key = _streaming_topk_key(stmt)
+        if topk_key is not None:
+            result = _fold_topk(stmt, pieces, topk_key, schema)
+        else:
+            result = _gather_plain(stmt, pieces, schema)
+    if stmt.distinct:
+        result = result.drop_duplicates()
+    return _order_and_limit(stmt, result)
+
+
+def _filter_chunk(stmt: ast.SelectStatement, chunk: Frame) -> Frame:
+    if stmt.where is not None:
+        mask = evaluate(stmt.where, chunk).astype(bool)
+        chunk = chunk.filter(mask)
+    return chunk
+
+
+# ----------------------------------------------------------------------
 # plain (non-grouped) path
 # ----------------------------------------------------------------------
 def _streaming_topk_key(stmt: ast.SelectStatement) -> str | None:
@@ -220,56 +432,70 @@ def _streaming_topk_key(stmt: ast.SelectStatement) -> str | None:
     return None
 
 
-def _execute_plain(stmt: ast.SelectStatement, chunks: Iterator[Frame]) -> Frame:
-    topk_key = _streaming_topk_key(stmt)
-    if topk_key is not None:
-        return _execute_streaming_topk(stmt, chunks, topk_key)
-    pieces: list[Frame] = []
+def _plain_piece(stmt: ast.SelectStatement, chunk: Frame) -> tuple[Frame | None, int]:
+    """Per-morsel work of the non-grouped path: WHERE + projection."""
+    chunk = _filter_chunk(stmt, chunk)
+    if chunk.num_rows == 0:
+        return None, 0
+    return _densify(_project(stmt, chunk)), chunk.num_rows
+
+
+def _gather_plain(stmt: ast.SelectStatement, pieces, schema) -> Frame:
+    out: list[Frame] = []
     gathered = 0
     want = None
     if stmt.limit is not None and not stmt.order_by and not stmt.distinct:
         want = stmt.limit + (stmt.offset or 0)
-    for chunk in chunks:
-        if stmt.where is not None:
-            mask = evaluate(stmt.where, chunk).astype(bool)
-            chunk = chunk.filter(mask)
-        if chunk.num_rows == 0:
+    for piece, nrows in pieces:
+        if piece is None:
             continue
-        pieces.append(_project(stmt, chunk))
-        gathered += chunk.num_rows
+        out.append(piece)
+        gathered += nrows
         if want is not None and gathered >= want:
             break
-    if not pieces:
-        return _empty_projection(stmt)
-    return concat([_densify(p) for p in pieces])
+    if not out:
+        return _empty_projection(stmt, schema)
+    return concat(out)
 
 
-def _execute_streaming_topk(
-    stmt: ast.SelectStatement, chunks: Iterator[Frame], key: str
-) -> Frame:
-    """ORDER BY <col> LIMIT k with O(k) memory: fold chunks through a
+def _fold_topk(stmt: ast.SelectStatement, pieces, key: str, schema) -> Frame:
+    """ORDER BY <col> LIMIT k with O(k) memory: fold morsels through a
     running top-k buffer instead of materializing the whole filtered set."""
     k = stmt.limit + (stmt.offset or 0)
     ascending = stmt.order_by[0].ascending
     running: Frame | None = None
-    for chunk in chunks:
-        if stmt.where is not None:
-            mask = evaluate(stmt.where, chunk).astype(bool)
-            chunk = chunk.filter(mask)
-        if chunk.num_rows == 0:
+    for piece, _nrows in pieces:
+        if piece is None:
             continue
-        projected = _densify(_project(stmt, chunk))
-        merged = projected if running is None else concat([running, projected])
+        merged = piece if running is None else concat([running, piece])
         if merged.num_rows > k:
             # keep order stability: sort, then truncate
             merged = merged.sort_values(key, ascending=ascending)[:k]
         running = merged
-    return running if running is not None else _empty_projection(stmt)
+    return running if running is not None else _empty_projection(stmt, schema)
+
+
+def _is_mmap_backed(arr: np.ndarray) -> bool:
+    base = arr
+    while base is not None:
+        if isinstance(base, np.memmap):
+            return True
+        base = getattr(base, "base", None)
+    return False
 
 
 def _densify(frame: Frame) -> Frame:
-    """Copy memory-mapped columns so downstream concat owns its data."""
-    return Frame({n: np.asarray(frame.column(n)) for n in frame.columns})
+    """Copy memory-mapped columns so downstream results own their data
+    (no file handles pinned past the scan); owned arrays pass through."""
+    out: dict[str, np.ndarray] = {}
+    changed = False
+    for n in frame.columns:
+        col = np.asarray(frame.column(n))
+        if _is_mmap_backed(col):
+            col = np.array(col)
+            changed = True
+        out[n] = col
+    return Frame(out) if changed else frame
 
 
 def _project(stmt: ast.SelectStatement, chunk: Frame) -> Frame:
@@ -284,18 +510,107 @@ def _project(stmt: ast.SelectStatement, chunk: Frame) -> Frame:
     return Frame(out)
 
 
-def _empty_projection(stmt: ast.SelectStatement) -> Frame:
+def _empty_projection(
+    stmt: ast.SelectStatement, schema: dict[str, np.dtype] | None = None
+) -> Frame:
+    """Zero-row result frame with *schema-stable* column dtypes.
+
+    Each SELECT item is evaluated over a zero-row probe frame typed from
+    the source schema (aggregate calls substituted by typed probe columns:
+    COUNT is int64, every other aggregate float64), so an empty result has
+    the same dtypes a non-empty one would — which keeps cached zero-row
+    results byte-identical across execution modes.  Items the probe cannot
+    type (e.g. referencing columns absent from the schema) fall back to
+    empty float64.
+    """
+    agg_names: dict[ast.FuncCall, str] = {}
+    for item in stmt.items:
+        for node in ast.walk(item.expr):
+            if isinstance(node, ast.FuncCall) and node.is_aggregate:
+                agg_names.setdefault(node, f"__probe{len(agg_names)}")
+    probe_cols: dict[str, np.ndarray] = {
+        n: np.empty(0, dtype=np.dtype(dt)) for n, dt in (schema or {}).items()
+    }
+    for call, name in agg_names.items():
+        dt = np.int64 if call.name.upper() == "COUNT" else np.float64
+        probe_cols[name] = np.empty(0, dtype=dt)
+    probe = Frame(probe_cols)
     cols: dict[str, np.ndarray] = {}
     for item in stmt.items:
         if isinstance(item.expr, ast.Star):
+            for n, dt in (schema or {}).items():
+                cols[n] = np.empty(0, dtype=np.dtype(dt))
             continue
-        cols[item.alias or expr_name(item.expr)] = np.empty(0)
+        name = item.alias or expr_name(item.expr)
+        try:
+            arr = np.asarray(evaluate(_substitute(item.expr, agg_names), probe))
+            cols[name] = np.empty(0, dtype=arr.dtype) if arr.ndim == 0 else arr[:0]
+        except Exception:
+            cols[name] = np.empty(0)
     return Frame(cols)
 
 
 # ----------------------------------------------------------------------
 # grouped / aggregate path
 # ----------------------------------------------------------------------
+def _pykey(value):
+    """Python-native key element (matches what ``ndarray.tolist`` yields)."""
+    return value.item() if isinstance(value, np.generic) else value
+
+
+def _local_codes_slow(key_arrays: list[np.ndarray]) -> tuple[list[tuple], np.ndarray]:
+    """Dict-loop fallback for key columns ``np.unique`` cannot factorize."""
+    n = len(key_arrays[0]) if key_arrays else 0
+    index: dict[tuple, int] = {}
+    keys: list[tuple] = []
+    codes = np.empty(n, dtype=np.int64)
+    for i, key in enumerate(zip(*[a.tolist() for a in key_arrays])):
+        idx = index.get(key)
+        if idx is None:
+            idx = len(keys)
+            index[key] = idx
+            keys.append(key)
+        codes[i] = idx
+    return keys, codes
+
+
+def _local_codes(key_arrays: list[np.ndarray]) -> tuple[list[tuple], np.ndarray]:
+    """Chunk-local dense group coding, vectorized.
+
+    Factorizes each key column with ``np.unique``, combines the per-column
+    codes into one int64 word, and ranks combined codes by *first
+    appearance* so local code assignment matches the order a sequential
+    row-by-row registry would produce (NaN keys stay distinct per row,
+    like dict keys).  One Python-level step per *distinct* key, not per
+    row.
+    """
+    try:
+        inverses: list[np.ndarray] = []
+        capacity = 1
+        for arr in key_arrays:
+            uniq, inv = np.unique(arr, return_inverse=True, equal_nan=False)
+            inverses.append(inv.astype(np.int64))
+            capacity *= max(len(uniq), 1)
+            if capacity > 2**62:
+                return _local_codes_slow(key_arrays)
+        combined = inverses[0]
+        for arr, inv in zip(key_arrays[1:], inverses[1:]):
+            combined = combined * (int(inv.max(initial=-1)) + 1 or 1) + inv
+        uniq, first_idx, inverse = np.unique(
+            combined, return_index=True, return_inverse=True
+        )
+    except (TypeError, ValueError):
+        return _local_codes_slow(key_arrays)
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(uniq), dtype=np.int64)
+    rank[order] = np.arange(len(uniq), dtype=np.int64)
+    codes = rank[inverse]
+    keys = [
+        tuple(_pykey(a[int(first_idx[j])]) for a in key_arrays) for j in order
+    ]
+    return keys, codes
+
+
 class _GroupRegistry:
     """Maps group-key tuples to stable dense indices across row groups."""
 
@@ -303,19 +618,22 @@ class _GroupRegistry:
         self.index: dict[tuple, int] = {}
         self.keys: list[tuple] = []
 
-    def codes_for(self, key_arrays: list[np.ndarray]) -> np.ndarray:
-        n = len(key_arrays[0]) if key_arrays else 0
-        codes = np.empty(n, dtype=np.int64)
-        # chunk-local unique first, then one dict probe per unique key
-        stacked = list(zip(*[a.tolist() for a in key_arrays]))
-        for i, key in enumerate(stacked):
+    def codes_for_keys(self, local_keys: Iterable[tuple]) -> np.ndarray:
+        """Register chunk-local keys; returns the local→global remap."""
+        mapping = np.empty(len(local_keys), dtype=np.int64)
+        for i, key in enumerate(local_keys):
             idx = self.index.get(key)
             if idx is None:
                 idx = len(self.keys)
                 self.index[key] = idx
                 self.keys.append(key)
-            codes[i] = idx
-        return codes
+            mapping[i] = idx
+        return mapping
+
+    def codes_for(self, key_arrays: list[np.ndarray]) -> np.ndarray:
+        local_keys, local_codes = _local_codes(key_arrays)
+        mapping = self.codes_for_keys(local_keys)
+        return mapping[local_codes]
 
     @property
     def n_groups(self) -> int:
@@ -370,45 +688,70 @@ def _substitute(expr: ast.Expr, mapping: dict[ast.FuncCall, str]) -> ast.Expr:
     return expr
 
 
-def _execute_grouped(stmt: ast.SelectStatement, chunks: Iterator[Frame]) -> Frame:
-    agg_calls = _collect_aggregates(stmt)
+def _grouped_partial(
+    stmt: ast.SelectStatement,
+    chunk: Frame,
+    agg_calls: list[ast.FuncCall],
+    group_exprs: list[ast.Expr],
+) -> tuple[list[tuple], list[Accumulator]] | None:
+    """Per-morsel work of the grouped path: one partial accumulator per
+    aggregate, keyed by chunk-local dense codes.  Returns None for chunks
+    the WHERE clause empties."""
+    chunk = _filter_chunk(stmt, chunk)
+    if chunk.num_rows == 0:
+        return None
+    if group_exprs:
+        key_arrays = [np.asarray(evaluate(g, chunk)) for g in group_exprs]
+        local_keys, local_codes = _local_codes(key_arrays)
+    else:
+        local_keys = [()]
+        local_codes = np.zeros(chunk.num_rows, dtype=np.int64)
+    n_local = len(local_keys)
+    partials: list[Accumulator] = []
+    for call in agg_calls:
+        acc = make_accumulator(call.name, distinct=call.distinct)
+        if call.args and not isinstance(call.args[0], ast.Star):
+            values = np.asarray(evaluate(call.args[0], chunk))
+        else:
+            values = None
+        if values is None and call.name != "COUNT":
+            raise UnsupportedSQLError(f"{call.name}(*) is not valid")
+        acc.update(local_codes, values, n_local)
+        partials.append(acc)
+    return local_keys, partials
+
+
+def _merge_grouped(
+    stmt: ast.SelectStatement,
+    pieces,
+    agg_calls: list[ast.FuncCall],
+    group_exprs: list[ast.Expr],
+    schema,
+) -> Frame:
+    """Fold per-morsel partials (consumed in row-group order) into the
+    global registry + accumulators, then finalize/project/HAVING."""
     agg_names = {call: f"__agg{k}" for k, call in enumerate(agg_calls)}
     accumulators: dict[ast.FuncCall, Accumulator] = {
-        call: make_accumulator(call.name, distinct=call.distinct) for call in agg_calls
+        call: make_accumulator(call.name, distinct=call.distinct)
+        for call in agg_calls
     }
     registry = _GroupRegistry()
-    group_exprs = list(stmt.group_by)
 
     saw_rows = False
-    for chunk in chunks:
-        if stmt.where is not None:
-            mask = evaluate(stmt.where, chunk).astype(bool)
-            chunk = chunk.filter(mask)
-        if chunk.num_rows == 0:
+    for piece in pieces:
+        if piece is None:
             continue
         saw_rows = True
-        if group_exprs:
-            key_arrays = [np.asarray(evaluate(g, chunk)) for g in group_exprs]
-            codes = registry.codes_for(key_arrays)
-        else:
-            codes = np.zeros(chunk.num_rows, dtype=np.int64)
-            if registry.n_groups == 0:
-                registry.index[()] = 0
-                registry.keys.append(())
+        local_keys, partials = piece
+        mapping = registry.codes_for_keys(local_keys)
         n_groups = registry.n_groups
-        for call, acc in accumulators.items():
-            if call.args and not isinstance(call.args[0], ast.Star):
-                values = np.asarray(evaluate(call.args[0], chunk))
-            else:
-                values = None
-            if values is None and call.name != "COUNT":
-                raise UnsupportedSQLError(f"{call.name}(*) is not valid")
-            acc.update(codes, values, n_groups)
+        for call, partial in zip(agg_calls, partials):
+            accumulators[call].merge(partial, mapping, n_groups)
 
     n_groups = registry.n_groups
     if n_groups == 0:
         if group_exprs or saw_rows:
-            return _empty_projection(stmt)
+            return _empty_projection(stmt, schema)
         # global aggregate over an empty table still yields one row
         registry.index[()] = 0
         registry.keys.append(())

@@ -27,6 +27,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import faults
+from repro.db.bloom import BloomFilter
 from repro.db.errors import DBError, UnknownColumnError
 from repro.frame import Frame
 from repro.obs.logsetup import get_logger
@@ -85,6 +86,7 @@ class TableStore:
     def __init__(self, path: Path):
         self.path = Path(path)
         self._meta: dict = {"columns": {}, "row_groups": []}
+        self._bloom_cache: dict[int, dict[str, BloomFilter]] = {}
         meta_path = self.path / "meta.json"
         if meta_path.exists():
             try:
@@ -159,13 +161,21 @@ class TableStore:
                 )
         self.path.mkdir(parents=True, exist_ok=True)
         self._meta.setdefault("zone_maps", [])
+        self._meta.setdefault("blooms", [])
         self._meta.setdefault("checksums", [])
+        # legacy tables written before a stats kind existed: pad the
+        # per-row-group list with empty docs so indexes stay aligned with
+        # the groups being appended now (an empty doc never prunes)
+        for stats_key in ("zone_maps", "blooms"):
+            while len(self._meta[stats_key]) < len(self._meta["row_groups"]):
+                self._meta[stats_key].append({})
         for start in range(0, frame.num_rows, row_group_size):
             chunk = frame[start : start + row_group_size]
             rg_index = len(self._meta["row_groups"])
             rg_dir = self.path / f"rg{rg_index:05d}"
             rg_dir.mkdir(parents=True, exist_ok=True)
             zone_map: dict[str, list[float]] = {}
+            blooms: dict[str, dict] = {}
             checksums: dict[str, int] = {}
             for name in self._meta["columns"]:
                 col = np.asarray(chunk.column(name))
@@ -179,11 +189,18 @@ class TableStore:
                     as_float = col.astype(np.float64)
                     if np.isfinite(as_float).all():
                         zone_map[name] = [float(as_float.min()), float(as_float.max())]
+                # equality-pruning bloom filter over the group's distinct
+                # values; saturated (high-cardinality) columns persist none
+                bloom = BloomFilter.build(col)
+                if bloom is not None:
+                    blooms[name] = bloom.to_meta()
                 checksums[name] = zlib.crc32(np.ascontiguousarray(col).tobytes())
                 np.save(rg_dir / f"{name}.npy", col, allow_pickle=False)
             self._meta["row_groups"].append(chunk.num_rows)
             self._meta["zone_maps"].append(zone_map)
+            self._meta["blooms"].append(blooms)
             self._meta["checksums"].append(checksums)
+        self._bloom_cache.clear()
         self._meta["version"] = self.version + 1
         self._flush_meta()
 
@@ -220,6 +237,26 @@ class TableStore:
         if index >= len(maps):
             return {}
         return {k: (v[0], v[1]) for k, v in maps[index].items()}
+
+    def blooms(self, index: int) -> dict[str, BloomFilter]:
+        """Per-column equality bloom filters of one row group.
+
+        Empty for tables written before filters existed (legacy tables
+        stay readable, they just never bloom-prune) and for columns whose
+        cardinality saturated the bitset at append time.
+        """
+        docs = self._meta.get("blooms", [])
+        if index >= len(docs):
+            return {}
+        cached = self._bloom_cache.get(index)
+        if cached is None:
+            cached = {}
+            for name, doc in docs[index].items():
+                bloom = BloomFilter.from_meta(doc)
+                if bloom is not None:
+                    cached[name] = bloom
+            self._bloom_cache[index] = cached
+        return cached
 
     def scan(self, columns: Sequence[str] | None = None) -> Iterator[Frame]:
         """Stream the table one row group at a time."""

@@ -209,9 +209,12 @@ _TIMING_ATTRS = {"latency_s", "wall_s", "duration_s", "workers"}
 # attributes that depend on which query-result-cache tier served a SELECT
 # (and how much scan work it therefore did) — a memory hit in one process
 # is a disk hit or a full scan in another without the *result* differing,
-# so these are dropped from canonicalization like timing
+# so these are dropped from canonicalization like timing.  The same goes
+# for the morsel engine's accounting: thread count and zone-vs-bloom skip
+# attribution are execution-mode details of a byte-identical result
 _CACHE_ATTRS = {"cache", "residual_conjuncts", "row_groups_total", "row_groups_skipped",
-                "cache_quarantined"}
+                "row_groups_skipped_zone", "row_groups_skipped_bloom",
+                "morsels", "threads", "cache_quarantined"}
 # fault-injection and resilience accounting: a chaos run absorbs injected
 # faults (retries, fallbacks, quarantines) without the *work* differing,
 # so a chaos trace must canonicalize equal to a fault-free one
@@ -280,6 +283,14 @@ def summarize(spans: list[SpanLike]) -> str:
             f"incremental={cache['incremental']} miss={cache['miss']} "
             f"over {cache['queries']} queries"
         )
+    engine = engine_counts(dicts)
+    if engine["morsels"] or engine["skipped_zone"] or engine["skipped_bloom"]:
+        lines.append(
+            f"sql engine: {engine['morsels']} morsels executed, "
+            f"{engine['skipped_zone'] + engine['skipped_bloom']}/{engine['row_groups']} "
+            f"row groups skipped (zone {engine['skipped_zone']}, "
+            f"bloom {engine['skipped_bloom']}), threads<={engine['max_threads']}"
+        )
     chaos = fault_counts(dicts)
     if chaos["faults"] or chaos["degraded"] or chaos["quarantined"]:
         lines.append(
@@ -302,6 +313,30 @@ def fault_counts(spans: list[SpanLike]) -> dict[str, int]:
         counts["quarantined"] += int(attrs.get("cache_quarantined", 0))
         if attrs.get("degraded"):
             counts["degraded"] += 1
+    return counts
+
+
+def engine_counts(spans: list[SpanLike]) -> dict[str, int]:
+    """Morsel-engine accounting recorded on ``sql.execute`` spans: morsels
+    executed, row-group totals, zone-map vs bloom-filter skip attribution,
+    and the largest thread count any query ran with."""
+    counts = {
+        "morsels": 0,
+        "row_groups": 0,
+        "skipped_zone": 0,
+        "skipped_bloom": 0,
+        "max_threads": 1,
+    }
+    for span in spans:
+        doc = _as_dict(span)
+        if doc.get("name") != "sql.execute":
+            continue
+        attrs = doc.get("attributes", {})
+        counts["morsels"] += int(attrs.get("morsels", 0))
+        counts["row_groups"] += int(attrs.get("row_groups_total", 0))
+        counts["skipped_zone"] += int(attrs.get("row_groups_skipped_zone", 0))
+        counts["skipped_bloom"] += int(attrs.get("row_groups_skipped_bloom", 0))
+        counts["max_threads"] = max(counts["max_threads"], int(attrs.get("threads", 1)))
     return counts
 
 

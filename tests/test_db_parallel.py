@@ -1,0 +1,250 @@
+"""Morsel-driven parallel execution: byte-identity with sequential.
+
+The engine's contract is that ``num_threads > 1`` changes *throughput
+only*: every query result is byte-identical (same dtypes, same bytes in
+the same row order) to the single-threaded run.  These tests sweep the
+query shapes the executor special-cases — plain scans, early-terminating
+LIMIT, streaming top-k, grouped aggregation (every accumulator kind),
+global aggregates, DISTINCT, joins, subqueries — across 1/2/4 threads
+over a randomized multi-row-group table.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.db import Database
+from repro.db.sql.executor import resolve_num_threads
+from repro.frame import Frame
+
+THREAD_COUNTS = [1, 2, 4]
+
+
+@pytest.fixture(autouse=True)
+def force_parallel(monkeypatch):
+    """The engine clamps its thread count to the host's cores; these
+    tests must exercise the real thread pool even on a 1-core CI box."""
+    monkeypatch.setenv("REPRO_SQL_FORCE_PARALLEL", "1")
+
+
+def _table_frame(n=1500, seed=7):
+    rng = np.random.default_rng(seed)
+    steps = np.repeat([0, 124, 249, 374, 498, 624], n // 6)
+    mass = rng.lognormal(3, 1, n)
+    x = rng.uniform(-50, 50, n)
+    x[rng.random(n) < 0.05] = np.nan  # NaN-handling must match exactly
+    return Frame(
+        {
+            "step": steps,
+            "run": rng.integers(0, 4, n),
+            "kind": rng.choice(np.asarray(["cold", "warm", "hot"]), n),
+            "mass": mass,
+            "x": x,
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def db_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("par") / "p.db"
+    d = Database(path, result_cache=False)
+    d.create_table("halos", _table_frame(), row_group_size=100)
+    d.create_table(
+        "runs",
+        Frame({"run": np.arange(4), "weight": np.asarray([1.0, 2.5, 0.5, 4.0])}),
+        row_group_size=2,
+    )
+    return path
+
+
+def _open(db_path, threads):
+    # caching off so every run truly executes; a shared cache would serve
+    # the sequential result back and vacuously pass
+    return Database(db_path, result_cache=False, num_threads=threads)
+
+
+def assert_frames_byte_identical(a, b):
+    assert list(a.columns) == list(b.columns)
+    assert a.num_rows == b.num_rows
+    for name in a.columns:
+        ca = np.asarray(a.column(name))
+        cb = np.asarray(b.column(name))
+        assert ca.dtype == cb.dtype, f"{name}: {ca.dtype} != {cb.dtype}"
+        if ca.dtype == object:
+            assert ca.tolist() == cb.tolist()
+        else:
+            assert ca.tobytes() == cb.tobytes(), f"{name}: bytes differ"
+
+
+QUERIES = [
+    # plain scan + filter
+    "SELECT mass, x FROM halos WHERE mass > 20",
+    # early-terminating un-ordered LIMIT
+    "SELECT mass FROM halos WHERE mass > 5 LIMIT 37",
+    # selective scan with zone-map pruning in play
+    "SELECT mass FROM halos WHERE step = 624",
+    # bloom-pruned string equality
+    "SELECT mass FROM halos WHERE kind = 'hot' AND step IN (124, 498)",
+    # streaming top-k
+    "SELECT mass FROM halos WHERE step > 100 ORDER BY mass DESC LIMIT 10",
+    # grouped: one of every accumulator kind
+    "SELECT step, COUNT(*) AS n, SUM(mass) AS s, AVG(mass) AS m, "
+    "MIN(mass) AS lo, MAX(mass) AS hi, STDDEV(mass) AS sd, "
+    "MEDIAN(mass) AS med FROM halos GROUP BY step ORDER BY step",
+    # unordered GROUP BY: result row order comes from registry order,
+    # which must not depend on the thread count
+    "SELECT kind, COUNT(*) AS n, COUNT(DISTINCT run) AS r, VAR(x) AS v "
+    "FROM halos GROUP BY kind",
+    # multi-key grouping with HAVING and aggregate ORDER BY
+    "SELECT run, step, AVG(mass) AS m FROM halos GROUP BY run, step "
+    "HAVING COUNT(*) > 10 ORDER BY AVG(mass) DESC",
+    # global aggregate over a filtered scan
+    "SELECT COUNT(*) AS n, VAR(mass) AS v FROM halos WHERE kind = 'warm'",
+    # aggregates over a column holding NaN
+    "SELECT run, AVG(x) AS mx, COUNT(x) AS nx FROM halos GROUP BY run ORDER BY run",
+    # DISTINCT
+    "SELECT DISTINCT run, kind FROM halos ORDER BY run, kind",
+    # join + grouping
+    "SELECT run, COUNT(*) AS n, SUM(weight) AS w FROM halos "
+    "JOIN runs ON run = run GROUP BY run ORDER BY run",
+    # subquery source
+    "SELECT step, n FROM (SELECT step, COUNT(*) AS n FROM halos "
+    "WHERE mass > 10 GROUP BY step) s ORDER BY n DESC",
+    # zero-row result (empty projection must stay schema-stable)
+    "SELECT mass, x FROM halos WHERE mass < 0",
+    "SELECT step, COUNT(*) AS n FROM halos WHERE mass < 0 GROUP BY step",
+]
+
+
+class TestParallelEqualsSequential:
+    @pytest.mark.parametrize("threads", [t for t in THREAD_COUNTS if t > 1])
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_byte_identical(self, db_path, sql, threads):
+        sequential = _open(db_path, 1).query(sql)
+        parallel = _open(db_path, threads).query(sql)
+        assert_frames_byte_identical(sequential, parallel)
+
+    def test_parallel_actually_dispatches_morsels(self, db_path):
+        d = _open(db_path, 4)
+        d.query("SELECT SUM(mass) AS s FROM halos")
+        stats = d.last_scan_stats
+        assert stats.threads == 4
+        assert stats.morsels_executed == stats.row_groups_total > 1
+
+    def test_scan_stats_match_sequential(self, db_path):
+        seq, par = _open(db_path, 1), _open(db_path, 4)
+        sql = "SELECT mass FROM halos WHERE step = 624"
+        seq.query(sql)
+        par.query(sql)
+        a, b = seq.last_scan_stats, par.last_scan_stats
+        assert a.row_groups_total == b.row_groups_total
+        assert a.row_groups_skipped_zone == b.row_groups_skipped_zone
+        assert a.row_groups_skipped_bloom == b.row_groups_skipped_bloom
+
+
+class TestEmptyProjectionDtypes:
+    """Satellite: zero-row results must carry schema-derived dtypes, not
+    unconditional float64, so empty frames are byte-stable vs non-empty
+    schemas and across execution modes."""
+
+    def test_plain_empty_matches_store_schema(self, db_path):
+        d = _open(db_path, 1)
+        empty = d.query("SELECT step, kind, mass FROM halos WHERE mass < 0")
+        assert empty.num_rows == 0
+        full = d.query("SELECT step, kind, mass FROM halos LIMIT 1")
+        for name in ("step", "kind", "mass"):
+            assert np.asarray(empty.column(name)).dtype == np.asarray(
+                full.column(name)
+            ).dtype
+
+    def test_count_is_integer_in_empty_grouped_result(self, db_path):
+        d = _open(db_path, 1)
+        empty = d.query("SELECT step, COUNT(*) AS n FROM halos WHERE mass < 0 GROUP BY step")
+        assert empty.num_rows == 0
+        assert np.asarray(empty.column("n")).dtype == np.int64
+        full = d.query("SELECT step, COUNT(*) AS n FROM halos GROUP BY step")
+        assert np.asarray(full.column("n")).dtype == np.int64
+
+
+class TestDensify:
+    """Satellite: _densify only copies mmap-backed columns."""
+
+    def test_owned_arrays_pass_through(self):
+        from repro.db.sql.executor import _densify
+
+        frame = Frame({"a": np.arange(5), "b": np.linspace(0, 1, 5)})
+        assert _densify(frame) is frame
+
+    def test_mmap_columns_are_copied(self, tmp_path):
+        from repro.db.sql.executor import _densify
+
+        np.save(tmp_path / "seg.npy", np.arange(8))
+        loaded = np.load(tmp_path / "seg.npy", mmap_mode="r")
+        out = _densify(Frame({"a": loaded}))
+        arr = np.asarray(out.column("a"))
+        assert not isinstance(arr, np.memmap)
+        assert arr.tolist() == list(range(8))
+
+
+class TestThreadResolution:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SQL_THREADS", raising=False)
+        assert resolve_num_threads(None) == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SQL_THREADS", "7")
+        assert resolve_num_threads(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SQL_THREADS", "2")
+        assert resolve_num_threads(None) == 2
+
+    def test_zero_means_per_core(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SQL_THREADS", raising=False)
+        assert resolve_num_threads(0) == max(1, os.cpu_count() or 1)
+
+    def test_garbage_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SQL_THREADS", "lots")
+        assert resolve_num_threads(None) == 1
+
+    def test_clamped_to_core_count(self, monkeypatch):
+        """Oversubscription is pure overhead for a CPU-bound engine, so
+        without the force hook the resolved count never exceeds cores."""
+        monkeypatch.delenv("REPRO_SQL_FORCE_PARALLEL", raising=False)
+        cores = max(1, os.cpu_count() or 1)
+        assert resolve_num_threads(cores + 8) == cores
+
+    def test_env_reaches_query_engine(self, db_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SQL_THREADS", "2")
+        d = Database(db_path, result_cache=False)
+        d.query("SELECT COUNT(*) AS n FROM halos")
+        assert d.last_scan_stats.threads == 2
+
+
+class TestVectorizedRegistry:
+    """The np.unique-based group coder must reproduce the sequential
+    first-appearance code assignment exactly."""
+
+    def test_codes_match_dict_loop(self):
+        from repro.db.sql.executor import _GroupRegistry, _local_codes_slow
+
+        rng = np.random.default_rng(3)
+        arrays = [
+            rng.integers(0, 5, 200),
+            rng.choice(np.asarray(["a", "b", "c"]), 200),
+        ]
+        fast = _GroupRegistry().codes_for(arrays)
+        keys, slow = _local_codes_slow([np.asarray(a) for a in arrays])
+        assert fast.tolist() == slow.tolist()
+
+    def test_registry_order_is_first_appearance(self):
+        from repro.db.sql.executor import _GroupRegistry
+
+        reg = _GroupRegistry()
+        reg.codes_for([np.asarray([30, 10, 30, 20])])
+        assert reg.keys == [(30,), (10,), (20,)]
+        # a second chunk reuses existing codes and appends new ones
+        codes = reg.codes_for([np.asarray([20, 40, 10])])
+        assert codes.tolist() == [2, 3, 1]
+        assert reg.keys[3] == (40,)

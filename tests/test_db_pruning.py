@@ -147,9 +147,11 @@ class TestEndToEndPruning:
         d.query("SELECT x FROM t WHERE k >= 4")
         assert d.last_scan_stats.row_groups_skipped == 2
 
-    def test_predicate_on_column_absent_from_stats(self, tmp_path):
-        """String columns publish no zone map; predicates on them must
-        scan everything rather than skip anything."""
+    def test_string_equality_prunes_via_bloom(self, tmp_path):
+        """String columns publish no zone map, so interval logic can never
+        refute them — but the per-row-group bloom filters can: an equality
+        probe for a value absent from a group's distinct set skips the
+        group, attributed to the bloom side of the stats."""
         d = Database(tmp_path / "ab.db")
         d.create_table(
             "t",
@@ -158,11 +160,61 @@ class TestEndToEndPruning:
         )
         out = d.query("SELECT k FROM t WHERE name = 'd'")
         assert out.num_rows == 1 and out["k"][0] == 3
-        assert d.last_scan_stats.row_groups_skipped == 0
-        # AND with a prunable numeric conjunct may still skip via k
+        stats = d.last_scan_stats
+        assert stats.row_groups_skipped_zone == 0  # no interval can prove this
+        assert stats.row_groups_skipped_bloom == 1  # group ["a","b"] refuted
+        # AND with a prunable numeric conjunct: one group falls to the zone
+        # map on k, the other to the bloom filter on name
         out = d.query("SELECT k FROM t WHERE name = 'a' AND k >= 2")
         assert out.num_rows == 0
-        assert d.last_scan_stats.row_groups_skipped == 1
+        assert d.last_scan_stats.row_groups_skipped_zone == 1
+        assert d.last_scan_stats.row_groups_skipped_bloom == 1
+
+    def test_range_predicate_on_string_column_scans_everything(self, tmp_path):
+        """Bloom filters only refute equality/IN; other string predicates
+        must still scan every group."""
+        d = Database(tmp_path / "rng.db")
+        d.create_table(
+            "t",
+            Frame({"name": np.asarray(["a", "b", "c", "d"]), "k": np.arange(4)}),
+            row_group_size=2,
+        )
+        out = d.query("SELECT k FROM t WHERE name != 'a'")
+        assert out.num_rows == 3
+        assert d.last_scan_stats.row_groups_skipped == 0
+
+    def test_string_in_list_prunes_via_bloom(self, tmp_path):
+        d = Database(tmp_path / "inl.db")
+        d.create_table(
+            "t",
+            Frame({"name": np.asarray(["a", "b", "c", "d", "e", "f"]),
+                   "k": np.arange(6)}),
+            row_group_size=2,
+        )
+        out = d.query("SELECT k FROM t WHERE name IN ('a', 'f')")
+        assert sorted(out["k"].tolist()) == [0, 5]
+        # middle group ["c","d"] holds neither option: bloom-refuted
+        assert d.last_scan_stats.row_groups_skipped_bloom == 1
+
+    def test_legacy_table_without_blooms(self, tmp_path):
+        """Tables written before bloom filters existed stay readable and
+        simply never bloom-prune."""
+        import json
+
+        d = Database(tmp_path / "lb.db")
+        d.create_table(
+            "t",
+            Frame({"name": np.asarray(["a", "b", "c", "d"]), "k": np.arange(4)}),
+            row_group_size=2,
+        )
+        meta_path = d.path / "t" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        del meta["blooms"]
+        meta_path.write_text(json.dumps(meta))
+        d2 = Database(d.path)
+        out = d2.query("SELECT k FROM t WHERE name = 'd'")
+        assert out.num_rows == 1 and out["k"][0] == 3
+        assert d2.last_scan_stats.row_groups_skipped == 0
 
     def test_mixed_finite_and_nonfinite_groups(self, tmp_path):
         """Finite groups keep pruning; only the non-finite group scans."""
