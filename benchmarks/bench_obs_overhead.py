@@ -1,0 +1,311 @@
+"""Telemetry hub — bus+ledger-on overhead and streaming-trace parity.
+
+The event bus and cost ledger share the tracer's contract: *near-zero
+overhead when nobody is listening, small bounded overhead when someone
+is*.  This benchmark measures the "on" side end to end and emits
+``BENCH_obs.json`` (the artifact ``repro slo check`` gates on):
+
+* **site overhead** — a hot loop of uncached analytic SQL executions
+  (the densest publisher: every query emits span start/end, query
+  counters, and per-morsel progress events) is timed traced-only, and
+  the exact event stream one loop publishes is captured and replayed
+  through the full telemetry stack — event bus, incremental JSONL
+  sink, cost ledger — in a long tight loop.  The
+  overhead ratio is ``(baseline + stack_cost_per_rep) / baseline`` and
+  must stay under 2%.  The two-step design is deliberate: the stack's
+  cost is a few microseconds per event, and a direct wall-clock A/B of
+  ~100ms loops on a shared host carries ±10% scheduler/throttle noise —
+  it cannot resolve a 2% budget.  The tight replay loop measures the
+  same work (event construction, queue, pump, JSON serialization, sink
+  writes) with sub-microsecond stability; a direct full-stack run still
+  happens to validate delivery (no drops, every span written) and to
+  catch egregious regressions with a loose sanity bound.
+* **harness parity + overhead** — the evaluation micro-suite with the
+  bus active must produce (a) an incremental ``trace.jsonl`` canonically
+  equivalent to the in-memory merged trace and (b) a suite cost ledger
+  whose totals equal the sum of its entries and match the span-level
+  token counters; wall-clock is reported against a bus-off baseline
+  with a loose sanity bound (suite scale is scheduler-noise dominated —
+  the tight gate is the site loop above).
+
+Runs under pytest (``pytest benchmarks/bench_obs_overhead.py``) and as a
+script (``python benchmarks/bench_obs_overhead.py --quick`` — the CI
+obs-bench configuration: fewer questions, loops, and reps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.db import Database
+from repro.eval import EvaluationHarness, HarnessConfig
+from repro.eval.questions import QUESTION_SUITE
+from repro.frame import Frame
+from repro.llm.errors import NO_ERRORS
+from repro.obs.cost import CostLedger, use_ledger
+from repro.obs.events import EventBus, JsonlSink, use_bus
+from repro.obs.export import canonical_tree, read_spans, token_totals
+from repro.obs.tracer import Tracer, use_tracer
+from repro.rag.cache import clear_memory_cache
+from repro.sim import EnsembleSpec, generate_ensemble
+
+MAX_SITE_OVERHEAD = 1.02      # bus+sink+ledger may cost at most 2% at the site
+MAX_SITE_SANITY = 1.5         # direct full-stack wall bound (noise-dominated)
+MAX_HARNESS_OVERHEAD = 1.25   # suite-scale sanity bound (noise-dominated)
+
+SITE_QUERIES = [
+    "SELECT mass, count FROM halos WHERE step = 3",
+    "SELECT * FROM halos WHERE mass > 20 AND count < 100",
+    "SELECT step, COUNT(*) AS n, AVG(mass) AS m FROM halos GROUP BY step",
+    "SELECT mass FROM halos ORDER BY mass DESC LIMIT 50",
+]
+
+
+def _replay_stream(bus: EventBus, events: list) -> None:
+    """Re-publish a captured event stream through ``bus``.
+
+    Goes through the same publish helpers the tracer and metrics layers
+    use, so each replayed event pays event construction, the queue, the
+    pump, and every subscriber; span events also pay a doc copy standing
+    in for the ``Span.as_dict()`` the tracer performs at the site.
+    """
+    from repro.obs.events import COUNTER, SPAN_END, SPAN_START
+
+    for ev in events:
+        if ev.kind == SPAN_START:
+            bus.publish_span_start(dict(ev.data))
+        elif ev.kind == SPAN_END:
+            bus.publish_span_end(dict(ev.data))
+        elif ev.kind == COUNTER:
+            bus.publish_counter(ev.name, ev.data.get("value", 1),
+                                ev.data.get("span_id"))
+
+
+def bench_site_overhead(root: Path, rows: int, loops: int, reps: int) -> dict:
+    """Hot uncached-execution loop vs the telemetry stack's per-rep cost.
+
+    Both sides run under an active tracer (the repo's standing posture);
+    the result cache is off so every query pays the real executor —
+    scan, filter, group, sort over ``rows`` values — giving a CPU-bound
+    denominator representative of ensemble analysis work.  The baseline
+    is the min-of-reps wall of the traced-only loop — the floor a clean
+    scheduling window reaches.  The stack cost is measured by capturing
+    the exact event stream one loop publishes and replaying it through a
+    fresh bus + JSONL sink + ledger in a tight loop long enough
+    (hundreds of reps' worth of events) that per-event timing is stable
+    to well under a microsecond.
+    """
+    from repro.obs.events import SPAN_END, CollectingSubscriber
+
+    rng = np.random.default_rng(7)
+    db = Database(root / "db", result_cache=False)
+    db.create_table(
+        "halos",
+        Frame(
+            {
+                "step": np.repeat(np.arange(8), rows // 8).astype(np.int64),
+                "mass": rng.lognormal(3, 1, rows),
+                "count": rng.integers(1, 500, rows),
+            }
+        ),
+        row_group_size=max(rows // 4, 256),
+    )
+    for sql in SITE_QUERIES:  # warm page cache and store metadata
+        db.query(sql)
+
+    def loop() -> float:
+        tracer = Tracer()  # fresh per rep so span lists don't accumulate
+        start = time.perf_counter()
+        with use_tracer(tracer):
+            for _ in range(loops):
+                for sql in SITE_QUERIES:
+                    db.query(sql)
+        return time.perf_counter() - start
+
+    # -- baseline floor: traced-only wall clock -----------------------
+    baseline = [loop() for _ in range(reps)]
+
+    # -- delivery validation: one direct full-stack run ---------------
+    # (also the loose sanity check: an egregious publish-path regression
+    # shows up here even through scheduler noise)
+    capture = CollectingSubscriber()
+    bus = EventBus(capacity=max(8192, 4 * loops * len(SITE_QUERIES)))
+    sink = JsonlSink(root / "trace_observed.jsonl")
+    bus.subscribe(sink)
+    bus.subscribe(capture)
+    with use_bus(bus), use_ledger(CostLedger()):
+        observed = loop()
+    sink.close()
+    assert bus.dropped == 0, f"bounded queue dropped {bus.dropped} events"
+    span_ends = sum(1 for ev in capture.events if ev.kind == SPAN_END)
+    assert sink.spans_written == span_ends >= loops * len(SITE_QUERIES)
+    direct_ratio = observed / min(baseline)
+    assert direct_ratio < MAX_SITE_SANITY, (
+        f"full-stack site wall {direct_ratio:.4f}x baseline exceeds the "
+        f"{MAX_SITE_SANITY}x sanity bound: gross publish-path regression"
+    )
+
+    # -- stack cost: tight replay of the captured stream --------------
+    events = capture.events
+    replays = max(1, 200_000 // max(len(events), 1))
+    stack_walls = []
+    for group in range(3):
+        replay_bus = EventBus(capacity=1_000_000)
+        replay_sink = JsonlSink(root / f"replay_{group}.jsonl")
+        replay_bus.subscribe(replay_sink)
+        with use_ledger(CostLedger()):
+            start = time.perf_counter()
+            for _ in range(replays):
+                _replay_stream(replay_bus, events)
+            stack_walls.append((time.perf_counter() - start) / replays)
+        replay_sink.close()
+        assert replay_bus.dropped == 0
+    stack_cost = min(stack_walls)  # seconds of telemetry work per rep
+
+    floor = min(baseline)
+    ratio = (floor + stack_cost) / floor
+    assert ratio < MAX_SITE_OVERHEAD, (
+        f"bus+sink+ledger-on site overhead {ratio:.4f}x exceeds "
+        f"{MAX_SITE_OVERHEAD}x: the publish path regressed "
+        f"({stack_cost * 1e6 / max(len(events), 1):.2f} us/event)"
+    )
+    return {
+        "rows": rows,
+        "loops": loops,
+        "reps": reps,
+        "events_per_rep": len(events),
+        "baseline_wall_s": [round(w, 4) for w in baseline],
+        "observed_wall_s": round(observed, 4),
+        "direct_ratio": round(direct_ratio, 4),
+        "stack_cost_s_per_rep": round(stack_cost, 6),
+        "stack_cost_us_per_event": round(
+            stack_cost * 1e6 / max(len(events), 1), 3),
+        "replays": replays,
+        "overhead_ratio": round(ratio, 4),
+        "budget_ratio": MAX_SITE_OVERHEAD,
+    }
+
+
+def run_suite(ensemble, workdir: Path, questions, bus: EventBus | None):
+    """One harness pass; returns (wall_s, result)."""
+    clear_memory_cache()
+    harness = EvaluationHarness(
+        ensemble,
+        workdir,
+        HarnessConfig(runs_per_question=1, error_model=NO_ERRORS),
+    )
+    start = time.perf_counter()
+    if bus is not None:
+        with use_bus(bus):
+            result = harness.run_suite(questions=questions)
+    else:
+        result = harness.run_suite(questions=questions)
+    return time.perf_counter() - start, result
+
+
+def bench_harness(ensemble, root: Path, questions, reps: int) -> dict:
+    """Suite wall clock bus-off vs bus-on, plus the acceptance checks:
+    streaming-trace canonical parity and ledger self-consistency."""
+    baseline, observed = [], []
+    streamed = ledgered = None
+    for _ in range(reps):
+        wall, _ = run_suite(ensemble, root / "baseline", questions, None)
+        baseline.append(wall)
+        bus = EventBus(capacity=65536)
+        wall, result = run_suite(ensemble, root / "observed", questions, bus)
+        observed.append(wall)
+        assert bus.dropped == 0, f"bounded queue dropped {bus.dropped} events"
+
+        # (a) the sink-written incremental trace is the merged trace
+        on_disk = read_spans(result.trace_path)
+        assert len(on_disk) == len(result.spans)
+        assert canonical_tree(on_disk) == canonical_tree(result.spans)
+        streamed = len(on_disk)
+
+        # (b) ledger totals == sum of per-attribution entries, and both
+        # agree with the independent span-level token accounting
+        cost = result.perf.cost
+        for field in ("calls", "total_tokens", "cost_usd"):
+            total = sum(e[field] for e in cost["entries"])
+            assert abs(cost["totals"][field] - total) < 1e-9, (
+                f"ledger totals diverge from entries on {field}")
+        spans_tokens = token_totals(result.spans)
+        assert cost["totals"]["total_tokens"] == spans_tokens["total_tokens"]
+        ledgered = cost["totals"]["total_tokens"]
+    ratio = min(observed) / min(baseline)
+    assert ratio < MAX_HARNESS_OVERHEAD, (
+        f"bus-on suite overhead {ratio:.4f}x exceeds the "
+        f"{MAX_HARNESS_OVERHEAD}x sanity bound"
+    )
+    return {
+        "reps": reps,
+        "baseline_wall_s": [round(w, 4) for w in baseline],
+        "observed_wall_s": [round(w, 4) for w in observed],
+        "overhead_ratio": round(ratio, 4),
+        "sanity_bound_ratio": MAX_HARNESS_OVERHEAD,
+        "spans_streamed": streamed,
+        "tokens_metered": ledgered,
+    }
+
+
+def run(root: Path, output_dir: Path, quick: bool) -> dict:
+    from conftest import emit_json
+
+    n_questions = 2 if quick else 4
+    reps = 2 if quick else 3
+    # site rows set the per-query executor work the telemetry cost is
+    # measured against: an uncached analytic query over 150k rows takes
+    # several milliseconds of numpy work while its handful of events
+    # cost tens of microseconds, so the true overhead sits comfortably
+    # under the 2% budget and a regression of a few microseconds per
+    # event still moves the ratio visibly
+    rows = 150_000 if quick else 250_000
+    loops = 10 if quick else 15
+    questions = QUESTION_SUITE[:n_questions]
+
+    site = bench_site_overhead(root / "site", rows, loops, reps + 3)
+    ensemble = generate_ensemble(
+        root / "ens",
+        EnsembleSpec(
+            n_runs=2,
+            n_particles=800,
+            timesteps=(498, 624),
+            write_particles=False,
+            seed=2025,
+        ),
+    )
+    harness = bench_harness(ensemble, root / "suite", questions, reps)
+    payload = {
+        "benchmark": "obs",
+        "quick": quick,
+        "questions": n_questions,
+        "site": site,
+        "harness": harness,
+    }
+    return emit_json(output_dir, "BENCH_obs.json", payload)
+
+
+def test_obs_overhead(output_dir, tmp_path):
+    run(tmp_path, output_dir, quick=False)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI obs-bench: fewer questions, loops, and reps")
+    args = parser.parse_args(argv)
+    output_dir = Path(__file__).resolve().parent / "output"
+    output_dir.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(prefix="bench_obs_") as tmp:
+        run(Path(tmp), output_dir, quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

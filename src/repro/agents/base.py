@@ -19,6 +19,7 @@ from typing import Any
 
 from repro.db import Database
 from repro.llm.base import ChatMessage, ChatResponse, MeteredModel
+from repro.obs.cost import get_ledger
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import Tracer
 from repro.provenance import ProvenanceTracker
@@ -65,6 +66,12 @@ class AgentContext:
         self.provenance.record_llm_exchange(
             role, response.prompt_tokens, response.completion_tokens, step_index
         )
+        # hard token budget: checked at the agent boundary so a blown
+        # budget surfaces as a classified BudgetExceeded (handled like any
+        # resilience failure) instead of funding another redo iteration
+        ledger = get_ledger()
+        if ledger is not None:
+            ledger.check_budget()
         return response
 
     @property

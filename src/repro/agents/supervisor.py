@@ -28,8 +28,10 @@ from repro.agents.viz_agent import VisualizationAgent
 from repro.frame import Frame
 from repro.graph import Channel, StateGraph, END, Checkpointer
 from repro.graph.state import append_reducer, merge_reducer, add_reducer
+from repro.obs.cost import cost_attribution, current_attribution
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import use_tracer
+from repro.resilience import BudgetExceeded
 
 MAX_REVISIONS = 5
 
@@ -70,6 +72,9 @@ class RunReport:
     figures: list[str]           # SVG strings
     semantic_level: int
     intent: dict
+    # classified failure label when the run ended on a resilience-style
+    # error (e.g. 'budget-exceeded') rather than a step failure
+    failure: str = ""
 
     @property
     def tasks_completed_fraction(self) -> float:
@@ -219,7 +224,7 @@ class Supervisor:
         step = state["plan"][state["step_index"]]
         with self.context.tracer.span(
             "step.sql", step=state["step_index"], attempt=state["attempt"]
-        ) as sp:
+        ) as sp, cost_attribution(attempt=state["attempt"]):
             outcome = self.sql_agent.run_step(
                 step,
                 self._step_key(state),
@@ -243,7 +248,7 @@ class Supervisor:
         step = state["plan"][state["step_index"]]
         with self.context.tracer.span(
             "step.python", step=state["step_index"], attempt=state["attempt"]
-        ) as sp:
+        ) as sp, cost_attribution(attempt=state["attempt"]):
             outcome = self.python_agent.run_step(
                 step,
                 state["tables"],
@@ -287,7 +292,7 @@ class Supervisor:
         step = state["plan"][state["step_index"]]
         with self.context.tracer.span(
             "step.viz", step=state["step_index"], attempt=state["attempt"]
-        ) as sp:
+        ) as sp, cost_attribution(attempt=state["attempt"]):
             outcome = self.viz_agent.run_step(
                 step,
                 state["tables"],
@@ -319,7 +324,7 @@ class Supervisor:
         outcome = state["last_outcome"] or {}
         with self.context.tracer.span(
             "qa.assess", step=state["step_index"], attempt=state["attempt"]
-        ) as sp:
+        ) as sp, cost_attribution(attempt=state["attempt"]):
             verdict = self.qa_agent.assess(
                 step,
                 self._step_key(state),
@@ -409,13 +414,18 @@ class Supervisor:
 
             tracer = self.context.tracer
             batch_parent = tracer.current()
+            batch_attribution = current_attribution()
 
             def run_one(item):
                 step, attempt = item
-                # pool threads have no span stack and no active tracer:
-                # re-activate the session tracer and parent explicitly so
-                # sandbox/LLM spans stay inside this trace
-                with use_tracer(tracer), tracer.span(
+                # pool threads have no span stack, no active tracer, and no
+                # attribution context: re-activate the session tracer (with
+                # an explicit parent) and re-apply the coordinator's cost
+                # scopes so sandbox/LLM spans stay inside this trace and
+                # LLM spend stays attributed to this session/node/attempt
+                with use_tracer(tracer), cost_attribution(
+                    **{**batch_attribution, "attempt": attempt}
+                ), tracer.span(
                     "step.viz",
                     parent=batch_parent,
                     step=step["index"],
@@ -510,16 +520,46 @@ class Supervisor:
         # call time APIs directly), so runs under SimulatedClock are exact
         t0 = tracer.clock.now()
         latency0 = self.context.simulated_latency_s
-        with tracer.span(
-            "supervisor.execute", thread=thread_id, plan_size=len(plan_steps)
-        ):
-            result = graph.invoke(
-                {
-                    "plan": [dict(s) for s in plan_steps],
-                    "question": question,
-                    "semantic_level": semantic_level,
-                },
-                thread_id=thread_id,
+        try:
+            with tracer.span(
+                "supervisor.execute", thread=thread_id, plan_size=len(plan_steps)
+            ), cost_attribution(level=semantic_level):
+                result = graph.invoke(
+                    {
+                        "plan": [dict(s) for s in plan_steps],
+                        "question": question,
+                        "semantic_level": semantic_level,
+                    },
+                    thread_id=thread_id,
+                )
+        except BudgetExceeded as exc:
+            # a blown token budget ends the session as a classified
+            # failure instead of funding further redo growth
+            get_registry().counter("cost.budget_exceeded").inc()
+            wall = tracer.clock.now() - t0
+            latency = self.context.simulated_latency_s - latency0
+            self._last_graph = graph
+            self._last_events = []
+            return RunReport(
+                question=question,
+                completed=False,
+                failed_at_step=None,
+                steps=[],
+                plan_size=len(plan_steps),
+                analysis_steps=sum(
+                    1 for s in plan_steps if s["kind"] in ("load", "sql", "python", "viz")
+                ),
+                tokens=self.context.total_tokens,
+                storage_bytes=self.context.provenance.storage_bytes(),
+                time_s=wall + latency,
+                llm_latency_s=latency,
+                redo_iterations=0,
+                load_report=None,
+                tables={},
+                figures=[],
+                semantic_level=semantic_level,
+                intent=intent,
+                failure=exc.classification,
             )
         wall = tracer.clock.now() - t0
         latency = self.context.simulated_latency_s - latency0

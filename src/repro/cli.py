@@ -9,6 +9,9 @@
 * ``sql``      — run SQL directly against an analysis database
 * ``trace``    — inspect a recorded execution trace (summary/tree/export)
 * ``cache``    — report or clear the shared query-result/retrieval caches
+* ``cost``     — report a run's LLM spend (per agent, §4.5 growth curve)
+* ``profile``  — run one query under the sampling profiler (flamegraph)
+* ``slo``      — check a trace/workdir against declarative SLO budgets
 
 All commands are plain functions over the library API; the CLI adds no
 behaviour of its own, so scripted use and the Python API stay equivalent.
@@ -28,6 +31,8 @@ from repro.core import InferA, InferAConfig
 from repro.db import Database
 from repro.eval import EvaluationHarness, HarnessConfig, format_table2
 from repro.llm.errors import NO_ERRORS, ErrorModel
+from repro.obs.cost import CostLedger
+from repro.obs.events import EventBus, LiveRenderer, use_bus
 from repro.obs.export import (
     read_spans,
     render_tree,
@@ -75,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the calibrated LLM-error injection")
     query.add_argument("--parallel-viz", action="store_true")
     query.add_argument("--qa-mode", choices=("score", "binary"), default="score")
+    query.add_argument("--live", action="store_true",
+                       help="stream span completions to stderr as they happen")
+    query.add_argument("--token-budget", type=int, default=None,
+                       help="hard per-session token ceiling; exceeding it ends "
+                            "the session as a classified 'budget-exceeded' failure")
 
     evaluate = sub.add_parser("eval", help="run the 20-question evaluation (Table 2)")
     evaluate.add_argument("--ensemble", required=True)
@@ -88,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="inject deterministic infrastructure faults at the "
                                "named intensity; the resilience layer must absorb "
                                "them (fault counters are reported after the table)")
+    evaluate.add_argument("--live", action="store_true",
+                          help="stream cell/session completions to stderr as they "
+                               "happen (also switches the merged trace to "
+                               "incremental writes)")
 
     sql = sub.add_parser("sql", help="run SQL against an analysis database")
     sql.add_argument("statement")
@@ -110,6 +124,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "clear: drop in-process tiers and on-disk entries")
     cache.add_argument("--workdir", default="infera_workspace",
                        help="workdir whose .query_cache/.retrieval_cache to report")
+
+    cost = sub.add_parser("cost", help="report a run's LLM spend")
+    cost.add_argument("path",
+                      help="eval workdir (reads its cost_ledger.json) or a "
+                           "ledger .json file directly")
+    cost.add_argument("--by", choices=("agent", "node", "session", "attempt", "level"),
+                      default="agent",
+                      help="attribution field for the breakdown table")
+
+    profile = sub.add_parser(
+        "profile", help="answer one question under the sampling profiler"
+    )
+    profile.add_argument("question")
+    profile.add_argument("--ensemble", required=True)
+    profile.add_argument("--workdir", default="infera_profile")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--no-errors", action="store_true")
+    profile.add_argument("--hz", type=float, default=100.0,
+                         help="sampling frequency (default 100 Hz)")
+    profile.add_argument("--out", default=None,
+                         help="output base path; writes <out>.collapsed and "
+                              "<out>.svg (default <workdir>/profile)")
+
+    slo = sub.add_parser("slo", help="check SLO budgets against run artifacts")
+    slo.add_argument("action", choices=("check",),
+                     help="check: evaluate the policy and exit 1 on violations")
+    slo.add_argument("path",
+                     help="trace .jsonl file or a workdir containing one "
+                          "(metrics.json / cost_ledger.json beside the trace "
+                          "enable the histogram and spend gates)")
+    slo.add_argument("--policy", default=None,
+                     help="policy JSON file (default: the built-in "
+                          "machine-independent policy)")
+    slo.add_argument("--bench-dir", default=None,
+                     help="directory holding BENCH_*.json perf artifacts for "
+                          "the bench gates (e.g. benchmarks/output)")
 
     chat = sub.add_parser(
         "chat", help="interactive session with plan review (the paper's intended mode)"
@@ -141,21 +191,42 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _live_bus(enabled: bool, verbose: bool = False) -> EventBus | None:
+    """An event bus with a stderr renderer attached, or None when off."""
+    if not enabled:
+        return None
+    bus = EventBus()
+    bus.subscribe(LiveRenderer(stream=sys.stderr, verbose=verbose))
+    return bus
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     config = InferAConfig(
         seed=args.seed,
         error_model=NO_ERRORS if args.no_errors else ErrorModel(),
         parallel_viz=args.parallel_viz,
         qa_mode=args.qa_mode,
+        token_budget=args.token_budget,
     )
     app = InferA(Ensemble(args.ensemble), args.workdir, config)
     log.info("running query against %s (seed=%d)", args.ensemble, args.seed)
-    report = app.run_query(args.question)
+    bus = _live_bus(getattr(args, "live", False), verbose=args.verbose > 0)
+    if bus is not None:
+        with use_bus(bus):
+            report = app.run_query(args.question)
+    else:
+        report = app.run_query(args.question)
     log.debug("trace: %d spans recorded under %s", len(report.trace_spans), report.session_dir)
     print(f"completed: {report.completed}")
     print(f"steps: {sum(1 for s in report.run.steps if s.status == 'ok')}/{report.run.plan_size} ok")
     print(f"tokens: {report.tokens:,}  storage: {report.storage_bytes:,} bytes  "
           f"time: {report.time_s:.1f} s")
+    totals = report.cost.get("totals", {})
+    if totals.get("calls"):
+        print(f"cost: ${report.cost_usd:.4f} over {totals['calls']} LLM calls "
+              f"({totals['total_tokens']:,} tokens)")
+    if report.run.failure:
+        print(f"failure: {report.run.failure}")
     if report.run.load_report:
         print(f"ensemble bytes read: {report.run.load_report.bytes_selected:,} "
               f"({report.run.load_report.selectivity:.3%})")
@@ -187,7 +258,12 @@ def cmd_eval(args: argparse.Namespace) -> int:
             fault_profile=fault_profile,
         ),
     )
-    result = harness.run_suite()
+    bus = _live_bus(getattr(args, "live", False), verbose=args.verbose > 0)
+    if bus is not None:
+        with use_bus(bus):
+            result = harness.run_suite()
+    else:
+        result = harness.run_suite()
     print(format_table2(result.aggregator.table2_rows()))
     perf = result.perf
     if perf is not None:
@@ -203,6 +279,12 @@ def cmd_eval(args: argparse.Namespace) -> int:
                  "%d misses (%.1f%% hit ratio); %d invalidations",
                  qc.hits, qc.memory_hits, qc.disk_hits, qc.incremental_hits,
                  qc.misses, 100.0 * qc.hit_ratio, qc.invalidations)
+        totals = (perf.cost or {}).get("totals", {})
+        if totals.get("calls"):
+            log.info("[cost] $%.4f over %d LLM calls (%s tokens); "
+                     "details: repro cost %s",
+                     totals["cost_usd"], totals["calls"],
+                     f"{totals['total_tokens']:,}", args.workdir)
         if fault_profile is not None or perf.fault_counters:
             counters = perf.fault_counters
             injected = counters.get("faults.injected", 0)
@@ -334,7 +416,17 @@ def cmd_chat(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    spans = read_spans(args.path)
+    try:
+        spans = read_spans(args.path)
+    except FileNotFoundError:
+        # a fresh workdir simply has no trace yet; that's a state to
+        # report, not a stack trace
+        print(f"no trace yet under {args.path} "
+              f"(run a query or the eval harness first)")
+        return 0
+    if not spans:
+        print(f"trace at {args.path} is empty (no spans recorded yet)")
+        return 0
     if args.action == "summary":
         print(summarize(spans))
     elif args.action == "tree":
@@ -351,6 +443,89 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cost(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    ledger_path = path if path.is_file() else path / "cost_ledger.json"
+    if not ledger_path.is_file():
+        print(f"no cost ledger under {args.path} "
+              f"(run the eval harness with cost metering first)")
+        return 0
+    import json as _json
+
+    ledger = CostLedger.from_dict(_json.loads(ledger_path.read_text()))
+    totals = ledger.as_dict()["totals"]
+    budget = ledger.token_budget
+    budget_note = f" (budget {budget:,} tokens)" if budget else ""
+    print(f"cost ledger {ledger_path}")
+    print(f"  total: ${totals['cost_usd']:.4f} over {totals['calls']} LLM calls, "
+          f"{totals['total_tokens']:,} tokens "
+          f"({totals['prompt_tokens']:,} prompt + "
+          f"{totals['completion_tokens']:,} completion){budget_note}")
+    print(f"\nby {args.by}:")
+    print(f"  {args.by:<16} {'calls':>6} {'tokens':>10} {'usd':>10}")
+    for name, entry in ledger.by_field(args.by).items():
+        print(f"  {name:<16} {entry.calls:>6} {entry.total_tokens:>10,} "
+              f"{entry.cost_usd:>10.4f}")
+    curve = ledger.growth_curve()
+    if curve:
+        # the paper's §4.5 view: token spend per redo attempt, by tier
+        print("\ntoken growth per redo attempt (by difficulty tier):")
+        for level, tier in curve.items():
+            steps = "  ".join(f"attempt {a}: {t:,}" for a, t in tier.items())
+            print(f"  level {level}: {steps}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.names import PROFILE_CAPTURE_SPAN
+    from repro.obs.profiler import SamplingProfiler, write_profile
+    from repro.obs.tracer import Tracer, use_tracer
+
+    config = InferAConfig(
+        seed=args.seed,
+        error_model=NO_ERRORS if args.no_errors else ErrorModel(),
+    )
+    app = InferA(Ensemble(args.ensemble), args.workdir, config)
+    profiler = SamplingProfiler(hz=args.hz)
+    # an outer tracer so the capture is a (canonical-excluded) span the
+    # session trace hangs under, exactly like harness-embedded profiling
+    tracer = Tracer()
+    with use_tracer(tracer), tracer.span(PROFILE_CAPTURE_SPAN, hz=args.hz) as sp:
+        with profiler:
+            report_q = app.run_query(args.question)
+        sp.set(samples=profiler.report.samples)
+    prof = profiler.report
+    out_base = Path(args.out) if args.out else Path(args.workdir) / "profile"
+    collapsed, svg = write_profile(prof, out_base, title=f"repro: {args.question}")
+    print(f"query completed: {report_q.completed}")
+    print(f"profile: {prof.samples} samples at {args.hz:g} Hz "
+          f"({len(prof.stacks)} unique stacks, {prof.dropped_stacks} dropped)")
+    if prof.span_samples:
+        ranked = sorted(prof.span_samples.items(), key=lambda kv: (-kv[1], kv[0]))
+        print("time by enclosing span:")
+        for name, count in ranked[:8]:
+            print(f"  {name or '(outside spans)':<24} {count:>6}")
+    for leaf, count in prof.top_functions(8):
+        print(f"  hot: {leaf} ({count})")
+    print(f"collapsed stacks: {collapsed}")
+    print(f"flamegraph: {svg}")
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from repro.obs.slo import SLOPolicy, check_workdir
+
+    policy = SLOPolicy.from_json(args.policy) if args.policy else SLOPolicy.default()
+    try:
+        report = check_workdir(args.path, policy=policy, bench_dir=args.bench_dir)
+    except FileNotFoundError:
+        print(f"no trace yet under {args.path} "
+              f"(run a query or the eval harness first)")
+        return 0
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "info": cmd_info,
@@ -360,6 +535,9 @@ _COMMANDS = {
     "cache": cmd_cache,
     "chat": cmd_chat,
     "trace": cmd_trace,
+    "cost": cmd_cost,
+    "profile": cmd_profile,
+    "slo": cmd_slo,
 }
 
 
@@ -368,7 +546,11 @@ def main(argv: list[str] | None = None) -> int:
     # pass the stream explicitly so repeated in-process invocations (tests,
     # embedding apps) follow the current sys.stderr rather than a stale one
     setup_logging(args.verbose - args.quiet, stream=sys.stderr)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # stdout consumer went away (e.g. `repro trace tree ... | head`)
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,7 +35,11 @@ from repro.frame import Frame
 from repro.graph.checkpoint import DurableCheckpointer
 from repro.llm import HashedEmbedder, MockLLM
 from repro.llm.base import MeteredModel
+from repro.obs.cost import CostLedger, cost_attribution, use_ledger
+from repro.obs.metrics import get_registry
+from repro.obs.names import COST_LEDGER_SPAN, SESSION_SPAN
 from repro.obs.tracer import Tracer, current_context, use_tracer
+from repro.resilience import BudgetExceeded
 from repro.provenance import ProvenanceTracker
 from repro.rag import ColumnRetriever, RetrievalArtifactCache
 from repro.sandbox import InProcessClient, SandboxClient, SandboxExecutor
@@ -60,6 +64,9 @@ class QueryReport:
     # the session's execution trace as serialized span dicts (also written
     # to the provenance trail as a kind="trace" JSONL artifact)
     trace_spans: list[dict] = field(default_factory=list)
+    # the session's cost ledger (CostLedger.as_dict()): per-(session,
+    # agent, node, attempt, level) token/USD spend plus derived totals
+    cost: dict = field(default_factory=dict)
 
     # convenience passthroughs -----------------------------------------
     @property
@@ -89,6 +96,10 @@ class QueryReport:
     @property
     def analysis_steps(self) -> int:
         return self.run.analysis_steps
+
+    @property
+    def cost_usd(self) -> float:
+        return float(self.cost.get("totals", {}).get("cost_usd", 0.0))
 
 
 class InferA:
@@ -204,43 +215,90 @@ class InferA:
         context, db = self._build_context(session_id, tracer)
         context.provenance.record_query(question)
 
-        with use_faults(self.fault_injector), use_tracer(tracer), tracer.span(
-            "session", session_id=session_id
+        # every session is metered: LLM spend lands in a per-session
+        # ledger attributed by (session, agent, node, attempt, level),
+        # with the optional hard token budget enforced at agent chats
+        ledger = CostLedger(token_budget=self.config.token_budget)
+        plan_result: PlanningResult | None = None
+        with use_faults(self.fault_injector), use_tracer(tracer), use_ledger(
+            ledger
+        ), cost_attribution(session=session_id), tracer.span(
+            SESSION_SPAN, session_id=session_id
         ):
-            planner = PlanningAgent(context)
-            with tracer.span("plan.generate") as plan_span:
-                plan_result = planner.plan(question, feedback=feedback)
-                plan_span.set(steps=len(plan_result.steps))
-            if plan_transform is not None:
-                transformed = plan_transform([dict(s) for s in plan_result.steps])
-                plan_result.steps = [dict(s, index=i) for i, s in enumerate(transformed)]
+            try:
+                planner = PlanningAgent(context)
+                with tracer.span("plan.generate") as plan_span, cost_attribution(
+                    node="plan"
+                ):
+                    plan_result = planner.plan(question, feedback=feedback)
+                    plan_span.set(steps=len(plan_result.steps))
+                if plan_transform is not None:
+                    transformed = plan_transform([dict(s) for s in plan_result.steps])
+                    plan_result.steps = [dict(s, index=i) for i, s in enumerate(transformed)]
 
-            loader = DataLoadingAgent(context, self.ensemble)
-            checkpointer = None
-            if self.config.use_checkpointer and self.config.durable_checkpoints:
-                checkpointer = DurableCheckpointer(
-                    self.workdir / session_id / "checkpoints"
+                loader = DataLoadingAgent(context, self.ensemble)
+                checkpointer = None
+                if self.config.use_checkpointer and self.config.durable_checkpoints:
+                    checkpointer = DurableCheckpointer(
+                        self.workdir / session_id / "checkpoints"
+                    )
+                supervisor = Supervisor(
+                    context,
+                    loader,
+                    max_revisions=self.config.max_revisions,
+                    qa_mode=self.config.qa_mode,
+                    enable_documentation=self.config.enable_documentation,
+                    supervisor_history=self.config.supervisor_history,
+                    use_checkpointer=self.config.use_checkpointer,
+                    parallel_viz=self.config.parallel_viz,
+                    checkpointer=checkpointer,
                 )
-            supervisor = Supervisor(
-                context,
-                loader,
-                max_revisions=self.config.max_revisions,
-                qa_mode=self.config.qa_mode,
-                enable_documentation=self.config.enable_documentation,
-                supervisor_history=self.config.supervisor_history,
-                use_checkpointer=self.config.use_checkpointer,
-                parallel_viz=self.config.parallel_viz,
-                checkpointer=checkpointer,
-            )
-            self._last_supervisor = supervisor
-            self._last_context = context
-            run = supervisor.execute(
-                question,
-                plan_result.steps,
-                plan_result.semantic_level,
-                plan_result.intent,
-                thread_id=session_id,
-            )
+                self._last_supervisor = supervisor
+                self._last_context = context
+                run = supervisor.execute(
+                    question,
+                    plan_result.steps,
+                    plan_result.semantic_level,
+                    plan_result.intent,
+                    thread_id=session_id,
+                )
+            except BudgetExceeded as exc:
+                # budget blown during planning, before the supervisor's own
+                # handler could take over: classify and end the session
+                get_registry().counter("cost.budget_exceeded").inc()
+                if plan_result is None:
+                    plan_result = PlanningResult(
+                        intent={}, steps=[], semantic_level=0,
+                        reasoning="", rounds=0,
+                    )
+                run = RunReport(
+                    question=question,
+                    completed=False,
+                    failed_at_step=None,
+                    steps=[],
+                    plan_size=len(plan_result.steps),
+                    analysis_steps=0,
+                    tokens=context.total_tokens,
+                    storage_bytes=context.provenance.storage_bytes(),
+                    time_s=context.simulated_latency_s,
+                    llm_latency_s=context.simulated_latency_s,
+                    redo_iterations=0,
+                    load_report=None,
+                    tables={},
+                    figures=[],
+                    semantic_level=0,
+                    intent=plan_result.intent,
+                    failure=exc.classification,
+                )
+            # telemetry-only rollup span (canonical-tree excluded): the
+            # session's spend travels with its trace
+            with tracer.span(COST_LEDGER_SPAN) as cost_span:
+                cost_span.set(
+                    calls=ledger.total_calls(),
+                    total_tokens=ledger.total_tokens(),
+                    cost_usd=ledger.total_cost_usd(),
+                    budget_tokens=self.config.token_budget,
+                )
         spans = tracer.span_dicts()
         context.provenance.record_trace(spans)
         return QueryReport(
@@ -249,6 +307,7 @@ class InferA:
             session_dir=context.provenance.root,
             db_bytes=db.nbytes(),
             trace_spans=spans,
+            cost=ledger.as_dict(),
         )
 
 

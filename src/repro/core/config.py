@@ -57,3 +57,8 @@ class InferAConfig:
     # persist checkpoints under "<workdir>/<session>/checkpoints" so a
     # restarted process can resume/branch; only active with use_checkpointer
     durable_checkpoints: bool = True
+    # hard per-session token budget enforced by the cost ledger at the
+    # agent boundary (None = unbounded): crossing it raises a classified
+    # BudgetExceeded that ends the session like a resilience failure,
+    # putting a ceiling on QA-redo token growth (§4.5)
+    token_budget: int | None = None

@@ -69,6 +69,7 @@ from repro.db.sql.normalize import (
 )
 from repro.frame import Frame
 from repro.obs.logsetup import get_logger
+from repro.obs.names import SQL_EXECUTE_SPAN
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
 from repro.util.stats import MergeableCounters
@@ -311,7 +312,7 @@ class QueryResultCache:
         # so "sql.queries" stays identical between cached and cold runs
         get_registry().counter("sql.queries").inc()
         if tier != "incremental":  # incremental emits its own sql.execute span
-            with get_tracer().span("sql.execute", cache=tier, **_shape_attrs(plan)) as sp:
+            with get_tracer().span(SQL_EXECUTE_SPAN, cache=tier, **_shape_attrs(plan)) as sp:
                 sp.set(rows=frame.num_rows)
         return _view(frame)
 
@@ -347,7 +348,7 @@ class QueryResultCache:
                 continue  # evicted since it was registered
             residual_stmt = replace(stmt, where=conjoin(residual))
             with get_tracer().span(
-                "sql.execute",
+                SQL_EXECUTE_SPAN,
                 cache="incremental",
                 residual_conjuncts=len(residual),
                 **_shape_attrs(plan),

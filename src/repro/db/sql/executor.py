@@ -47,7 +47,9 @@ from repro.db.sql.expressions import evaluate, expr_name
 from repro.db.sql.pruning import skip_reason
 from repro.frame import Frame, concat
 from repro.frame.join import merge
+from repro.obs.events import NULL_BUS, get_bus
 from repro.obs.metrics import get_registry
+from repro.obs.names import MORSEL_EVENT, SQL_EXECUTE_SPAN
 from repro.obs.tracer import get_tracer
 
 
@@ -169,7 +171,7 @@ def execute(
     stats = scan_stats if scan_stats is not None else ScanStats()
     stats.threads = max(stats.threads, threads)
     with get_tracer().span(
-        "sql.execute",
+        SQL_EXECUTE_SPAN,
         grouped=bool(stmt.group_by)
         or any(ast.contains_aggregate(item.expr) for item in stmt.items),
         joins=len(stmt.joins),
@@ -356,6 +358,21 @@ def _piece_stream(source, work: Callable, threads: int, stats: ScanStats | None)
     surviving row group; everything else (frames, joins, subqueries) is
     already materialized and runs inline.
     """
+    bus = get_bus()
+    if bus is not NULL_BUS:
+        # live telemetry: each morsel completion publishes a counter event
+        # carrying the enclosing sql.execute span id, captured here on the
+        # coordinator thread (worker threads have no span stack), so
+        # subscribers see per-morsel progress parented on the right query
+        enclosing = get_tracer().current()
+        enclosing_id = getattr(enclosing, "span_id", None)
+        inner_work = work
+
+        def work(chunk, _inner=inner_work, _sid=enclosing_id, _bus=bus):
+            piece = _inner(chunk)
+            _bus.publish_counter(MORSEL_EVENT, 1, span_id=_sid)
+            return piece
+
     morsels = source.morsels()
     if threads > 1 and morsels is not None and len(morsels) > 1:
         pool = _shared_pool(threads)

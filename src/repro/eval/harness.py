@@ -24,6 +24,7 @@ counters for both land in ``HarnessResult.perf``.
 
 from __future__ import annotations
 
+import json
 import os
 import zlib
 from concurrent.futures import ProcessPoolExecutor
@@ -42,6 +43,14 @@ from repro.eval.questions import (
 )
 from repro.faults import FaultProfile
 from repro.llm.errors import ErrorModel
+from repro.obs.cost import CostLedger
+from repro.obs.events import (
+    NULL_BUS,
+    JsonlSink,
+    get_bus,
+    replay_counters,
+    replay_spans,
+)
 from repro.obs.export import phase_rollups, write_jsonl
 from repro.obs.metrics import (
     empty_snapshot,
@@ -70,6 +79,9 @@ class HarnessConfig:
     # so the metrics rows stay identical to a fault-free suite; fault and
     # recovery counters surface in ``HarnessPerf.fault_counters``.
     fault_profile: FaultProfile | None = None
+    # per-session hard token budget threaded into every run's
+    # InferAConfig; blown budgets end sessions as classified failures
+    token_budget: int | None = None
 
 
 @dataclass
@@ -89,6 +101,9 @@ class RunOutcome:
     # obs-metrics delta measured around the cell; deltas from worker
     # processes merge element-wise into the suite total
     obs_metrics: dict = field(default_factory=empty_snapshot)
+    # the session's cost ledger (CostLedger.as_dict()); cell ledgers
+    # merge entry-wise into the suite ledger like metrics snapshots
+    cost: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -105,6 +120,9 @@ class HarnessPerf:
     # the merged suite trace, plus the merged obs-metrics snapshot
     span_rollups: dict = field(default_factory=dict)
     obs_metrics: dict = field(default_factory=empty_snapshot)
+    # the suite cost ledger (CostLedger.as_dict()): every cell's session
+    # ledger merged entry-wise, totals == Σ per-entry spend
+    cost: dict = field(default_factory=dict)
 
     @property
     def fault_counters(self) -> dict[str, int]:
@@ -129,6 +147,7 @@ class HarnessPerf:
             "fault_counters": self.fault_counters,
             "span_rollups": dict(self.span_rollups),
             "obs_metrics": dict(self.obs_metrics),
+            "cost": dict(self.cost),
         }
 
 
@@ -236,23 +255,38 @@ class EvaluationHarness:
 
         query_cache.clear_memory_cache()
 
+        # streaming telemetry: when an event bus is active (repro eval
+        # --live, serving layer), the trace file is written incrementally
+        # by a JSONL sink as spans end, replacing the end-of-run export
+        trace_path = self.workdir / "trace.jsonl"
+        bus = get_bus()
+        sink: JsonlSink | None = None
+        if bus is not NULL_BUS:
+            sink = JsonlSink(trace_path)
+            bus.subscribe(sink)
+
         # the suite tracer owns the root span; its TraceContext is handed to
         # every cell — in both modes, so sequential and parallel runs build
         # the same span tree
         tracer = Tracer(clock=self.clock)
         start = tracer.clock.now()
-        with use_tracer(tracer), tracer.span(
-            "harness.run_suite",
-            questions=len(questions),
-            runs_per_question=runs,
-            workers=n_workers,
-        ):
-            ctx = tracer.context()
-            if n_workers <= 1 or len(grid) <= 1:
-                outcomes = [self._execute_cell(q, ri, ctx) for q, ri in grid]
-            else:
-                outcomes = self._run_parallel(grid, n_workers, ctx)
-        total_wall = tracer.clock.now() - start
+        try:
+            with use_tracer(tracer), tracer.span(
+                "harness.run_suite",
+                questions=len(questions),
+                runs_per_question=runs,
+                workers=n_workers,
+            ):
+                ctx = tracer.context()
+                if n_workers <= 1 or len(grid) <= 1:
+                    outcomes = [self._execute_cell(q, ri, ctx) for q, ri in grid]
+                else:
+                    outcomes = self._run_parallel(grid, n_workers, ctx)
+            total_wall = tracer.clock.now() - start
+        finally:
+            if sink is not None:
+                bus.unsubscribe(sink)
+                sink.close()
 
         # canonical-order merge: outcomes arrive in grid order regardless
         # of which worker finished first, so the row list is identical to
@@ -261,6 +295,7 @@ class EvaluationHarness:
         kept: list = []
         cache_total = CacheStats()
         query_cache_total = QueryCacheStats()
+        suite_ledger = CostLedger()
         per_run_wall: list[float] = []
         all_spans: list[dict] = list(tracer.span_dicts())
         obs_total = empty_snapshot()
@@ -268,13 +303,19 @@ class EvaluationHarness:
             aggregator.add(outcome.metrics)
             cache_total.merge(outcome.cache_stats)
             query_cache_total.merge(outcome.query_cache_stats)
+            suite_ledger.merge(outcome.cost)
             per_run_wall.append(outcome.wall_s)
             all_spans.extend(outcome.spans)
             obs_total = merge_snapshots(obs_total, outcome.obs_metrics)
             if outcome.report is not None:
                 kept.append(outcome.report)
-        trace_path = self.workdir / "trace.jsonl"
-        write_jsonl(all_spans, trace_path)
+        if sink is None:
+            write_jsonl(all_spans, trace_path)
+        suite_cost = suite_ledger.as_dict()
+        # persisted beside the trace so `repro cost` / `repro slo check`
+        # can read a suite's spend and exact histogram extremes post-hoc
+        (self.workdir / "cost_ledger.json").write_text(json.dumps(suite_cost, indent=1))
+        (self.workdir / "metrics.json").write_text(json.dumps(obs_total, indent=1))
         perf = HarnessPerf(
             workers=n_workers,
             total_wall_s=total_wall,
@@ -284,6 +325,7 @@ class EvaluationHarness:
             query_cache=query_cache_total,
             span_rollups=phase_rollups(all_spans),
             obs_metrics=obs_total,
+            cost=suite_cost,
         )
         return HarnessResult(
             aggregator=aggregator,
@@ -300,13 +342,27 @@ class EvaluationHarness:
         n_workers: int,
         ctx: TraceContext | None,
     ) -> list[RunOutcome]:
+        bus = get_bus()
         with ProcessPoolExecutor(
             max_workers=n_workers,
             initializer=_pool_init,
             initargs=(str(self.ensemble.root), str(self.workdir), self.config),
         ) as pool:
             futures = [pool.submit(_pool_execute, q, ri, ctx) for q, ri in grid]
-            return [f.result() for f in futures]
+            outcomes: list[RunOutcome] = []
+            for future in futures:
+                outcome = future.result()
+                # cross-process propagation: fork children reset their
+                # ambient bus (they must not write into inherited sinks),
+                # so each cell's spans and counter deltas are re-published
+                # here as the future resolves — parenting rides on the
+                # span dicts' parent_id, so subscribers see the same
+                # canonical tree a sequential in-process run publishes
+                if bus is not NULL_BUS:
+                    replay_spans(bus, outcome.spans)
+                    replay_counters(bus, outcome.obs_metrics.get("counters", {}))
+                outcomes.append(outcome)
+            return outcomes
 
     # ------------------------------------------------------------------
     def _execute_cell(
@@ -355,6 +411,7 @@ class EvaluationHarness:
             report=report if self.config.keep_reports else None,
             spans=cell_tracer.span_dicts() + list(report.trace_spans),
             obs_metrics=snapshot_delta(get_registry().snapshot(), obs_before),
+            cost=report.cost,
         )
 
     def run_once(self, question: EvalQuestion, run_index: int):
@@ -370,6 +427,7 @@ class EvaluationHarness:
                 retrieval_cache_dir=str(self.workdir / ".retrieval_cache"),
                 query_cache_dir=str(self.workdir / ".query_cache"),
                 fault_profile=self.config.fault_profile,
+                token_budget=self.config.token_budget,
             ),
             clock=self.clock,
         )

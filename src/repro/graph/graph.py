@@ -8,6 +8,7 @@ from typing import Any, Callable
 from repro.graph.checkpoint import Checkpointer
 from repro.graph.events import ExecutionEvent
 from repro.graph.state import Channel, apply_update, initial_state
+from repro.obs.cost import cost_attribution
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 END = "__end__"
@@ -172,9 +173,10 @@ class CompiledGraph:
             if fn is None:
                 raise GraphError(f"unknown node {current!r}")
             started_at = self.tracer.clock.now()
+            # LLM spend inside the node is attributed to it in the ledger
             with self.tracer.span(
                 f"graph.node.{current}", thread=thread_id, seq=self._seq.get(thread_id, 0)
-            ):
+            ), cost_attribution(node=current):
                 update = fn(run_state) or {}
                 if not isinstance(update, dict):
                     raise GraphError(f"node {current!r} must return a dict update")

@@ -33,6 +33,8 @@ from repro.llm.base import ChatMessage, ChatResponse, prompt_tokens_of
 from repro.llm.errors import ErrorModel, choose_corruptions
 from repro.llm.interpret import interpret_question
 from repro.llm.plan import expand_intent, semantic_level
+from repro.obs.cost import DEFAULT_MODEL, record_llm_call
+from repro.obs.names import LLM_CHAT_SPAN
 from repro.obs.tracer import get_tracer
 from repro.util.rngs import SeedSequenceFactory
 from repro.util.tokens import count_tokens
@@ -79,6 +81,8 @@ class MockLLM:
         self.truncated_calls = 0
         self._memory: dict[str, _StepMemory] = {}
         self._calls = 0
+        # priced model identity for the cost ledger (obs.cost.PRICE_TABLE)
+        self.model = DEFAULT_MODEL
 
     # ------------------------------------------------------------------
     def chat(self, messages: list[ChatMessage], role: str = "agent") -> ChatResponse:
@@ -104,7 +108,7 @@ class MockLLM:
         pm = _PAYLOAD_RE.search(last)
         if pm:
             payload = json.loads(pm.group(1))
-        with get_tracer().span("llm.chat", skill=skill) as sp:
+        with get_tracer().span(LLM_CHAT_SPAN, skill=skill) as sp:
             handler = getattr(self, f"_skill_{skill}", None)
             if handler is None:
                 completion = self._skill_doc(payload, last)
@@ -121,6 +125,16 @@ class MockLLM:
                 completion_tokens=response.completion_tokens,
                 latency_s=response.latency_s,
             )
+            cost_usd = record_llm_call(
+                response.prompt_tokens,
+                response.completion_tokens,
+                model=self.model,
+                agent=skill,
+            )
+            if cost_usd is not None:
+                # COST_ATTRS: present only on metered runs, excluded from
+                # canonical trees so metered ≡ unmetered
+                sp.set(cost_usd=cost_usd, model=self.model)
         return response
 
     # ------------------------------------------------------------------

@@ -1,13 +1,40 @@
-"""``repro.obs`` — end-to-end tracing, metrics, and logging.
+"""``repro.obs`` — end-to-end tracing, metrics, events, cost, and SLOs.
 
 Dependency-free observability for the whole assistant: hierarchical
 spans over supervisor steps, graph nodes, SQL, sandbox runs, retrieval
 and LLM exchanges (:mod:`repro.obs.tracer`); mergeable process-local
-counters/gauges/histograms (:mod:`repro.obs.metrics`); JSONL +
-Chrome-trace exporters and trace analyzers (:mod:`repro.obs.export`);
-and the single ``repro`` logging hierarchy (:mod:`repro.obs.logsetup`).
+counters/gauges/histograms (:mod:`repro.obs.metrics`); a bounded-queue
+streaming event bus with pluggable subscribers
+(:mod:`repro.obs.events`); the per-session cost ledger with attribution
+and hard token budgets (:mod:`repro.obs.cost`); a sampling profiler
+with flamegraph output (:mod:`repro.obs.profiler`); declarative SLO
+gates (:mod:`repro.obs.slo`); shared span-name/attribute constants
+(:mod:`repro.obs.names`); JSONL + Chrome-trace exporters and trace
+analyzers (:mod:`repro.obs.export`); and the single ``repro`` logging
+hierarchy (:mod:`repro.obs.logsetup`).
 """
 
+from repro.obs.cost import (
+    CostEntry,
+    CostLedger,
+    cost_attribution,
+    current_attribution,
+    get_ledger,
+    record_llm_call,
+    use_ledger,
+)
+from repro.obs.events import (
+    NULL_BUS,
+    CollectingSubscriber,
+    Event,
+    EventBus,
+    JsonlSink,
+    LiveRenderer,
+    get_bus,
+    replay_counters,
+    replay_spans,
+    use_bus,
+)
 from repro.obs.export import (
     canonical_tree,
     chrome_trace_json,
@@ -32,6 +59,8 @@ from repro.obs.metrics import (
     merge_snapshots,
     snapshot_delta,
 )
+from repro.obs.profiler import ProfileReport, SamplingProfiler, write_profile
+from repro.obs.slo import SLOPolicy, SLOReport, check_workdir
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -44,33 +73,56 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "CollectingSubscriber",
+    "CostEntry",
+    "CostLedger",
     "Counter",
+    "Event",
+    "EventBus",
     "Gauge",
     "Histogram",
+    "JsonlSink",
+    "LiveRenderer",
     "MetricsRegistry",
+    "NULL_BUS",
     "NULL_TRACER",
     "NullTracer",
+    "ProfileReport",
+    "SLOPolicy",
+    "SLOReport",
+    "SamplingProfiler",
     "Span",
     "TraceContext",
     "Tracer",
     "canonical_tree",
+    "check_workdir",
     "chrome_trace_json",
+    "cost_attribution",
+    "current_attribution",
     "current_context",
     "empty_snapshot",
+    "get_bus",
+    "get_ledger",
     "get_logger",
     "get_registry",
     "get_tracer",
     "merge_snapshots",
     "phase_rollups",
     "read_spans",
+    "record_llm_call",
     "render_tree",
+    "replay_counters",
+    "replay_spans",
     "setup_logging",
     "snapshot_delta",
     "sql_cache_counts",
     "summarize",
     "to_chrome_trace",
     "token_totals",
+    "use_bus",
+    "use_ledger",
     "use_tracer",
     "write_chrome_trace",
     "write_jsonl",
+    "write_profile",
 ]

@@ -1,0 +1,417 @@
+"""Streaming telemetry event bus: bounded, drop-counting pub/sub.
+
+PR 2 made every run *inspectable after the fact* — spans land in one
+``trace.jsonl`` when the run is over.  This module makes the same
+telemetry *observable while it happens*: the tracer publishes
+``span_start``/``span_end`` events and the metrics layer publishes
+``counter`` events onto an ambient :class:`EventBus`, whose subscribers
+include
+
+* :class:`JsonlSink` — the trace file written incrementally, one span
+  per line at span end, instead of in one burst at end of run;
+* :class:`LiveRenderer` — per-step progress lines on stderr for
+  ``repro eval --live`` / ``repro query --live``;
+* any callable attached with :meth:`EventBus.subscribe` — the pluggable
+  hook the future ``repro serve`` mode streams session progress through.
+
+Design constraints, matching the tracer's:
+
+* **near-zero overhead when nobody is listening** — instrumented code
+  pays one module-global read and an identity check per span/counter
+  when no bus is active (:data:`NULL_BUS`);
+* **bounded and drop-counting** — ``publish`` appends to a bounded
+  queue; when a burst outruns the queue, the newest events are dropped
+  and counted (``bus.dropped``) rather than blocking the traced work or
+  growing without bound;
+* **subscriber faults never propagate** — a raising subscriber is
+  counted (``bus.subscriber_errors``) and skipped, never allowed to fail
+  the run it is observing;
+* **process-wide and thread-safe** — the ambient bus is a module global
+  (not a contextvar) so events published from SQL morsel threads and
+  parallel-viz threads reach the same bus as the coordinator's, with a
+  lock serializing the queue.  Forked harness workers deliberately
+  *reset* the ambient bus (``os.register_at_fork``): a child publishing
+  into an inherited sink would interleave writes into the parent's file
+  descriptor.  Worker spans instead ship back with each
+  :class:`~repro.eval.harness.RunOutcome` and are re-published on the
+  parent by :func:`replay_spans`, preserving parenting because span
+  dicts carry their ``parent_id``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+SPAN_START = "span_start"
+SPAN_END = "span_end"
+COUNTER = "counter"
+
+
+@dataclass(slots=True)
+class Event:
+    """One telemetry event.
+
+    ``data`` is a span dict for span events (the same serialized form
+    exporters consume) or ``{"value": ..., "span_id": ...}`` for counter
+    events, where ``span_id`` names the enclosing span when the publisher
+    knows it (the SQL engine's morsel events use this for parenting).
+
+    A slotted, non-frozen dataclass: events are constructed on the
+    publish hot path (every span start/end and counter), where a frozen
+    dataclass pays ``object.__setattr__`` per field.  Treat instances as
+    immutable by convention.
+    """
+
+    kind: str
+    name: str
+    data: dict[str, Any] = field(default_factory=dict)
+    thread_id: int = 0
+
+    @property
+    def span_id(self) -> str | None:
+        return self.data.get("span_id")
+
+
+Subscriber = Callable[[Event], None]
+
+
+class NullBus:
+    """The ambient default: swallows everything, allocates nothing."""
+
+    __slots__ = ()
+    dropped = 0
+    published = 0
+
+    def publish(self, event: Event) -> None:
+        pass
+
+    def publish_span_start(self, span_doc: dict[str, Any]) -> None:
+        pass
+
+    def publish_span_end(self, span_doc: dict[str, Any]) -> None:
+        pass
+
+    def publish_counter(self, name: str, value: float = 1, span_id: str | None = None) -> None:
+        pass
+
+
+NULL_BUS = NullBus()
+
+
+class EventBus:
+    """Bounded-queue, drop-counting pub/sub for telemetry events.
+
+    ``publish`` enqueues under a lock and then pumps: queued events are
+    dispatched to every subscriber in publication order.  Only one
+    thread pumps at a time — a publisher arriving while another thread
+    is dispatching leaves its event on the queue for the active pump,
+    which keeps subscriber callbacks single-threaded and events ordered
+    without a dedicated dispatch thread.
+    """
+
+    def __init__(self, capacity: int = 8192):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._queue: deque[Event] = deque()
+        self._lock = threading.Lock()
+        self._pumping = False
+        self._subscribers: list[Subscriber] = []
+        self.published = 0
+        self.dropped = 0
+        self.dispatched = 0
+        self.subscriber_errors = 0
+
+    # -- subscriptions -------------------------------------------------
+    def subscribe(self, fn: Subscriber) -> Subscriber:
+        with self._lock:
+            if fn not in self._subscribers:
+                self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        with self._lock:
+            if fn in self._subscribers:
+                self._subscribers.remove(fn)
+
+    # -- publication ---------------------------------------------------
+    def publish(self, event: Event) -> None:
+        with self._lock:
+            if len(self._queue) >= self.capacity:
+                self.dropped += 1
+                return
+            self._queue.append(event)
+            self.published += 1
+        self.pump()
+
+    def publish_span_start(self, span_doc: dict[str, Any]) -> None:
+        self.publish(
+            Event(SPAN_START, span_doc.get("name", ""), span_doc,
+                  threading.get_ident())
+        )
+
+    def publish_span_end(self, span_doc: dict[str, Any]) -> None:
+        self.publish(
+            Event(SPAN_END, span_doc.get("name", ""), span_doc,
+                  threading.get_ident())
+        )
+
+    def publish_counter(self, name: str, value: float = 1, span_id: str | None = None) -> None:
+        data: dict[str, Any] = {"value": value}
+        if span_id is not None:
+            data["span_id"] = span_id
+        self.publish(Event(COUNTER, name, data, threading.get_ident()))
+
+    # -- dispatch ------------------------------------------------------
+    def pump(self) -> int:
+        """Dispatch queued events in order; returns how many were sent.
+
+        Re-entrant-safe: a subscriber that publishes (or a second thread
+        arriving mid-pump) leaves its events for the active pump loop.
+        """
+        dispatched = 0
+        while True:
+            with self._lock:
+                if self._pumping:
+                    return dispatched
+                if not self._queue:
+                    return dispatched
+                self._pumping = True
+                # drain the whole backlog in one batch: one lock round per
+                # pump instead of two per event keeps the hot publish path
+                # inside the site overhead budget (the common case is a
+                # single queued event — skip the copy-and-clear for it)
+                if len(self._queue) == 1:
+                    batch = (self._queue.popleft(),)
+                else:
+                    batch = tuple(self._queue)
+                    self._queue.clear()
+                subscribers = list(self._subscribers)
+            more = True
+            try:
+                for event in batch:
+                    for fn in subscribers:
+                        try:
+                            fn(event)
+                        except Exception:
+                            self.subscriber_errors += 1
+                    dispatched += 1
+                    self.dispatched += 1
+            finally:
+                with self._lock:
+                    self._pumping = False
+                    more = bool(self._queue)
+            if not more:
+                return dispatched
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "published": self.published,
+            "dispatched": self.dispatched,
+            "dropped": self.dropped,
+            "subscriber_errors": self.subscriber_errors,
+            "subscribers": len(self._subscribers),
+        }
+
+
+# ----------------------------------------------------------------------
+# the ambient bus
+# ----------------------------------------------------------------------
+_AMBIENT: EventBus | NullBus = NULL_BUS
+_AMBIENT_LOCK = threading.Lock()
+
+
+def get_bus() -> EventBus | NullBus:
+    """The process's active event bus, or the shared null bus."""
+    return _AMBIENT
+
+
+@contextmanager
+def use_bus(bus: EventBus) -> Iterator[EventBus]:
+    """Activate ``bus`` process-wide for the extent of the block.
+
+    A module global rather than a contextvar so events published from
+    worker *threads* (SQL morsels, parallel viz) reach the same bus;
+    nesting restores the previous bus on exit.
+    """
+    global _AMBIENT
+    with _AMBIENT_LOCK:
+        previous = _AMBIENT
+        _AMBIENT = bus
+    try:
+        yield bus
+    finally:
+        with _AMBIENT_LOCK:
+            _AMBIENT = previous
+
+
+def _reset_ambient() -> None:
+    global _AMBIENT
+    _AMBIENT = NULL_BUS
+
+
+import os  # noqa: E402  (placed here to keep the fork hook next to its rationale)
+
+if hasattr(os, "register_at_fork"):
+    # forked harness workers must not publish into the parent's sinks
+    # through inherited file descriptors; their spans ship back with the
+    # RunOutcome and are re-published on the parent via replay_spans
+    os.register_at_fork(after_in_child=_reset_ambient)
+
+
+# ----------------------------------------------------------------------
+# replay: cross-process propagation
+# ----------------------------------------------------------------------
+def replay_spans(bus: EventBus | NullBus, span_docs: list[dict[str, Any]]) -> int:
+    """Re-publish spans shipped back from a worker process.
+
+    Start events go out in span start order, end events in span end
+    order, so subscribers observe the same canonical structure a live
+    in-process run publishes (parenting is carried by the span dicts'
+    ``parent_id``); only the fine-grained interleaving differs.  Returns
+    the number of events published.
+    """
+    if bus is NULL_BUS or not span_docs:
+        return 0
+    starts = sorted(span_docs, key=lambda d: (float(d.get("start", 0.0)), str(d.get("span_id", ""))))
+    ends = sorted(
+        span_docs,
+        key=lambda d: (float(d.get("end") or d.get("start", 0.0)), str(d.get("span_id", ""))),
+    )
+    for doc in starts:
+        bus.publish_span_start(doc)
+    for doc in ends:
+        bus.publish_span_end(doc)
+    return 2 * len(span_docs)
+
+
+def replay_counters(bus: EventBus | NullBus, counters: dict[str, float]) -> int:
+    """Re-publish a worker cell's counter deltas as one event per name."""
+    if bus is NULL_BUS or not counters:
+        return 0
+    for name in sorted(counters):
+        bus.publish_counter(name, counters[name])
+    return len(counters)
+
+
+# ----------------------------------------------------------------------
+# subscribers
+# ----------------------------------------------------------------------
+class JsonlSink:
+    """Incremental trace writer: one span JSON line per ``span_end``.
+
+    Produces a trace file canonically equivalent to the end-of-run
+    :func:`repro.obs.export.write_jsonl` export (same spans, ordered by
+    span end instead of span start).  The file is truncated on first
+    write so a re-run of the same workdir starts clean.
+
+    Writes are buffered and flushed every ``flush_every`` spans (and on
+    ``close``/``flush``): a per-line fsync-style flush costs a syscall
+    per span — an order of magnitude more than the serialization — and
+    live tailing only needs the file to trail the run by a bounded
+    number of spans, not by zero.
+    """
+
+    def __init__(self, path: str | Path, flush_every: int = 32):
+        if flush_every <= 0:
+            raise ValueError("flush_every must be positive")
+        self.path = Path(path)
+        self.flush_every = flush_every
+        self.spans_written = 0
+        self._fh = None
+        self._lock = threading.Lock()
+
+    def __call__(self, event: Event) -> None:
+        if event.kind != SPAN_END:
+            return
+        line = json.dumps(event.data, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("w")
+            self._fh.write(line)
+            self.spans_written += 1
+            if self.spans_written % self.flush_every == 0:
+                self._fh.flush()
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+class LiveRenderer:
+    """Progress lines for humans: one per completed step-level span.
+
+    Subscribes to ``span_end`` events of the coarse-grained spans (grid
+    cells, sessions, plan/step/QA phases) and prints a compact line per
+    completion; fine-grained spans (SQL, sandbox internals) and counter
+    events are ignored so ``--live`` output stays readable.
+    """
+
+    INTERESTING = (
+        "harness.cell",
+        "session",
+        "plan.generate",
+        "step.sql",
+        "step.python",
+        "step.viz",
+        "qa.assess",
+        "llm.chat",
+    )
+
+    def __init__(self, stream=None, verbose: bool = False):
+        import sys
+
+        self.stream = stream if stream is not None else sys.stderr
+        self.verbose = verbose
+        self.lines = 0
+
+    def __call__(self, event: Event) -> None:
+        if event.kind != SPAN_END:
+            return
+        name = event.name
+        if not self.verbose and name not in self.INTERESTING:
+            return
+        doc = event.data
+        attrs = doc.get("attributes", {})
+        hints = " ".join(
+            f"{k}={attrs[k]}"
+            for k in ("qid", "run_index", "session_id", "step", "attempt",
+                      "skill", "ok", "passed", "steps")
+            if k in attrs
+        )
+        status = doc.get("status", "")
+        mark = "" if status == "ok" else f" [{status}]"
+        dur_ms = float(doc.get("duration", 0.0)) * 1e3
+        print(f"[live] {name:<18} {dur_ms:9.2f} ms  {hints}{mark}",
+              file=self.stream)
+        self.lines += 1
+
+
+class CollectingSubscriber:
+    """Test/serving helper: buffers every event it sees, in order."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+        self._lock = threading.Lock()
+
+    def __call__(self, event: Event) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        with self._lock:
+            return [e for e in self.events if e.kind == kind]

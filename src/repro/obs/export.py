@@ -22,6 +22,12 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.obs.names import (
+    CANONICAL_EXCLUDED_SPANS,
+    LLM_CHAT_SPAN,
+    SQL_EXECUTE_SPAN,
+    is_canonical_excluded_attr,
+)
 from repro.obs.tracer import Span
 
 SpanLike = Span | dict
@@ -149,7 +155,7 @@ def token_totals(spans: list[SpanLike]) -> dict[str, int]:
     prompt = completion = calls = 0
     for raw in spans:
         span = _as_dict(raw)
-        if span.get("name") != "llm.chat":
+        if span.get("name") != LLM_CHAT_SPAN:
             continue
         attrs = span.get("attributes", {})
         prompt += int(attrs.get("prompt_tokens", 0))
@@ -203,54 +209,43 @@ def render_tree(spans: list[SpanLike]) -> str:
     return "\n".join(lines)
 
 
-# attributes that vary run to run without the traced work differing:
-# latency-shaped measurements, plus the execution mode (worker count)
-_TIMING_ATTRS = {"latency_s", "wall_s", "duration_s", "workers"}
-# attributes that depend on which query-result-cache tier served a SELECT
-# (and how much scan work it therefore did) — a memory hit in one process
-# is a disk hit or a full scan in another without the *result* differing,
-# so these are dropped from canonicalization like timing.  The same goes
-# for the morsel engine's accounting: thread count and zone-vs-bloom skip
-# attribution are execution-mode details of a byte-identical result
-_CACHE_ATTRS = {"cache", "residual_conjuncts", "row_groups_total", "row_groups_skipped",
-                "row_groups_skipped_zone", "row_groups_skipped_bloom",
-                "morsels", "threads", "cache_quarantined"}
-# fault-injection and resilience accounting: a chaos run absorbs injected
-# faults (retries, fallbacks, quarantines) without the *work* differing,
-# so a chaos trace must canonicalize equal to a fault-free one
-_FAULT_ATTRS = {"faults", "retries", "attempts", "degraded", "degraded_reason", "probe"}
-
-
-def _is_fault_attr(key: str) -> bool:
-    return key in _FAULT_ATTRS or key.startswith("fault.")
-
-
 def canonical_tree(spans: list[SpanLike]) -> tuple:
     """Timing-free canonical form of a trace's span tree.
 
     Nodes are ``(name, sorted non-timing attrs, sorted children)``; ids,
-    start/end times, latency-shaped attributes, the worker count, and
-    cache-tier/scan-work attributes are dropped, so a parallel (or
-    cache-warm) evaluation compares equal to a sequential cold one
-    whenever the same operations happened with the same structure.
+    start/end times, latency-shaped attributes, the worker count,
+    cache-tier/scan-work, fault-absorption, and priced-cost attributes
+    (the exclusion lists in :mod:`repro.obs.names`) are dropped, so a
+    parallel (or cache-warm, or chaos, or cost-metered) evaluation
+    compares equal to a sequential cold one whenever the same operations
+    happened with the same structure.  Spans named in
+    ``CANONICAL_EXCLUDED_SPANS`` (cost rollups, profiler captures) are
+    dropped with their subtrees: they exist only when an optional
+    telemetry layer is on.
     """
     dicts = [_as_dict(s) for s in spans]
     roots, children = _children_index(dicts)
 
-    def canon(span: dict[str, Any]) -> tuple:
+    def canon(span: dict[str, Any]) -> tuple | None:
+        if span.get("name", "") in CANONICAL_EXCLUDED_SPANS:
+            return None
         attrs = tuple(
             sorted(
                 (k, repr(v))
                 for k, v in span.get("attributes", {}).items()
-                if k not in _TIMING_ATTRS
-                and k not in _CACHE_ATTRS
-                and not _is_fault_attr(k)
+                if not is_canonical_excluded_attr(k)
             )
         )
-        kids = tuple(sorted(canon(c) for c in children.get(span.get("span_id"), [])))
+        kids = tuple(
+            sorted(
+                c
+                for c in (canon(child) for child in children.get(span.get("span_id"), []))
+                if c is not None
+            )
+        )
         return (span.get("name", ""), span.get("status", ""), attrs, kids)
 
-    return tuple(sorted(canon(r) for r in roots))
+    return tuple(sorted(c for c in (canon(r) for r in roots) if c is not None))
 
 
 def summarize(spans: list[SpanLike]) -> str:
@@ -329,7 +324,7 @@ def engine_counts(spans: list[SpanLike]) -> dict[str, int]:
     }
     for span in spans:
         doc = _as_dict(span)
-        if doc.get("name") != "sql.execute":
+        if doc.get("name") != SQL_EXECUTE_SPAN:
             continue
         attrs = doc.get("attributes", {})
         counts["morsels"] += int(attrs.get("morsels", 0))
@@ -351,7 +346,7 @@ def sql_cache_counts(spans: list[SpanLike]) -> dict[str, int]:
     counts = {"memory": 0, "disk": 0, "incremental": 0, "miss": 0, "queries": 0}
     for span in spans:
         doc = _as_dict(span)
-        if doc.get("name") != "sql.execute":
+        if doc.get("name") != SQL_EXECUTE_SPAN:
             continue
         counts["queries"] += 1
         tier = doc.get("attributes", {}).get("cache", "miss")

@@ -16,9 +16,12 @@ addition of bucket counts, which is what makes the fold associative.
 from __future__ import annotations
 
 import bisect
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.obs.events import NULL_BUS, get_bus
 
 # default bounds (seconds) for latency-shaped histograms
 TIME_BUCKETS_S: tuple[float, ...] = (
@@ -41,6 +44,9 @@ class Counter:
         if amount < 0:
             raise ValueError("counters only go up")
         self.value += amount
+        bus = get_bus()
+        if bus is not NULL_BUS:
+            bus.publish_counter(self.name, amount)
 
 
 @dataclass
@@ -57,13 +63,24 @@ class Gauge:
 @dataclass
 class Histogram:
     """Fixed-bucket histogram: ``counts[i]`` holds observations
-    ``<= bounds[i]``; the final slot is the overflow bucket."""
+    ``<= bounds[i]``; the final slot is the overflow bucket.
+
+    Fixed buckets answer "what's the distribution shape" but report
+    p0/p100 as bucket edges; the supplementary ``underflow`` count (how
+    many observations fell strictly below ``bounds[0]`` — they still
+    land in ``counts[0]``) and the streaming ``vmin``/``vmax`` give the
+    exact extremes, which is what ``repro trace summary`` and the SLO
+    gates quote as true p0/p100.
+    """
 
     name: str
     bounds: tuple[float, ...] = TIME_BUCKETS_S
     counts: list[int] = field(default_factory=list)
     total: float = 0.0
     count: int = 0
+    underflow: int = 0
+    vmin: float = math.inf
+    vmax: float = -math.inf
 
     def __post_init__(self) -> None:
         if not self.counts:
@@ -75,10 +92,26 @@ class Histogram:
         self.counts[bisect.bisect_left(self.bounds, value)] += 1
         self.total += value
         self.count += 1
+        if value < self.bounds[0]:
+            self.underflow += 1
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def min_value(self) -> float | None:
+        """Exact smallest observation, or None when empty."""
+        return self.vmin if self.count else None
+
+    @property
+    def max_value(self) -> float | None:
+        """Exact largest observation, or None when empty."""
+        return self.vmax if self.count else None
 
     def merge(self, other: "Histogram") -> "Histogram":
         if tuple(other.bounds) != tuple(self.bounds):
@@ -89,6 +122,9 @@ class Histogram:
         self.counts = [a + b for a, b in zip(self.counts, other.counts)]
         self.total += other.total
         self.count += other.count
+        self.underflow += other.underflow
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
         return self
 
 
@@ -135,6 +171,10 @@ class MetricsRegistry:
                         "counts": list(h.counts),
                         "total": h.total,
                         "count": h.count,
+                        "underflow": h.underflow,
+                        # JSON has no inf: empty extremes serialize as None
+                        "min": h.min_value,
+                        "max": h.max_value,
                     }
                     for n, h in self.histograms.items()
                 },
@@ -149,16 +189,42 @@ class MetricsRegistry:
             self.gauge(name).set(value)
         for name, doc in snap.get("histograms", {}).items():
             hist = self.histogram(name, tuple(doc["bounds"]))
-            hist.merge(
-                Histogram(name, tuple(doc["bounds"]), list(doc["counts"]),
-                          doc["total"], doc["count"])
-            )
+            hist.merge(_hist_from_doc(name, doc))
 
     def reset(self) -> None:
         with self._lock:
             self.counters.clear()
             self.gauges.clear()
             self.histograms.clear()
+
+
+def _hist_from_doc(name: str, doc: dict[str, Any]) -> Histogram:
+    """Decode a histogram snapshot dict tolerantly: pre-underflow/min/max
+    snapshots (older traces, older workers) default to empty extremes."""
+    vmin = doc.get("min")
+    vmax = doc.get("max")
+    return Histogram(
+        name,
+        tuple(doc["bounds"]),
+        list(doc["counts"]),
+        doc.get("total", 0.0),
+        doc.get("count", 0),
+        doc.get("underflow", 0),
+        math.inf if vmin is None else vmin,
+        -math.inf if vmax is None else vmax,
+    )
+
+
+def _hist_doc(h: Histogram) -> dict[str, Any]:
+    return {
+        "bounds": list(h.bounds),
+        "counts": list(h.counts),
+        "total": h.total,
+        "count": h.count,
+        "underflow": h.underflow,
+        "min": h.min_value,
+        "max": h.max_value,
+    }
 
 
 def empty_snapshot() -> dict[str, Any]:
@@ -171,7 +237,7 @@ def merge_snapshots(a: dict[str, Any], b: dict[str, Any]) -> dict[str, Any]:
     out = {
         "counters": dict(a.get("counters", {})),
         "gauges": dict(a.get("gauges", {})),
-        "histograms": {n: dict(d, bounds=list(d["bounds"]), counts=list(d["counts"]))
+        "histograms": {n: _hist_doc(_hist_from_doc(n, d))
                        for n, d in a.get("histograms", {}).items()},
     }
     for name, value in b.get("counters", {}).items():
@@ -180,20 +246,22 @@ def merge_snapshots(a: dict[str, Any], b: dict[str, Any]) -> dict[str, Any]:
     for name, doc in b.get("histograms", {}).items():
         mine = out["histograms"].get(name)
         if mine is None:
-            out["histograms"][name] = dict(
-                doc, bounds=list(doc["bounds"]), counts=list(doc["counts"])
-            )
+            out["histograms"][name] = _hist_doc(_hist_from_doc(name, doc))
             continue
         if list(mine["bounds"]) != list(doc["bounds"]):
             raise ValueError(f"histogram {name!r} bucket bounds differ across snapshots")
-        mine["counts"] = [x + y for x, y in zip(mine["counts"], doc["counts"])]
-        mine["total"] += doc["total"]
-        mine["count"] += doc["count"]
+        merged = _hist_from_doc(name, mine).merge(_hist_from_doc(name, doc))
+        out["histograms"][name] = _hist_doc(merged)
     return out
 
 
 def snapshot_delta(after: dict[str, Any], before: dict[str, Any]) -> dict[str, Any]:
-    """What happened between two snapshots of the same registry."""
+    """What happened between two snapshots of the same registry.
+
+    Histogram extremes are not subtractable, so a delta carries the
+    *after* snapshot's min/max — an over-wide bound for the interval,
+    never an under-wide one, which is the safe direction for SLO checks.
+    """
     delta = empty_snapshot()
     for name, value in after.get("counters", {}).items():
         diff = value - before.get("counters", {}).get(name, 0)
@@ -203,7 +271,7 @@ def snapshot_delta(after: dict[str, Any], before: dict[str, Any]) -> dict[str, A
     for name, doc in after.get("histograms", {}).items():
         prior = before.get("histograms", {}).get(
             name, {"bounds": doc["bounds"], "counts": [0] * len(doc["counts"]),
-                   "total": 0.0, "count": 0}
+                   "total": 0.0, "count": 0, "underflow": 0}
         )
         counts = [a - b for a, b in zip(doc["counts"], prior["counts"])]
         if any(counts):
@@ -212,6 +280,9 @@ def snapshot_delta(after: dict[str, Any], before: dict[str, Any]) -> dict[str, A
                 "counts": counts,
                 "total": doc["total"] - prior["total"],
                 "count": doc["count"] - prior["count"],
+                "underflow": doc.get("underflow", 0) - prior.get("underflow", 0),
+                "min": doc.get("min"),
+                "max": doc.get("max"),
             }
     return delta
 

@@ -1,0 +1,106 @@
+"""Shared span names and canonicalization exclusion lists.
+
+Before this module, the ``sql.execute`` span name and the sets of
+attributes excluded from canonical trees were string-matched
+independently in :mod:`repro.obs.export`, :mod:`repro.obs.tracer`
+docstrings, :mod:`repro.db.sql.executor`, and :mod:`repro.db.cache` —
+four places that had to agree by review alone.  Every instrumented
+component now imports the constants from here, so a new excluded span
+kind (the cost ledger's rollup span, the profiler's capture span) is
+declared once and every consumer — exporters, analyzers, the SLO gates —
+moves together.
+
+Two kinds of canonicalization exclusion:
+
+* **attributes** (``TIMING_ATTRS`` / ``CACHE_ATTRS`` / ``FAULT_ATTRS`` /
+  ``COST_ATTRS``) are dropped from a span's canonical form because they
+  vary run to run without the traced *work* differing — latency-shaped
+  measurements, cache tiers, absorbed faults, priced-token accounting;
+* **span names** (``CANONICAL_EXCLUDED_SPANS``) drop the whole span (and
+  its subtree) because the span only exists when an optional telemetry
+  layer is switched on — a profiled run must canonicalize equal to an
+  unprofiled one.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# span names shared across subsystems
+# ----------------------------------------------------------------------
+# one per SELECT, emitted by the executor on a miss and by the
+# query-result cache on every hit tier (repro.db.sql.executor,
+# repro.db.cache); analyzers key cache/engine accounting on it
+SQL_EXECUTE_SPAN = "sql.execute"
+# one per LLM exchange (repro.llm.mock); token and cost accounting ride
+# on its attributes
+LLM_CHAT_SPAN = "llm.chat"
+# the root span of one query session (repro.core.app)
+SESSION_SPAN = "session"
+# the suite root span of one evaluation-harness run (repro.eval.harness)
+HARNESS_SUITE_SPAN = "harness.run_suite"
+# one per (question, run) grid cell (repro.eval.harness)
+HARNESS_CELL_SPAN = "harness.cell"
+# per-session cost rollup stamped at session end (repro.obs.cost via
+# repro.core.app); telemetry-only, excluded from canonical trees
+COST_LEDGER_SPAN = "cost.ledger"
+# wraps a profiled run (repro.obs.profiler / ``repro profile``);
+# telemetry-only, excluded from canonical trees
+PROFILE_CAPTURE_SPAN = "profile.capture"
+
+# counter-event name for per-morsel completions published from the SQL
+# engine's worker threads (parented on the enclosing sql.execute span)
+MORSEL_EVENT = "sql.engine.morsel"
+
+# ----------------------------------------------------------------------
+# canonical-tree exclusions
+# ----------------------------------------------------------------------
+# attributes that vary run to run without the traced work differing:
+# latency-shaped measurements, plus the execution mode (worker count)
+TIMING_ATTRS = frozenset({"latency_s", "wall_s", "duration_s", "workers"})
+# attributes that depend on which query-result-cache tier served a SELECT
+# (and how much scan work it therefore did) — a memory hit in one process
+# is a disk hit or a full scan in another without the *result* differing.
+# The same goes for the morsel engine's accounting: thread count and
+# zone-vs-bloom skip attribution are execution-mode details of a
+# byte-identical result
+CACHE_ATTRS = frozenset(
+    {
+        "cache",
+        "residual_conjuncts",
+        "row_groups_total",
+        "row_groups_skipped",
+        "row_groups_skipped_zone",
+        "row_groups_skipped_bloom",
+        "morsels",
+        "threads",
+        "cache_quarantined",
+    }
+)
+# fault-injection and resilience accounting: a chaos run absorbs injected
+# faults (retries, fallbacks, quarantines) without the *work* differing,
+# so a chaos trace must canonicalize equal to a fault-free one
+FAULT_ATTRS = frozenset(
+    {"faults", "retries", "attempts", "degraded", "degraded_reason", "probe"}
+)
+# priced-token accounting stamped by the cost ledger: deterministic for a
+# given run but only present when a ledger is active, so a metered run
+# must canonicalize equal to an unmetered one
+COST_ATTRS = frozenset({"cost_usd", "model", "budget_tokens"})
+
+# spans that exist only when an optional telemetry layer is on; dropped
+# (with their subtrees) from canonical trees
+CANONICAL_EXCLUDED_SPANS = frozenset({COST_LEDGER_SPAN, PROFILE_CAPTURE_SPAN})
+
+
+def is_fault_attr(key: str) -> bool:
+    return key in FAULT_ATTRS or key.startswith("fault.")
+
+
+def is_canonical_excluded_attr(key: str) -> bool:
+    """True if ``key`` is dropped from a span's canonical form."""
+    return (
+        key in TIMING_ATTRS
+        or key in CACHE_ATTRS
+        or key in COST_ATTRS
+        or is_fault_attr(key)
+    )

@@ -1,0 +1,276 @@
+"""Dependency-free sampling profiler with span attribution.
+
+Spans say *what* a run spent its time on; a profile says *where in the
+code*.  This sampler runs on a daemon thread (~100 Hz, off by default),
+grabs every thread's Python stack via ``sys._current_frames``, collapses
+each stack root-first into a ``;``-joined line (the Brendan Gregg
+collapsed format every flamegraph tool reads), and attributes each
+sample to the span the sampled thread was inside — the tracer maintains
+a per-thread span-name note only while a profiler is attached
+(:func:`repro.obs.tracer.enable_span_notes`), so the unprofiled fast
+path pays one boolean check per span.
+
+Exports:
+
+* :meth:`ProfileReport.collapsed_text` — ``stack count`` lines,
+  directly consumable by external flamegraph tooling;
+* :meth:`ProfileReport.flamegraph_svg` — a self-contained SVG (no
+  JavaScript or external assets) with hover titles, rendered by
+  :func:`flamegraph_svg` below.
+
+The sampler is statistical: wait intervals use the real thread clock
+(``Event.wait``), but an injected clock is honored for the timestamps
+recorded on the report so tests can pin them.  ``sample_once()`` is
+public so deterministic tests can drive sampling without the thread.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs.tracer import current_span_note, disable_span_notes, enable_span_notes
+from repro.util.timing import SimulatedClock, WallClock
+
+# bound the number of distinct stacks kept; hotter code keeps sampling
+# into existing entries, pathological churn is dropped and counted
+MAX_UNIQUE_STACKS = 10_000
+
+
+def _collapse(frame) -> str:
+    """Root-first ``module:function`` stack line for one thread frame."""
+    parts: list[str] = []
+    while frame is not None:
+        code = frame.f_code
+        module = code.co_filename.rsplit("/", 1)[-1].removesuffix(".py")
+        parts.append(f"{module}:{code.co_name}")
+        frame = frame.f_back
+    parts.reverse()
+    return ";".join(parts)
+
+
+@dataclass
+class ProfileReport:
+    """Collapsed-stack sample counts plus per-span attribution."""
+
+    samples: int = 0
+    dropped_stacks: int = 0
+    interval_s: float = 0.01
+    started_at: float = 0.0
+    stopped_at: float = 0.0
+    # collapsed stack line -> sample count
+    stacks: dict[str, int] = field(default_factory=dict)
+    # enclosing span name ('' when outside any span) -> sample count
+    span_samples: dict[str, int] = field(default_factory=dict)
+
+    def collapsed_text(self) -> str:
+        """``stack count`` lines, sorted for determinism."""
+        return "\n".join(
+            f"{stack} {count}" for stack, count in sorted(self.stacks.items())
+        )
+
+    def flamegraph_svg(self, title: str = "repro profile") -> str:
+        return flamegraph_svg(self.stacks, title=title)
+
+    def top_functions(self, n: int = 10) -> list[tuple[str, int]]:
+        """Leaf frames ranked by self samples."""
+        self_counts: dict[str, int] = {}
+        for stack, count in self.stacks.items():
+            leaf = stack.rsplit(";", 1)[-1]
+            self_counts[leaf] = self_counts.get(leaf, 0) + count
+        ranked = sorted(self_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "samples": self.samples,
+            "dropped_stacks": self.dropped_stacks,
+            "interval_s": self.interval_s,
+            "started_at": self.started_at,
+            "stopped_at": self.stopped_at,
+            "stacks": dict(sorted(self.stacks.items())),
+            "span_samples": dict(sorted(self.span_samples.items())),
+        }
+
+
+class SamplingProfiler:
+    """Background-thread stack sampler, off unless explicitly started.
+
+    ``frames_fn`` is injectable (defaults to ``sys._current_frames``) so
+    tests can feed synthetic stacks; ``clock`` only stamps the report's
+    start/stop times — the sampling cadence itself needs the real thread
+    scheduler and uses ``Event.wait``.
+    """
+
+    def __init__(
+        self,
+        hz: float = 100.0,
+        clock: WallClock | SimulatedClock | None = None,
+        frames_fn: Callable[[], dict[int, Any]] | None = None,
+    ):
+        if hz <= 0:
+            raise ValueError("hz must be positive")
+        self.interval_s = 1.0 / hz
+        self.clock = clock or WallClock()
+        self.frames_fn = frames_fn or sys._current_frames
+        self.report = ProfileReport(interval_s=self.interval_s)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def sample_once(self) -> int:
+        """Take one sample of every thread; returns stacks recorded."""
+        me = threading.get_ident()
+        recorded = 0
+        frames = self.frames_fn()
+        with self._lock:
+            for thread_id, frame in frames.items():
+                if thread_id == me:
+                    continue  # never profile the sampler itself
+                stack = _collapse(frame)
+                if not stack:
+                    continue
+                if stack not in self.report.stacks and len(self.report.stacks) >= MAX_UNIQUE_STACKS:
+                    self.report.dropped_stacks += 1
+                    continue
+                self.report.stacks[stack] = self.report.stacks.get(stack, 0) + 1
+                span = current_span_note(thread_id)
+                self.report.span_samples[span] = self.report.span_samples.get(span, 0) + 1
+                recorded += 1
+            self.report.samples += 1
+        return recorded
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample_once()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        enable_span_notes()
+        self.report.started_at = self.clock.now()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> ProfileReport:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        disable_span_notes()
+        self.report.stopped_at = self.clock.now()
+        return self.report
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# flamegraph rendering: self-contained SVG, no scripts or assets
+# ----------------------------------------------------------------------
+_FRAME_H = 17
+_MIN_W = 0.2          # below this many pixels a frame is skipped
+_WIDTH = 1200.0
+
+# muted warm palette cycled deterministically by depth + name hash
+_PALETTE = (
+    "#e1675f", "#e08150", "#db9a45", "#cfa943", "#b9a94c",
+    "#d3755a", "#e08b3f", "#c99a50",
+)
+
+
+def _color(name: str, depth: int) -> str:
+    return _PALETTE[(sum(name.encode()) + depth) % len(_PALETTE)]
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def flamegraph_svg(stacks: dict[str, int], title: str = "repro profile") -> str:
+    """Render collapsed stacks as a deterministic self-contained SVG.
+
+    Children are laid out alphabetically under their parent with widths
+    proportional to inclusive sample counts; every frame carries a
+    ``<title>`` tooltip with its full name, samples, and share.
+    """
+    total = sum(stacks.values())
+    # fold the flat stack lines into a tree of inclusive counts
+    root: dict[str, Any] = {"count": total, "children": {}}
+    for stack, count in sorted(stacks.items()):
+        node = root
+        for frame in stack.split(";"):
+            child = node["children"].get(frame)
+            if child is None:
+                child = node["children"][frame] = {"count": 0, "children": {}}
+            child["count"] += count
+            node = child
+
+    def depth_of(node: dict[str, Any]) -> int:
+        kids = node["children"]
+        return 1 + max((depth_of(c) for c in kids.values()), default=0)
+
+    depth = depth_of(root)
+    height = (depth + 2) * _FRAME_H + 24
+    rects: list[str] = []
+
+    def emit(node: dict[str, Any], name: str, x: float, width: float, level: int) -> None:
+        if width < _MIN_W:
+            return
+        y = height - (level + 2) * _FRAME_H
+        if name:
+            share = 100.0 * node["count"] / total if total else 0.0
+            label = name if width > 40 else ""
+            rects.append(
+                f'<g><title>{_esc(name)} ({node["count"]} samples, {share:.1f}%)</title>'
+                f'<rect x="{x:.2f}" y="{y}" width="{max(width, _MIN_W):.2f}" '
+                f'height="{_FRAME_H - 1}" fill="{_color(name, level)}" rx="1"/>'
+                f'<text x="{x + 3:.2f}" y="{y + 12}" font-size="10" '
+                f'font-family="monospace" fill="#222" clip-path="none">'
+                f"{_esc(label[: max(int(width // 7), 0)])}</text></g>"
+            )
+        cursor = x
+        for child_name in sorted(node["children"]):
+            child = node["children"][child_name]
+            child_w = _WIDTH * child["count"] / total if total else 0.0
+            emit(child, child_name, cursor, child_w, level + (1 if name else 0))
+            cursor += child_w
+
+    emit(root, "", 0.0, _WIDTH, 0)
+    header = (
+        f'<text x="{_WIDTH / 2:.0f}" y="16" text-anchor="middle" font-size="13" '
+        f'font-family="sans-serif">{_esc(title)} — {total} samples</text>'
+    )
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH:.0f}" '
+        f'height="{height}" viewBox="0 0 {_WIDTH:.0f} {height}">'
+        f'<rect width="100%" height="100%" fill="#fdf6ec"/>{header}{"".join(rects)}</svg>'
+    )
+
+
+def write_profile(
+    report: ProfileReport, out_base: str | Path, title: str = "repro profile"
+) -> tuple[Path, Path]:
+    """Write ``<base>.collapsed`` and ``<base>.svg``; returns both paths."""
+    base = Path(out_base)
+    base.parent.mkdir(parents=True, exist_ok=True)
+    collapsed = base.with_suffix(".collapsed")
+    svg = base.with_suffix(".svg")
+    collapsed.write_text(report.collapsed_text() + "\n")
+    svg.write_text(report.flamegraph_svg(title=title))
+    return collapsed, svg

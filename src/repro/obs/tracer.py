@@ -34,9 +34,39 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field, fields
 from typing import Any, Iterator
 
+from repro.obs.events import NULL_BUS, get_bus
 from repro.util.timing import SimulatedClock, WallClock
 
 Clock = WallClock | SimulatedClock
+
+# ----------------------------------------------------------------------
+# span notes: the profiler's view of "what span is this thread inside?"
+# ----------------------------------------------------------------------
+# Maintained by start_span/end_span only while a profiler is attached
+# (_NOTE_SPANS flipped by enable/disable), so the untraced/unprofiled
+# fast path pays a single falsy bool check per span.  Values are the
+# innermost open span name per thread id; the sampler reads them from
+# its own thread without locking (dict get is atomic enough for a
+# statistical profile).
+_NOTE_SPANS = False
+_SPAN_NOTES: dict[int, str] = {}
+
+
+def enable_span_notes() -> None:
+    global _NOTE_SPANS
+    _SPAN_NOTES.clear()
+    _NOTE_SPANS = True
+
+
+def disable_span_notes() -> None:
+    global _NOTE_SPANS
+    _NOTE_SPANS = False
+    _SPAN_NOTES.clear()
+
+
+def current_span_note(thread_id: int) -> str:
+    """The innermost open span name of ``thread_id``, or ''."""
+    return _SPAN_NOTES.get(thread_id, "")
 
 
 @dataclass(frozen=True)
@@ -231,6 +261,11 @@ class Tracer:
         with self._lock:
             self.spans.append(span)
         self._stack().append(span)
+        if _NOTE_SPANS:
+            _SPAN_NOTES[threading.get_ident()] = name
+        bus = get_bus()
+        if bus is not NULL_BUS:
+            bus.publish_span_start(span.as_dict())
         return span
 
     def end_span(self, span: Span, exc: BaseException | None = None) -> None:
@@ -244,6 +279,11 @@ class Tracer:
         stack = self._stack()
         if span in stack:
             stack.remove(span)
+        if _NOTE_SPANS:
+            _SPAN_NOTES[threading.get_ident()] = stack[-1].name if stack else ""
+        bus = get_bus()
+        if bus is not NULL_BUS:
+            bus.publish_span_end(span.as_dict())
 
     @contextmanager
     def span(self, name: str, parent: Span | None = None, **attributes: Any) -> Iterator[Span]:

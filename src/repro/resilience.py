@@ -67,6 +67,17 @@ class DeadlineExceeded(ResilienceError):
     classification = "deadline-exceeded"
 
 
+class BudgetExceeded(ResilienceError):
+    """The session's token budget is spent (``InferAConfig.token_budget``).
+
+    Raised at the agent boundary by the cost ledger and handled like any
+    other classified resilience failure: the session ends with a
+    ``budget-exceeded`` classification instead of unbounded redo growth.
+    """
+
+    classification = "budget-exceeded"
+
+
 # ----------------------------------------------------------------------
 # retry with deterministic jittered backoff
 # ----------------------------------------------------------------------

@@ -239,9 +239,83 @@ class TestTrace:
         assert doc["traceEvents"]
         assert str(out_path) in capsys.readouterr().out
 
-    def test_missing_trace_errors(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
-            main(["trace", "summary", str(tmp_path / "nowhere")])
+    def test_missing_trace_is_friendly(self, tmp_path, capsys):
+        # a fresh workdir has no trace yet: report that, exit 0
+        for action in ("summary", "tree"):
+            capsys.readouterr()
+            assert main(["trace", action, str(tmp_path / "nowhere")]) == 0
+            assert "no trace yet" in capsys.readouterr().out
+
+    def test_empty_trace_is_friendly(self, tmp_path, capsys):
+        empty = tmp_path / "empty_trace.jsonl"
+        empty.write_text("")
+        capsys.readouterr()
+        assert main(["trace", "summary", str(empty)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+
+class TestCostCommand:
+    def test_missing_ledger_is_friendly(self, tmp_path, capsys):
+        assert main(["cost", str(tmp_path)]) == 0
+        assert "no cost ledger" in capsys.readouterr().out
+
+    def test_reports_spend_breakdown(self, tmp_path, capsys):
+        from repro.obs.cost import CostLedger
+
+        ledger = CostLedger(token_budget=50_000)
+        ledger.record(100, 50, agent="planner", level="1", attempt="0")
+        ledger.record(200, 80, agent="sql", level="1", attempt="1")
+        (tmp_path / "cost_ledger.json").write_text(json.dumps(ledger.as_dict()))
+        capsys.readouterr()
+        assert main(["cost", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "planner" in out and "sql" in out
+        assert "token growth per redo attempt" in out
+        assert "attempt 0" in out and "attempt 1" in out
+
+
+class TestSloCommand:
+    def test_missing_trace_is_friendly(self, tmp_path, capsys):
+        assert main(["slo", "check", str(tmp_path / "nowhere")]) == 0
+        assert "no trace yet" in capsys.readouterr().out
+
+    def test_pass_and_fail_exit_codes(self, traced_session, tmp_path, capsys):
+        assert main(["slo", "check", str(traced_session)]) == 0
+        assert "SLO: PASS" in capsys.readouterr().out
+        # a policy nothing can satisfy must fail with exit 1
+        policy = tmp_path / "strict.json"
+        policy.write_text(json.dumps({"trace": {"max_total_tokens": 1}}))
+        assert main(["slo", "check", str(traced_session), "--policy", str(policy)]) == 1
+        assert "SLO: FAIL" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profile_writes_artifacts(self, cli_ensemble, tmp_path, capsys):
+        workdir = tmp_path / "prof"
+        code = main([
+            "profile", "top 5 halos at timestep 624 in simulation 0",
+            "--ensemble", str(cli_ensemble),
+            "--workdir", str(workdir), "--no-errors", "--hz", "400",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flamegraph:" in out
+        assert (workdir / "profile.collapsed").exists()
+        svg = (workdir / "profile.svg").read_text()
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+
+
+class TestLiveFlag:
+    def test_query_live_streams_spans(self, cli_ensemble, tmp_path, capsys):
+        code = main([
+            "query", "top 5 halos at timestep 624 in simulation 0",
+            "--ensemble", str(cli_ensemble),
+            "--workdir", str(tmp_path / "lv"), "--no-errors", "--live",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[live] session" in err
+        assert "[live] llm.chat" in err
 
 
 class TestVerbosity:

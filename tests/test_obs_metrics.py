@@ -55,6 +55,40 @@ class TestPrimitives:
         assert a.count == 3
         assert a.counts[a.bounds.index(0.01)] == 2
 
+    def test_histogram_tracks_underflow_explicitly(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        h.observe(0.5)   # below the first bound: counted in bucket 0 AND
+        h.observe(1.0)   # exactly at the bound: bucket 0, no underflow
+        h.observe(5.0)
+        assert h.counts[0] == 2          # bucket semantics unchanged
+        assert h.underflow == 1          # but sub-range values are visible
+        assert h.count == 3
+
+    def test_histogram_streams_true_min_max(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        assert h.min_value is None and h.max_value is None
+        for v in (3.0, 0.25, 700.0):
+            h.observe(v)
+        # true p0/p100, not the bucket edges (0.25 and 700 are both
+        # outside every finite bound)
+        assert h.min_value == 0.25
+        assert h.max_value == 700.0
+
+    def test_underflow_and_extremes_merge(self):
+        a = Histogram("h", bounds=(1.0,))
+        b = Histogram("h", bounds=(1.0,))
+        a.observe(0.5)
+        b.observe(0.1)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.underflow == 2
+        assert a.min_value == 0.1 and a.max_value == 9.0
+
+    def test_merge_from_empty_keeps_extremes_none(self):
+        a = Histogram("h", bounds=(1.0,))
+        a.merge(Histogram("h", bounds=(1.0,)))
+        assert a.min_value is None and a.max_value is None
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
@@ -117,3 +151,22 @@ class TestMergeAlgebra:
         delta = snapshot_delta(reg.snapshot(), before)
         assert delta["counters"]["c"] == 5
         assert sum(delta["histograms"]["h"]["counts"]) == 1
+
+    def test_snapshots_carry_and_merge_extremes(self):
+        a = _snap(observations=[("h", 0.25), ("h", 3.0)])
+        b = _snap(observations=[("h", 0.1), ("h", 700.0)])
+        assert a["histograms"]["h"]["min"] == 0.25
+        assert a["histograms"]["h"]["max"] == 3.0
+        merged = merge_snapshots(a, b)
+        assert merged["histograms"]["h"]["min"] == 0.1
+        assert merged["histograms"]["h"]["max"] == 700.0
+
+    def test_merge_tolerates_legacy_snapshots_without_extremes(self):
+        # snapshots from before min/max/underflow existed still merge
+        a = _snap(observations=[("h", 0.5)])
+        legacy = _snap(observations=[("h", 2.0)])
+        for key in ("min", "max", "underflow"):
+            del legacy["histograms"]["h"][key]
+        merged = merge_snapshots(a, legacy)
+        assert merged["histograms"]["h"]["min"] == 0.5
+        assert sum(merged["histograms"]["h"]["counts"]) == 2

@@ -1,0 +1,224 @@
+"""The sampling profiler: stack collapsing, span attribution, bounds,
+and flamegraph rendering — driven deterministically via injected frames."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import profiler as prof_mod
+from repro.obs.profiler import (
+    ProfileReport,
+    SamplingProfiler,
+    flamegraph_svg,
+    write_profile,
+)
+from repro.obs.tracer import (
+    Tracer,
+    current_span_note,
+    disable_span_notes,
+    enable_span_notes,
+)
+from repro.util.timing import SimulatedClock
+
+
+class _Code:
+    def __init__(self, filename, name):
+        self.co_filename = filename
+        self.co_name = name
+
+
+class _Frame:
+    def __init__(self, code, back=None):
+        self.f_code = code
+        self.f_back = back
+
+
+def _synthetic_frame(*names):
+    """A frame chain, leaf-last: _synthetic_frame('main', 'leaf')."""
+    frame = None
+    for name in names:
+        frame = _Frame(_Code(f"/src/{name}.py", name), frame)
+    return frame
+
+
+class TestSampling:
+    def test_sample_once_collapses_root_first(self):
+        frame = _synthetic_frame("main", "work", "leaf")
+        p = SamplingProfiler(frames_fn=lambda: {111: frame})
+        assert p.sample_once() == 1
+        assert p.report.stacks == {"main:main;work:work;leaf:leaf": 1}
+        assert p.report.samples == 1
+
+    def test_repeat_samples_accumulate(self):
+        frame = _synthetic_frame("main", "leaf")
+        p = SamplingProfiler(frames_fn=lambda: {111: frame})
+        for _ in range(5):
+            p.sample_once()
+        assert p.report.stacks["main:main;leaf:leaf"] == 5
+
+    def test_sampler_thread_is_excluded(self):
+        me = threading.get_ident()
+        frame = _synthetic_frame("main")
+        p = SamplingProfiler(frames_fn=lambda: {me: frame, 999: frame})
+        assert p.sample_once() == 1  # only the other thread counted
+
+    def test_unique_stack_table_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(prof_mod, "MAX_UNIQUE_STACKS", 3)
+        counter = iter(range(100))
+
+        def churn():
+            return {111: _synthetic_frame(f"f{next(counter)}")}
+
+        p = SamplingProfiler(frames_fn=churn)
+        for _ in range(5):
+            p.sample_once()
+        assert len(p.report.stacks) == 3
+        assert p.report.dropped_stacks == 2
+
+    def test_invalid_hz_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+
+
+class TestSpanAttribution:
+    def test_samples_attributed_to_enclosing_span(self):
+        tracer = Tracer(clock=SimulatedClock())
+        frame = _synthetic_frame("main", "leaf")
+        tid = 111
+        p = SamplingProfiler(frames_fn=lambda: {tid: frame})
+        enable_span_notes()
+        try:
+            # simulate the sampled thread being inside a span: notes are
+            # keyed by thread id, so write the note the tracer would
+            with tracer.span("step.sql"):
+                prof_mod.current_span_note  # (real note written below)
+                from repro.obs import tracer as tracer_mod
+
+                tracer_mod._SPAN_NOTES[tid] = "step.sql"
+                p.sample_once()
+            tracer_mod._SPAN_NOTES[tid] = ""
+            p.sample_once()
+        finally:
+            disable_span_notes()
+        assert p.report.span_samples == {"step.sql": 1, "": 1}
+
+    def test_tracer_maintains_notes_only_while_enabled(self):
+        tracer = Tracer(clock=SimulatedClock())
+        me = threading.get_ident()
+        with tracer.span("quiet"):
+            assert current_span_note(me) == ""  # notes off: no bookkeeping
+        enable_span_notes()
+        try:
+            with tracer.span("outer"):
+                assert current_span_note(me) == "outer"
+                with tracer.span("inner"):
+                    assert current_span_note(me) == "inner"
+                assert current_span_note(me) == "outer"
+            assert current_span_note(me) == ""
+        finally:
+            disable_span_notes()
+
+    def test_profiler_context_manager_flips_notes(self):
+        me = threading.get_ident()
+        tracer = Tracer(clock=SimulatedClock())
+        p = SamplingProfiler(hz=1000, frames_fn=dict)
+        with p:
+            with tracer.span("observed"):
+                assert current_span_note(me) == "observed"
+        with tracer.span("unobserved"):
+            assert current_span_note(me) == ""
+
+
+class TestBackgroundThread:
+    def test_samples_real_threads_while_running(self):
+        stop = threading.Event()
+
+        def busy():
+            while not stop.wait(0.001):
+                pass
+
+        worker = threading.Thread(target=busy, daemon=True)
+        worker.start()
+        p = SamplingProfiler(hz=500)
+        p.start()
+        time.sleep(0.1)
+        report = p.stop()
+        stop.set()
+        worker.join()
+        assert report.samples > 0
+        assert report.stacks  # captured some python stacks
+        assert report.stopped_at >= report.started_at
+
+    def test_double_start_rejected(self):
+        p = SamplingProfiler(hz=1000, frames_fn=dict)
+        p.start()
+        try:
+            with pytest.raises(RuntimeError):
+                p.start()
+        finally:
+            p.stop()
+
+    def test_stop_is_idempotent(self):
+        p = SamplingProfiler(hz=1000, frames_fn=dict)
+        p.start()
+        p.stop()
+        p.stop()
+
+
+class TestReportsAndRendering:
+    def _report(self):
+        report = ProfileReport()
+        report.stacks = {
+            "main:main;a:a": 6,
+            "main:main;b:b": 3,
+            "main:main;b:b;c:c": 1,
+        }
+        report.samples = 10
+        return report
+
+    def test_collapsed_text_is_sorted_and_parseable(self):
+        text = self._report().collapsed_text()
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert ";" in stack and int(count) > 0
+
+    def test_top_functions_ranks_leaf_self_samples(self):
+        top = self._report().top_functions(2)
+        assert top == [("a:a", 6), ("b:b", 3)]
+
+    def test_flamegraph_svg_is_deterministic_and_self_contained(self):
+        report = self._report()
+        svg1 = report.flamegraph_svg(title="t")
+        svg2 = report.flamegraph_svg(title="t")
+        assert svg1 == svg2
+        assert svg1.startswith("<svg") and svg1.endswith("</svg>")
+        assert "http://www.w3.org/2000/svg" in svg1
+        assert "script" not in svg1  # no JS, safe to open anywhere
+        assert "main:main" in svg1
+        assert "10 samples" in svg1
+
+    def test_flamegraph_escapes_markup(self):
+        svg = flamegraph_svg({"mod:<lambda>": 1}, title='a "b" & <c>')
+        assert "<lambda>" not in svg
+        assert "&lt;lambda&gt;" in svg
+        assert "&amp; &lt;c&gt;" in svg
+
+    def test_empty_profile_renders(self):
+        svg = flamegraph_svg({})
+        assert svg.startswith("<svg") and "0 samples" in svg
+        assert ProfileReport().collapsed_text() == ""
+
+    def test_write_profile_emits_both_artifacts(self, tmp_path):
+        collapsed, svg = write_profile(self._report(), tmp_path / "out" / "prof")
+        assert collapsed.read_text().endswith("\n")
+        assert svg.read_text().startswith("<svg")
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+
+        doc = json.loads(json.dumps(self._report().as_dict()))
+        assert doc["samples"] == 10
+        assert doc["stacks"]["main:main;a:a"] == 6
