@@ -1,0 +1,319 @@
+"""Serving layer — sustained multi-tenant throughput under a mixed load.
+
+The one-shot CLI answers one question per process; ``repro serve`` keeps
+one warm process and overlaps many tenants' requests across a worker
+pool.  This benchmark measures what that buys and emits
+``BENCH_serve.json`` (gated by ``repro slo check``):
+
+* **serial baseline** — the same workload through a 1-worker server with
+  one closed-loop client: the per-process QPS floor the pool must beat;
+* **load phase** — an 8-worker server with 8 concurrent closed-loop
+  clients (one tenant session each) over a mixed workload: cache-hot
+  repeats (every tenant asks a shared question — disk-cache hits),
+  cache-cold uniques (per-tenant questions — full executions), a heavy
+  cross-simulation SQL aggregate, and a redo-loop question under the
+  calibrated LLM-error model.  Reported: sustained QPS, p50/p95/p99
+  end-to-end latency, the queue-wait vs execution split, 429/failed
+  counts, warm-state hit ratios, and warm-up time.
+
+The mock LLM computes instantly; a hosted model does not.  Each call
+**really sleeps** ``LLM_SLEEP_S`` here (the latency a hosted API would
+charge), which makes requests latency-dominated — precisely the regime
+the thread pool exists for: on a single core the pool overlaps the
+sleeps, so the ≥4x speedup asserted below measures concurrency
+engineering, not extra CPUs.
+
+Runs under pytest (``pytest benchmarks/bench_serve_load.py``) and as a
+script (``python benchmarks/bench_serve_load.py --quick`` — the CI
+serve-bench configuration: shorter sleeps, fewer requests, a loose
+speedup floor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.core.config import InferAConfig
+from repro.db.cache import stats_snapshot as query_cache_stats
+from repro.llm import MockLLM
+from repro.llm.errors import ErrorModel
+from repro.serve import ReproServer
+from repro.sim import EnsembleSpec, generate_ensemble
+
+LLM_SLEEP_S = 0.08          # simulated hosted-API latency per call
+QUICK_LLM_SLEEP_S = 0.02
+LOAD_CLIENTS = 8
+LOAD_WORKERS = 8
+MIN_SPEEDUP = 4.0           # load QPS must be ≥ 4x the serial baseline
+QUICK_MIN_SPEEDUP = 1.5     # smoke floor: some overlap must be visible
+
+# the mixed workload, per tenant: index -> (kind, question)
+SHARED_HOT = (
+    "hot",
+    "How many halos are there in run 0 at the final timestep?",
+)
+HEAVY_AGGREGATE = (
+    "heavy",
+    "Across all the simulations, what is the average size (fof_halo_count) "
+    "of halos at each time step?",
+)
+REDO_PRONE = (
+    "redo",
+    "Compute the mean mass of the largest 50 halos at the final timestep "
+    "in run 0 and plot the distribution.",
+)
+
+
+class SleepingLLM:
+    """A MockLLM that pays its simulated latency in real wall-clock."""
+
+    def __init__(self, inner: MockLLM, sleep_s: float):
+        self._inner = inner
+        self._sleep_s = sleep_s
+
+    def chat(self, messages, role="agent"):
+        response = self._inner.chat(messages, role)
+        time.sleep(self._sleep_s)
+        return response
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def build_workload(tenants: int, per_tenant: int) -> list[list[str]]:
+    """Per-tenant question lists mixing the four workload classes."""
+    workloads = []
+    for t in range(tenants):
+        questions = []
+        for i in range(per_tenant):
+            kind = i % 4
+            if kind == 0:
+                questions.append(SHARED_HOT[1])      # cache-hot repeat
+            elif kind == 1:                           # cache-cold unique
+                questions.append(
+                    f"What is the average halo mass in run {t % 2} at "
+                    f"timestep {624 if i % 2 else 498}? (variant {t}-{i})"
+                )
+            elif kind == 2:
+                questions.append(HEAVY_AGGREGATE[1])  # heavy SQL aggregate
+            else:
+                questions.append(REDO_PRONE[1])       # redo-loop prone
+        workloads.append(questions)
+    return workloads
+
+
+def post_query(url: str, question: str, session: str, timeout_s: float = 300.0):
+    body = json.dumps({"question": question, "session": session}).encode()
+    req = urllib.request.Request(
+        f"{url}/v1/query", data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=timeout_s) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def run_clients(url: str, workloads: list[list[str]]) -> dict:
+    """Closed-loop clients (one thread per tenant); aggregate telemetry."""
+    lock = threading.Lock()
+    latencies: list[float] = []
+    queue_waits: list[float] = []
+    execs: list[float] = []
+    counts = {"ok": 0, "failed": 0, "error": 0, "rejected_429": 0}
+
+    def client(tenant: int, questions: list[str]) -> None:
+        session = f"tenant{tenant:02d}"
+        for question in questions:
+            while True:
+                t0 = time.perf_counter()
+                try:
+                    status, doc = post_query(url, question, session)
+                except urllib.error.HTTPError as exc:
+                    if exc.code == 429:
+                        doc = json.loads(exc.read())
+                        with lock:
+                            counts["rejected_429"] += 1
+                        time.sleep(float(doc.get("retry_after_s", 0.1)))
+                        continue  # closed loop: retry until admitted
+                    with lock:
+                        counts["error"] += 1
+                    break
+                wall = time.perf_counter() - t0
+                with lock:
+                    latencies.append(wall)
+                    queue_waits.append(doc["timing"]["queue_wait_s"])
+                    execs.append(doc["timing"]["exec_s"])
+                    if doc["status"] == "ok":
+                        counts["ok"] += 1
+                    elif doc["status"] == "failed":
+                        counts["failed"] += 1
+                    else:
+                        counts["error"] += 1
+                break
+
+    threads = [
+        threading.Thread(target=client, args=(t, qs), name=f"client-{t}")
+        for t, qs in enumerate(workloads)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+
+    def pct(values: list[float], q: float) -> float:
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    total = len(latencies)
+    return {
+        "requests": total,
+        "wall_s": round(wall, 4),
+        "qps": round(total / wall, 4) if wall > 0 else 0.0,
+        "p50_s": round(pct(latencies, 0.50), 4),
+        "p95_s": round(pct(latencies, 0.95), 4),
+        "p99_s": round(pct(latencies, 0.99), 4),
+        "mean_s": round(statistics.fmean(latencies), 4) if latencies else 0.0,
+        "queue_wait_mean_s": (
+            round(statistics.fmean(queue_waits), 4) if queue_waits else 0.0
+        ),
+        "exec_mean_s": round(statistics.fmean(execs), 4) if execs else 0.0,
+        "queue_wait_share": (
+            round(sum(queue_waits) / max(sum(queue_waits) + sum(execs), 1e-9), 4)
+        ),
+        "completed": counts["ok"],
+        "qa_failed": counts["failed"],
+        "failed_requests": counts["error"],
+        "rejected_429": counts["rejected_429"],
+    }
+
+
+def start_server(ensemble, workdir: Path, workers: int, sleep_s: float) -> ReproServer:
+    config = InferAConfig(seed=11, error_model=ErrorModel())
+
+    def llm_factory(seed: int) -> SleepingLLM:
+        return SleepingLLM(
+            MockLLM(seed=seed, error_model=config.error_model), sleep_s
+        )
+
+    server = ReproServer(
+        ensemble,
+        workdir,
+        config,
+        app_workers=workers,
+        queue_depth=64,
+        request_timeout_s=300.0,
+        llm_factory=llm_factory,
+    )
+    server.start()
+    return server
+
+
+def run(root: Path, output_dir: Path, quick: bool) -> dict:
+    from conftest import emit_json
+
+    sleep_s = QUICK_LLM_SLEEP_S if quick else LLM_SLEEP_S
+    per_tenant = 2 if quick else 4
+    min_speedup = QUICK_MIN_SPEEDUP if quick else MIN_SPEEDUP
+
+    ensemble = generate_ensemble(
+        root / "ens",
+        EnsembleSpec(
+            n_runs=2,
+            n_particles=600,
+            timesteps=(0, 249, 498, 624),
+            write_particles=False,
+            seed=2025,
+        ),
+    )
+
+    # -- serial baseline: 1 worker, 1 closed-loop client ----------------
+    serial_server = start_server(ensemble, root / "serial", workers=1, sleep_s=sleep_s)
+    serial_warmup = serial_server.state.report.as_dict()
+    serial_workload = [sum(build_workload(2, per_tenant), [])[: 2 * per_tenant]]
+    serial = run_clients(serial_server.url, serial_workload)
+    serial_server.shutdown()
+
+    # -- load phase: 8 workers, 8 tenants, shared warm workdir ----------
+    load_server = start_server(
+        ensemble, root / "load", workers=LOAD_WORKERS, sleep_s=sleep_s
+    )
+    load_warmup = load_server.state.report.as_dict()
+    workloads = build_workload(LOAD_CLIENTS, per_tenant)
+    # warm pass: every tenant's first question once, so the measured pass
+    # sees the steady-state cache mix rather than one giant cold start
+    run_clients(load_server.url, [[w[0]] for w in workloads])
+    cache_before = query_cache_stats()
+    load = run_clients(load_server.url, workloads)
+    cache_delta = query_cache_stats().delta(cache_before)
+    server_stats = load_server.stats()
+    load_server.shutdown()
+
+    load["speedup_vs_serial"] = (
+        round(load["qps"] / serial["qps"], 3) if serial["qps"] else 0.0
+    )
+    load["query_cache_hit_ratio"] = round(cache_delta.hit_ratio, 4)
+    load["query_cache_hits"] = cache_delta.hits
+    load["query_cache_misses"] = cache_delta.misses
+
+    assert load["failed_requests"] == 0, (
+        f"{load['failed_requests']} requests failed outright under load"
+    )
+    assert load["speedup_vs_serial"] >= min_speedup, (
+        f"load QPS {load['qps']} is only {load['speedup_vs_serial']}x the "
+        f"serial baseline {serial['qps']} (need >= {min_speedup}x): the "
+        f"worker pool is not overlapping request latency"
+    )
+
+    payload = {
+        "benchmark": "serve",
+        "quick": quick,
+        "config": {
+            "llm_sleep_s": sleep_s,
+            "clients": LOAD_CLIENTS,
+            "workers": LOAD_WORKERS,
+            "requests_per_tenant": per_tenant,
+            "min_speedup": min_speedup,
+        },
+        "warmup": load_warmup,
+        "warmup_serial": serial_warmup,
+        "serial": serial,
+        "load": load,
+        "server": {
+            "sessions": server_stats["sessions"],
+            "queue": server_stats["queue"],
+            "retrieval_cache": server_stats["retrieval_cache"],
+            "bus": server_stats["bus"],
+        },
+    }
+    return emit_json(output_dir, "BENCH_serve.json", payload)
+
+
+def test_serve_load(output_dir, tmp_path):
+    run(tmp_path, output_dir, quick=False)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI serve-bench: shorter sleeps, fewer requests")
+    args = parser.parse_args(argv)
+    output_dir = Path(__file__).resolve().parent / "output"
+    output_dir.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(prefix="bench_serve_") as tmp:
+        run(Path(tmp), output_dir, quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ at the end.
 from __future__ import annotations
 
 import zlib
+from contextlib import nullcontext as _null_scope
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -28,7 +29,7 @@ from repro.agents.viz_agent import VisualizationAgent
 from repro.frame import Frame
 from repro.graph import Channel, StateGraph, END, Checkpointer
 from repro.graph.state import append_reducer, merge_reducer, add_reducer
-from repro.obs.cost import cost_attribution, current_attribution
+from repro.obs.cost import cost_attribution, current_attribution, get_ledger, use_ledger
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import use_tracer
 from repro.resilience import BudgetExceeded
@@ -415,15 +416,22 @@ class Supervisor:
             tracer = self.context.tracer
             batch_parent = tracer.current()
             batch_attribution = current_attribution()
+            batch_ledger = get_ledger()
 
             def run_one(item):
                 step, attempt = item
-                # pool threads have no span stack, no active tracer, and no
-                # attribution context: re-activate the session tracer (with
-                # an explicit parent) and re-apply the coordinator's cost
-                # scopes so sandbox/LLM spans stay inside this trace and
-                # LLM spend stays attributed to this session/node/attempt
-                with use_tracer(tracer), cost_attribution(
+                # pool threads have no span stack, no active tracer, no
+                # ledger, and no attribution context: re-activate the
+                # session tracer (with an explicit parent) and re-apply the
+                # coordinator's ledger + cost scopes so sandbox/LLM spans
+                # stay inside this trace and LLM spend stays attributed to
+                # this session/node/attempt (the ledger is context-scoped,
+                # so fresh threads start unmetered)
+                ledger_scope = (
+                    use_ledger(batch_ledger) if batch_ledger is not None
+                    else _null_scope()
+                )
+                with use_tracer(tracer), ledger_scope, cost_attribution(
                     **{**batch_attribution, "attempt": attempt}
                 ), tracer.span(
                     "step.viz",

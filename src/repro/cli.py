@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.core import InferA, InferAConfig
@@ -168,6 +169,32 @@ def build_parser() -> argparse.ArgumentParser:
     chat.add_argument("--workdir", default="infera_chat")
     chat.add_argument("--seed", type=int, default=0)
     chat.add_argument("--no-errors", action="store_true")
+
+    serve = sub.add_parser(
+        "serve", help="long-running multi-tenant HTTP server over one warm process"
+    )
+    serve.add_argument("--ensemble", required=True)
+    serve.add_argument("--workdir", default="infera_serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 = pick a free one)")
+    serve.add_argument("--app-workers", type=int, default=4,
+                       help="worker threads executing queries concurrently")
+    serve.add_argument("--queue-depth", type=int, default=32,
+                       help="admission queue bound; beyond it requests get "
+                            "a structured 429 with a retry-after hint")
+    serve.add_argument("--request-timeout", type=float, default=120.0,
+                       help="per-request deadline in seconds (queue wait counts)")
+    serve.add_argument("--token-budget", type=int, default=None,
+                       help="hard per-session token ceiling across all of a "
+                            "tenant's requests")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--no-errors", action="store_true",
+                       help="disable the calibrated LLM-error injection")
+    serve.add_argument("--llm-latency", type=float, default=0.0,
+                       help="simulated seconds per LLM call (models a hosted "
+                            "API; makes requests latency- rather than "
+                            "CPU-bound, which is what the worker pool overlaps)")
 
     return parser
 
@@ -526,6 +553,43 @@ def cmd_slo(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ReproServer
+
+    config = InferAConfig(
+        seed=args.seed,
+        error_model=NO_ERRORS if args.no_errors else ErrorModel(),
+        token_budget=args.token_budget,
+        llm_latency_s=args.llm_latency,
+    )
+    server = ReproServer(
+        Ensemble(args.ensemble),
+        args.workdir,
+        config,
+        host=args.host,
+        port=args.port,
+        app_workers=args.app_workers,
+        queue_depth=args.queue_depth,
+        request_timeout_s=args.request_timeout,
+    )
+    report = server.start()
+    print(report.render())
+    print(f"serving {args.ensemble} at {server.url} "
+          f"({args.app_workers} workers, queue depth {args.queue_depth})")
+    print("POST /v1/query   GET /healthz   GET /stats   (ctrl-c drains and exits)")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\ndraining...", file=sys.stderr)
+    manifest = server.shutdown()
+    stats = server.registry.stats()
+    print(f"served {stats['requests']} requests across {stats['sessions']} sessions "
+          f"({stats['completed']} completed, {stats['failed']} failed)")
+    print(f"sessions checkpointed: {manifest}")
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "info": cmd_info,
@@ -538,6 +602,7 @@ _COMMANDS = {
     "cost": cmd_cost,
     "profile": cmd_profile,
     "slo": cmd_slo,
+    "serve": cmd_serve,
 }
 
 

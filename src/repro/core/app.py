@@ -17,6 +17,7 @@ evaluation tables are computed from.
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -112,6 +113,8 @@ class InferA:
         config: InferAConfig | None = None,
         llm=None,
         clock: WallClock | SimulatedClock | None = None,
+        retriever: ColumnRetriever | None = None,
+        sandbox=None,
     ):
         self.ensemble = ensemble
         self.workdir = Path(workdir)
@@ -122,6 +125,12 @@ class InferA:
         # (tracer spans, provenance timestamps, supervisor wall time)
         self.clock = clock or WallClock()
         self._query_count = 0
+        self._count_lock = threading.Lock()
+        # process-wide read-only warm state may be injected by a host that
+        # shares it across many apps (the serving layer builds the
+        # retriever and sandbox once at warm-up and hands them to every
+        # per-request app); when absent they are built lazily as before
+        self._shared_sandbox = sandbox
         # the metadata dictionaries come straight from the ensemble manifest
         # when present (new datasets plug in by shipping their own)
         manifest = ensemble.manifest
@@ -129,7 +138,7 @@ class InferA:
         self.structure = manifest.get("structure", FILE_STRUCTURE_DESCRIPTIONS)
         cache_dir = self.config.retrieval_cache_dir or self.workdir / ".retrieval_cache"
         self._retrieval_cache = RetrievalArtifactCache(cache_dir)
-        self._retriever: ColumnRetriever | None = None
+        self._retriever: ColumnRetriever | None = retriever
         # chaos engineering: one injector per app so every query of a run
         # draws from the same deterministic per-fault-point schedule.  An
         # explicit profile wins; otherwise REPRO_FAULT_PROFILE (resolved
@@ -140,15 +149,19 @@ class InferA:
         self.fault_injector = FaultInjector(profile)
 
     # ------------------------------------------------------------------
-    def _build_context(self, session_id: str, tracer: Tracer) -> tuple[AgentContext, Database]:
+    def _build_context(
+        self, session_id: str, tracer: Tracer, query_index: int | None = None
+    ) -> tuple[AgentContext, Database]:
         cfg = self.config
+        if query_index is None:
+            query_index = self._query_count
         base_llm = self._llm_factory or MockLLM(
-            seed=cfg.seed + self._query_count,
+            seed=cfg.seed + query_index,
             error_model=cfg.error_model,
             latency_per_call_s=cfg.llm_latency_s,
         )
         if callable(self._llm_factory):
-            base_llm = self._llm_factory(cfg.seed + self._query_count)
+            base_llm = self._llm_factory(cfg.seed + query_index)
         # the corpus is fixed for the ensemble, so the retriever (and its
         # embedding matrix, shared on disk across processes) is built once
         # per app and reused by every query
@@ -169,7 +182,11 @@ class InferA:
             num_threads=cfg.sql_threads,
         )
         provenance.register_external(db.path)
-        if cfg.sandbox_url:
+        if self._shared_sandbox is not None:
+            # a host-provided warm client (serving layer): connections,
+            # breaker state, and health history shared across requests
+            sandbox = self._shared_sandbox
+        elif cfg.sandbox_url:
             # remote gateway behind the resilience ladder: bounded retries,
             # circuit breaker, and graceful degradation onto an in-process
             # executor with identical semantics when the gateway stays down
@@ -206,13 +223,15 @@ class InferA:
         before execution; used by the §4.4.1 architecture baselines to
         force e.g. a static linear workflow through the same machinery.
         """
-        self._query_count += 1
-        session_id = session_id or f"query_{self._query_count:03d}_{_slug(question)}"
+        with self._count_lock:
+            self._query_count += 1
+            query_index = self._query_count
+        session_id = session_id or f"query_{query_index:03d}_{_slug(question)}"
         # the session tracer parents itself under whatever trace is already
         # active (e.g. the evaluation harness's suite trace) so multi-process
         # runs merge into one coherent tree
         tracer = Tracer(clock=self.clock, context=current_context())
-        context, db = self._build_context(session_id, tracer)
+        context, db = self._build_context(session_id, tracer, query_index)
         context.provenance.record_query(question)
 
         # every session is metered: LLM spend lands in a per-session

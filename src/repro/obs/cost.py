@@ -19,10 +19,13 @@ agent boundary: :meth:`CostLedger.check_budget` raises
 ``InferAConfig.token_budget``, so a blown budget degrades into a
 classified session failure instead of unbounded redo growth.
 
-Attribution uses a contextvar (per-thread/per-context isolation: the
-parallel-viz threads re-apply their scopes explicitly, mirroring how
-they re-activate the tracer) while the active ledger itself is a module
-global (like the event bus) so worker threads charge the same ledger.
+Both the attribution scopes *and* the active ledger use contextvars
+(per-thread/per-context isolation, exactly like the tracer): two
+sessions interleaving in one process — the serving layer runs one per
+worker thread — each charge their own ledger, and neither's attribution
+leaks into the other's entries.  Threads spawned *inside* a session
+(parallel viz) re-apply the session's ledger and scopes explicitly,
+mirroring how they re-activate the tracer.
 """
 
 from __future__ import annotations
@@ -247,8 +250,12 @@ class CostLedger:
 # ----------------------------------------------------------------------
 # the ambient ledger + attribution scopes
 # ----------------------------------------------------------------------
-_AMBIENT: CostLedger | None = None
-_AMBIENT_LOCK = threading.Lock()
+# contextvar rather than a module global: the serving layer runs several
+# sessions concurrently on worker threads, and a process-wide ledger
+# would let interleaved requests charge each other's sessions.  Threads
+# a session spawns itself (parallel viz) re-apply the ledger explicitly
+# alongside the tracer and attribution scopes.
+_AMBIENT: ContextVar[CostLedger | None] = ContextVar("repro_cost_ledger", default=None)
 
 # immutable attribution dict; contextvar so concurrent sessions/threads
 # carry independent scopes (worker threads re-apply theirs explicitly,
@@ -257,31 +264,30 @@ _ATTRIBUTION: ContextVar[dict[str, Any]] = ContextVar("repro_cost_attribution", 
 
 
 def get_ledger() -> CostLedger | None:
-    """The process's active cost ledger, or None when cost is unmetered."""
-    return _AMBIENT
+    """The context's active cost ledger, or None when cost is unmetered."""
+    return _AMBIENT.get()
 
 
 @contextmanager
 def use_ledger(ledger: CostLedger) -> Iterator[CostLedger]:
-    """Activate ``ledger`` process-wide for the extent of the block.
+    """Activate ``ledger`` for the extent of the block (this context only).
 
-    A module global (like the event bus) so LLM calls made from worker
-    threads charge the same ledger; nesting restores the previous one.
+    Context-scoped like the tracer, so concurrently-served sessions meter
+    independently; nesting restores the previous ledger on exit.  Threads
+    spawned within the block must re-apply the ledger themselves (the
+    parallel-viz pool does, next to its tracer re-activation).
     """
-    global _AMBIENT
-    with _AMBIENT_LOCK:
-        previous = _AMBIENT
-        _AMBIENT = ledger
+    token = _AMBIENT.set(ledger)
     try:
         yield ledger
     finally:
-        with _AMBIENT_LOCK:
-            _AMBIENT = previous
+        _AMBIENT.reset(token)
 
 
 def _reset_ambient() -> None:
-    global _AMBIENT
-    _AMBIENT = None
+    # the forked child's main thread continues in the inherited context;
+    # clearing the value there unmeters it until it builds its own ledger
+    _AMBIENT.set(None)
 
 
 import os  # noqa: E402  (keeps the fork hook next to its rationale)
@@ -326,7 +332,7 @@ def record_llm_call(
     runs pay one global read).  Attribution comes from the enclosing
     :func:`cost_attribution` scopes, overridable via ``extra``.
     """
-    ledger = _AMBIENT
+    ledger = _AMBIENT.get()
     if ledger is None:
         return None
     attribution = {**_ATTRIBUTION.get(), **extra}

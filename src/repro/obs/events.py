@@ -11,8 +11,31 @@ include
   per line at span end, instead of in one burst at end of run;
 * :class:`LiveRenderer` — per-step progress lines on stderr for
   ``repro eval --live`` / ``repro query --live``;
-* any callable attached with :meth:`EventBus.subscribe` — the pluggable
-  hook the future ``repro serve`` mode streams session progress through.
+* any callable attached through :func:`subscribe` — the documented
+  public hook (``repro serve`` streams per-session progress through it).
+
+**Subscriber contract** (:func:`subscribe` / :meth:`EventBus.subscribe`):
+
+* *Ordering* — subscribers observe events in publication order, and
+  callbacks are single-threaded: the bus never invokes the same
+  subscriber concurrently from two threads.  Dispatch happens inline on
+  a publisher's thread (whichever thread wins the pump), so a direct
+  subscriber's latency is paid by the traced work.
+* *Bounded-drop* — the bus queue is bounded (``capacity``); when a burst
+  outruns it the newest events are dropped and counted
+  (``EventBus.dropped``), never blocking the publisher or growing
+  without bound.  A :class:`BufferedSubscriber` has its own bounded
+  buffer with the same newest-dropped semantics (``Subscription.dropped``).
+* *Isolation* — a raising subscriber is counted
+  (``bus.subscriber_errors``) and skipped; it can never fail the run it
+  observes.  A *slow* subscriber, however, stalls the publisher unless
+  wrapped: pass ``buffered=True`` to :func:`subscribe` to decouple it
+  onto a drain thread, which is mandatory for anything doing I/O on the
+  request path (the serving layer's per-session streams are buffered).
+* *Per-session filtering* — span events carry their ``trace_id``; pass
+  ``trace_id=`` (and/or ``kinds=``) to :func:`subscribe` to see exactly
+  one session's events, which is how ``repro serve`` fans one process-
+  wide bus out into per-request progress streams.
 
 Design constraints, matching the tracer's:
 
@@ -379,12 +402,19 @@ class LiveRenderer:
         self.verbose = verbose
         self.lines = 0
 
-    def __call__(self, event: Event) -> None:
+    @classmethod
+    def format_event(cls, event: Event, verbose: bool = False) -> str | None:
+        """One progress line for a span-end event, or None to skip it.
+
+        Shared by the stderr renderer and the serving layer's SSE
+        streams, so ``--live`` output and streamed session progress stay
+        word-for-word identical.
+        """
         if event.kind != SPAN_END:
-            return
+            return None
         name = event.name
-        if not self.verbose and name not in self.INTERESTING:
-            return
+        if not verbose and name not in cls.INTERESTING:
+            return None
         doc = event.data
         attrs = doc.get("attributes", {})
         hints = " ".join(
@@ -396,8 +426,13 @@ class LiveRenderer:
         status = doc.get("status", "")
         mark = "" if status == "ok" else f" [{status}]"
         dur_ms = float(doc.get("duration", 0.0)) * 1e3
-        print(f"[live] {name:<18} {dur_ms:9.2f} ms  {hints}{mark}",
-              file=self.stream)
+        return f"[live] {name:<18} {dur_ms:9.2f} ms  {hints}{mark}"
+
+    def __call__(self, event: Event) -> None:
+        line = self.format_event(event, verbose=self.verbose)
+        if line is None:
+            return
+        print(line, file=self.stream)
         self.lines += 1
 
 
@@ -415,3 +450,168 @@ class CollectingSubscriber:
     def of_kind(self, kind: str) -> list[Event]:
         with self._lock:
             return [e for e in self.events if e.kind == kind]
+
+
+# ----------------------------------------------------------------------
+# the public subscription API
+# ----------------------------------------------------------------------
+class FilteredSubscriber:
+    """Forward only matching events to an inner subscriber.
+
+    ``kinds`` restricts by event kind; ``trace_id`` restricts span
+    events to one trace (one served session/request).  Counter events
+    carry no trace affiliation, so a ``trace_id`` filter drops them —
+    combine with ``kinds`` only when that is what you want.
+    """
+
+    def __init__(
+        self,
+        fn: Subscriber,
+        kinds: tuple[str, ...] | None = None,
+        trace_id: str | None = None,
+    ):
+        self.fn = fn
+        self.kinds = tuple(kinds) if kinds is not None else None
+        self.trace_id = trace_id
+        self.forwarded = 0
+        self.filtered = 0
+
+    def __call__(self, event: Event) -> None:
+        if self.kinds is not None and event.kind not in self.kinds:
+            self.filtered += 1
+            return
+        if self.trace_id is not None and event.data.get("trace_id") != self.trace_id:
+            self.filtered += 1
+            return
+        self.forwarded += 1
+        self.fn(event)
+
+
+class BufferedSubscriber:
+    """Decouple a slow subscriber from the publish path.
+
+    The bus-facing callable only appends to a bounded deque (newest
+    events dropped and counted when the consumer falls behind, matching
+    the bus's own semantics) and wakes a dedicated drain thread that
+    invokes the wrapped subscriber.  Publishers therefore pay O(1) per
+    event no matter how slow the consumer is — the regression the
+    serving layer's per-session SSE streams depend on, since a stalled
+    HTTP client must never stall the workers' request path.
+
+    ``close()`` drains what is buffered (bounded by ``close_timeout_s``),
+    stops the thread, and detaches; it is idempotent.
+    """
+
+    def __init__(self, fn: Subscriber, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.fn = fn
+        self.capacity = capacity
+        self.dropped = 0
+        self.delivered = 0
+        self.errors = 0
+        self._queue: deque[Event] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._drain, name="repro-buffered-subscriber", daemon=True
+        )
+        self._thread.start()
+
+    def __call__(self, event: Event) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            if len(self._queue) >= self.capacity:
+                self.dropped += 1
+                return
+            self._queue.append(event)
+            self._cond.notify()
+
+    def _drain(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue and self._closed:
+                    return
+                event = self._queue.popleft()
+            try:
+                self.fn(event)
+            except Exception:
+                self.errors += 1
+            else:
+                self.delivered += 1
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout=timeout_s)
+
+
+@dataclass
+class Subscription:
+    """Handle for one :func:`subscribe` attachment; ``close()`` detaches."""
+
+    bus: EventBus
+    attached: Subscriber
+    _buffered: BufferedSubscriber | None = None
+    _filtered: FilteredSubscriber | None = None
+
+    @property
+    def dropped(self) -> int:
+        """Events this subscription's own buffer dropped (0 unbuffered)."""
+        return self._buffered.dropped if self._buffered is not None else 0
+
+    @property
+    def delivered(self) -> int:
+        buffered = self._buffered
+        if buffered is not None:
+            return buffered.delivered
+        filtered = self._filtered
+        return filtered.forwarded if filtered is not None else self.bus.dispatched
+
+    def close(self) -> None:
+        self.bus.unsubscribe(self.attached)
+        if self._buffered is not None:
+            self._buffered.close()
+
+
+def subscribe(
+    fn: Subscriber,
+    bus: EventBus | None = None,
+    kinds: tuple[str, ...] | None = None,
+    trace_id: str | None = None,
+    buffered: bool = False,
+    capacity: int = 4096,
+) -> Subscription:
+    """Attach ``fn`` to an event bus; the documented public hook.
+
+    ``bus`` defaults to the ambient bus (:func:`get_bus`) and must be a
+    real :class:`EventBus` — subscribing to the null bus is an error, not
+    a silent no-op, because the caller clearly expects events.  ``kinds``
+    and ``trace_id`` filter before delivery (see the module docstring's
+    subscriber contract); ``buffered=True`` decouples a slow ``fn`` from
+    the publish path via :class:`BufferedSubscriber`.  Returns a
+    :class:`Subscription` whose ``close()`` detaches (and drains the
+    buffer, when there is one).
+    """
+    target = bus if bus is not None else get_bus()
+    if not isinstance(target, EventBus):
+        raise RuntimeError(
+            "no active event bus to subscribe to; activate one with use_bus() first"
+        )
+    inner: Subscriber = fn
+    buffered_sub: BufferedSubscriber | None = None
+    if buffered:
+        inner = buffered_sub = BufferedSubscriber(fn, capacity=capacity)
+    filtered_sub: FilteredSubscriber | None = None
+    if kinds is not None or trace_id is not None:
+        inner = filtered_sub = FilteredSubscriber(inner, kinds=kinds, trace_id=trace_id)
+    target.subscribe(inner)
+    return Subscription(
+        bus=target, attached=inner, _buffered=buffered_sub, _filtered=filtered_sub
+    )

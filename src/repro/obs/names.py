@@ -51,12 +51,23 @@ PROFILE_CAPTURE_SPAN = "profile.capture"
 # engine's worker threads (parented on the enclosing sql.execute span)
 MORSEL_EVENT = "sql.engine.morsel"
 
+# one per served request (repro.serve.worker); the session span of the
+# request's query parents under it, sharing its trace_id — which is the
+# key per-request SSE streams filter the process-wide bus on
+SERVE_REQUEST_SPAN = "serve.request"
+# wraps server warm-up (repro.serve.state): pre-building the shared
+# read-only state before the first request arrives
+SERVE_WARMUP_SPAN = "serve.warmup"
+
 # ----------------------------------------------------------------------
 # canonical-tree exclusions
 # ----------------------------------------------------------------------
 # attributes that vary run to run without the traced work differing:
 # latency-shaped measurements, plus the execution mode (worker count)
-TIMING_ATTRS = frozenset({"latency_s", "wall_s", "duration_s", "workers"})
+# and the serving layer's queue-wait/execution split
+TIMING_ATTRS = frozenset(
+    {"latency_s", "wall_s", "duration_s", "workers", "queue_wait_s", "exec_s"}
+)
 # attributes that depend on which query-result-cache tier served a SELECT
 # (and how much scan work it therefore did) — a memory hit in one process
 # is a disk hit or a full scan in another without the *result* differing.

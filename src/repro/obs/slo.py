@@ -47,7 +47,27 @@ DEFAULT_POLICY: dict[str, Any] = {
             "file": "BENCH_obs.json",
             "key": "site.overhead_ratio",
             "max": 1.02,
-        }
+        },
+        # serving-layer load profile: the server must make progress with
+        # zero failed requests, shed excess load honestly (backpressure is
+        # measured, not gated), and keep tail latency bounded.  The p99
+        # bound is generous because the benchmark's simulated LLM latency
+        # dominates it; the regression it catches is queuing collapse.
+        {
+            "file": "BENCH_serve.json",
+            "key": "load.qps",
+            "min": 0.1,
+        },
+        {
+            "file": "BENCH_serve.json",
+            "key": "load.failed_requests",
+            "max": 0,
+        },
+        {
+            "file": "BENCH_serve.json",
+            "key": "load.p99_s",
+            "max": 30.0,
+        },
     ],
 }
 

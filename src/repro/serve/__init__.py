@@ -1,0 +1,34 @@
+"""Multi-tenant serving layer: one warm process, many sessions.
+
+``repro serve`` turns the one-shot assistant into a long-running server:
+shared read-only warm state (:mod:`repro.serve.state`), per-tenant
+session isolation (:mod:`repro.serve.session`), bounded admission with
+honest backpressure (:mod:`repro.serve.admission`), a worker pool
+running the deterministic request path (:mod:`repro.serve.worker`),
+per-request SSE progress streams (:mod:`repro.serve.streaming`), and the
+stdlib HTTP front end tying them together (:mod:`repro.serve.server`).
+"""
+
+from repro.serve.admission import AdmissionQueue, QueueClosed, QueueFull
+from repro.serve.server import ReproServer
+from repro.serve.session import InvalidSessionId, ServeSession, SessionRegistry
+from repro.serve.state import WarmState, WarmupReport
+from repro.serve.streaming import EventStreamer, sse_frame
+from repro.serve.worker import ServeRequest, WorkerPool, answer_payload
+
+__all__ = [
+    "AdmissionQueue",
+    "EventStreamer",
+    "InvalidSessionId",
+    "QueueClosed",
+    "QueueFull",
+    "ReproServer",
+    "ServeRequest",
+    "ServeSession",
+    "SessionRegistry",
+    "WarmState",
+    "WarmupReport",
+    "WorkerPool",
+    "answer_payload",
+    "sse_frame",
+]

@@ -1,0 +1,75 @@
+"""Per-request SSE progress streams over the process-wide event bus.
+
+One server process has one :class:`~repro.obs.events.EventBus`; every
+request's spans are published onto it tagged with the request's
+``trace_id``.  A streaming client (``POST /v1/query`` with
+``"stream": true``) gets those events fanned back out as a
+``text/event-stream``: the subscription filters the bus down to the one
+trace and buffers it (:func:`repro.obs.events.subscribe` with
+``trace_id=`` and ``buffered=True``), so a slow or stalled HTTP client
+can never stall the workers publishing on the request path — events the
+client cannot absorb are dropped, counted, and reported in the terminal
+``result`` frame.
+
+Progress lines reuse :meth:`LiveRenderer.format_event`, so what streams
+to a serve client is word-for-word what ``repro query --live`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+from typing import Any, Iterator
+
+from repro.obs.events import Event, LiveRenderer, subscribe
+
+
+def sse_frame(event_name: str, data: dict[str, Any]) -> bytes:
+    """One Server-Sent-Events frame (``event:`` + ``data:`` + blank)."""
+    payload = json.dumps(data, separators=(",", ":"), sort_keys=True)
+    return f"event: {event_name}\ndata: {payload}\n\n".encode()
+
+
+class EventStreamer:
+    """Bridge one request's bus events onto an SSE byte iterator."""
+
+    def __init__(self, trace_id: str, verbose: bool = False, capacity: int = 4096):
+        self.trace_id = trace_id
+        self.verbose = verbose
+        self._lines: queue.Queue[str] = queue.Queue()
+        # buffered: the drain thread formats and enqueues; the publisher
+        # (a worker thread mid-request) only ever appends to the buffer
+        self._subscription = subscribe(
+            self._on_event, trace_id=trace_id, buffered=True, capacity=capacity
+        )
+
+    def _on_event(self, event: Event) -> None:
+        line = LiveRenderer.format_event(event, verbose=self.verbose)
+        if line is not None:
+            self._lines.put(line)
+
+    def frames(self, done, poll_s: float = 0.05) -> Iterator[bytes]:
+        """Yield progress frames until ``done`` is set and lines are drained."""
+        while True:
+            try:
+                line = self._lines.get(timeout=poll_s)
+            except queue.Empty:
+                if done.is_set():
+                    # one last non-blocking sweep for stragglers the
+                    # buffer delivered after the done flag flipped
+                    while True:
+                        try:
+                            yield sse_frame(
+                                "progress", {"line": self._lines.get_nowait()}
+                            )
+                        except queue.Empty:
+                            return
+                continue
+            yield sse_frame("progress", {"line": line})
+
+    @property
+    def dropped(self) -> int:
+        return self._subscription.dropped
+
+    def close(self) -> None:
+        self._subscription.close()

@@ -1,0 +1,215 @@
+"""The request path: worker threads executing queries over warm state.
+
+Each worker thread loops on the admission queue; for every request it
+
+1. opens a fresh per-request :class:`~repro.obs.tracer.Tracer` whose
+   ``serve.request`` root span records the queue-wait/execution split —
+   its ``trace_id`` is the request's handle for SSE filtering;
+2. builds a fresh per-request app (:meth:`WarmState.build_app`) on the
+   session's workdir with a deterministically derived seed, so the run
+   is byte-identical to the same question asked via a one-shot CLI
+   invocation — freshness of the app is what keeps per-query LLM seeds
+   independent of arrival order;
+3. enforces resilience on the path: an expired request deadline fails
+   fast *before* execution starts (queued time counts against it), and
+   a consecutive-internal-error circuit breaker sheds load while the
+   server is structurally broken instead of burning workers on doomed
+   requests;
+4. folds the query's cost ledger into the session + server aggregate
+   and fulfils the caller's future.
+
+Results carry a **deterministic answer payload** — completion flag,
+failure classification, result tables serialized column-by-column, plan
+shape, token totals — and deliberately exclude anything run-varying
+(timings, paths, trace ids), so byte-equality of two payloads means the
+*analyses* agreed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import traceback
+import uuid
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.names import SERVE_REQUEST_SPAN
+from repro.obs.tracer import TraceContext, Tracer, use_tracer
+from repro.resilience import CircuitBreaker, Deadline, ResilienceError
+from repro.sandbox.serialize import frame_to_json
+from repro.serve.admission import AdmissionQueue
+from repro.serve.session import ServeSession, SessionRegistry
+from repro.serve.state import WarmState
+from repro.util.timing import WallClock
+
+
+def answer_payload(report: Any) -> dict[str, Any]:
+    """The run-invariant view of a query report (byte-comparable)."""
+    run = report.run
+    return {
+        "completed": run.completed,
+        "failure": run.failure,
+        "failed_at_step": run.failed_at_step,
+        "semantic_level": run.semantic_level,
+        "plan_size": run.plan_size,
+        "analysis_steps": run.analysis_steps,
+        "redo_iterations": run.redo_iterations,
+        "tokens": run.tokens,
+        # figures are SVG text; content hashes compare byte-exactly
+        # without shipping kilobytes of markup in every response
+        "figures": sorted(
+            hashlib.sha256(svg.encode()).hexdigest() for svg in run.figures
+        ),
+        "tables": {
+            name: frame_to_json(frame) for name, frame in sorted(run.tables.items())
+        },
+    }
+
+
+@dataclass
+class ServeRequest:
+    """One admitted request travelling queue → worker → response."""
+
+    question: str
+    session: ServeSession
+    run_id: str
+    request_index: int
+    deadline: Deadline
+    # minted at admission (not at execution) so a streaming client can
+    # subscribe to the request's events before a worker picks it up
+    trace_id: str = field(default_factory=lambda: uuid.uuid4().hex)
+    submitted_at: float = 0.0
+    # fulfilled by the worker
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    status: str = "queued"
+    queue_wait_s: float = 0.0
+    exec_s: float = 0.0
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def wait(self, timeout_s: float | None = None) -> bool:
+        return self.done.wait(timeout_s)
+
+
+class WorkerPool:
+    """N daemon threads draining the admission queue over shared state."""
+
+    def __init__(
+        self,
+        state: WarmState,
+        registry: SessionRegistry,
+        queue: AdmissionQueue,
+        workers: int = 4,
+        clock: WallClock | None = None,
+        llm_factory=None,
+        breaker: CircuitBreaker | None = None,
+    ):
+        self.state = state
+        self.registry = registry
+        self.queue = queue
+        self.clock = clock or WallClock()
+        self._llm_factory = llm_factory
+        # trips on consecutive *internal* errors (bugs, broken state) —
+        # classified application failures are results, not breaker food
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=5, reset_timeout_s=10.0, clock=self.clock, name="serve"
+        )
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"repro-serve-worker-{i}", daemon=True
+            )
+            for i in range(max(1, workers))
+        ]
+        self._stop = threading.Event()
+        self.executed = 0
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(t.is_alive() for t in self._threads)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        for t in self._threads:
+            t.start()
+
+    def stop(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Close the queue and stop workers; with ``drain`` they finish
+        every already-admitted request first."""
+        self.queue.close()
+        if not drain:
+            self._stop.set()
+        for t in self._threads:
+            t.join(timeout_s)
+        self._stop.set()
+
+    # -- the worker loop -----------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            request = self.queue.pop(timeout_s=0.2)
+            if request is None:
+                if self.queue.closed and len(self.queue) == 0:
+                    return
+                continue
+            self._execute(request)
+
+    def _execute(self, request: ServeRequest) -> None:
+        t_start = self.clock.now()
+        request.queue_wait_s = max(0.0, t_start - request.submitted_at)
+        tracer = Tracer(
+            clock=self.clock, context=TraceContext(request.trace_id, None)
+        )
+        try:
+            with use_tracer(tracer), tracer.span(
+                SERVE_REQUEST_SPAN,
+                session=request.session.session_id,
+                run_id=request.run_id,
+            ) as span:
+                payload = self._guarded_run(request)
+                span.set(
+                    queue_wait_s=round(request.queue_wait_s, 6),
+                    exec_s=round(self.clock.now() - t_start, 6),
+                    status=request.status,
+                )
+            request.result = payload
+        except ResilienceError as exc:
+            # deadline blown in the queue, breaker open: classified
+            # shed-load outcomes, not bugs — the breaker is not charged
+            request.status = "rejected"
+            request.error = f"{exc.classification}: {exc}"
+        except Exception as exc:  # pragma: no cover - defensive
+            self.breaker.record_failure()
+            request.status = "error"
+            request.error = f"internal-error: {exc}"
+            traceback.print_exc()
+        finally:
+            request.exec_s = self.clock.now() - t_start
+            self.queue.service_time.observe(request.queue_wait_s + request.exec_s)
+            self.executed += 1
+            request.done.set()
+
+    def _guarded_run(self, request: ServeRequest) -> dict[str, Any]:
+        if request.deadline.expired:
+            raise ResilienceError(
+                f"request deadline expired after {request.queue_wait_s:.2f}s in queue"
+            )
+        if not self.breaker.allow():
+            raise ResilienceError("server circuit breaker is open")
+        app = self.state.build_app(
+            request.session.workdir,
+            seed=self.state.config.seed,
+            llm=self._llm_factory,
+        )
+        # the app is fresh, so this request is its query #1: the LLM seed
+        # becomes config.seed + request_index via the pre-set counter,
+        # matching a one-shot run of the same question at the same index
+        app._query_count = request.request_index - 1
+        try:
+            report = app.run_query(request.question, session_id=request.run_id)
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        self.registry.record_result(request.session, report.cost, report.completed)
+        request.status = "ok" if report.completed else "failed"
+        return answer_payload(report)

@@ -221,3 +221,56 @@ class TestEndToEnd:
         span_tokens = token_totals(result.spans)
         assert suite["totals"]["total_tokens"] == span_tokens["total_tokens"]
         assert suite["totals"]["calls"] == span_tokens["calls"]
+
+
+class TestConcurrentLedgers:
+    """The serving-layer regression: interleaved sessions on separate
+    threads must never cross-charge (the ambient ledger is a contextvar,
+    not a process global)."""
+
+    def test_threads_meter_independently(self):
+        import threading
+
+        ledgers = [CostLedger() for _ in range(4)]
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def session(i: int) -> None:
+            try:
+                with use_ledger(ledgers[i]), cost_attribution(session=f"s{i}"):
+                    barrier.wait(5.0)  # all four sessions active at once
+                    for _ in range(10):
+                        record_llm_call(100 * (i + 1), 10 * (i + 1))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=session, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5.0)
+        assert not errors
+        for i, ledger in enumerate(ledgers):
+            doc = ledger.as_dict()
+            # exactly this session's spend, attributed to this session only
+            assert doc["totals"]["calls"] == 10
+            assert doc["totals"]["total_tokens"] == 10 * (110 * (i + 1))
+            assert {e["session"] for e in doc["entries"]} == {f"s{i}"}
+
+    def test_ambient_ledger_isolated_per_thread(self):
+        import threading
+
+        outer = CostLedger()
+        seen = {}
+
+        def worker():
+            # a fresh thread starts with no inherited ambient ledger
+            seen["worker"] = get_ledger()
+
+        with use_ledger(outer):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join(5.0)
+            assert get_ledger() is outer
+        assert seen["worker"] is None
+        assert get_ledger() is None

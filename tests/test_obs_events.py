@@ -28,6 +28,7 @@ from repro.obs.events import (
     get_bus,
     replay_counters,
     replay_spans,
+    subscribe,
     use_bus,
 )
 from repro.obs.export import canonical_tree, read_spans
@@ -368,3 +369,102 @@ class TestForkReset:
                 os._exit(0 if ok else 1)
             _, status = os.waitpid(pid, 0)
         assert os.waitstatus_to_exitcode(status) == 0
+
+
+class TestSubscribeAPI:
+    """The documented public hook: filtering, buffering, detachment."""
+
+    def _span_event(self, kind, name, trace_id="t1", **attrs):
+        return Event(kind, name, {"name": name, "trace_id": trace_id,
+                                  "span_id": "s1", "duration": 0.01,
+                                  "status": "ok", "attributes": attrs})
+
+    def test_subscribe_requires_an_active_bus(self):
+        assert get_bus() is NULL_BUS
+        with pytest.raises(RuntimeError, match="no active event bus"):
+            subscribe(lambda e: None)
+
+    def test_kind_and_trace_filtering(self):
+        bus = EventBus()
+        got = CollectingSubscriber()
+        sub = subscribe(got, bus=bus, kinds=(SPAN_END,), trace_id="mine")
+        bus.publish(self._span_event(SPAN_START, "a", trace_id="mine"))
+        bus.publish(self._span_event(SPAN_END, "b", trace_id="mine"))
+        bus.publish(self._span_event(SPAN_END, "c", trace_id="other"))
+        bus.publish_counter("x", 1)  # counters carry no trace affiliation
+        assert [e.name for e in got.events] == ["b"]
+        assert sub.delivered == 1
+        sub.close()
+        bus.publish(self._span_event(SPAN_END, "d", trace_id="mine"))
+        assert [e.name for e in got.events] == ["b"]  # detached
+
+    def test_slow_subscriber_does_not_stall_publishers(self):
+        """The serving-layer regression: a consumer sleeping per event
+        must not slow the publish path once wrapped with buffered=True."""
+        import time as _time
+
+        bus = EventBus()
+
+        def slow(event):
+            _time.sleep(0.05)
+
+        sub = subscribe(slow, bus=bus, buffered=True)
+        start = _time.perf_counter()
+        n = 50
+        for i in range(n):
+            bus.publish(self._span_event(SPAN_END, f"e{i}"))
+        publish_wall = _time.perf_counter() - start
+        # unbuffered, this would take n * 0.05 = 2.5s on the publisher;
+        # buffered, publishing is decoupled from consumption entirely
+        assert publish_wall < 0.5, (
+            f"publishers stalled {publish_wall:.2f}s behind a slow subscriber"
+        )
+        sub.close()
+        assert sub.delivered + sub.dropped == n
+
+    def test_buffered_bounded_drop(self):
+        bus = EventBus()
+        release = __import__("threading").Event()
+
+        def blocked(event):
+            release.wait(10.0)
+
+        sub = subscribe(blocked, bus=bus, buffered=True, capacity=4)
+        for i in range(20):
+            bus.publish(self._span_event(SPAN_END, f"e{i}"))
+        assert sub.dropped > 0  # newest events dropped, counted, no growth
+        release.set()
+        sub.close()
+        assert sub.delivered + sub.dropped == 20
+        assert sub.dropped >= 20 - 4 - 1  # at most capacity + in-flight kept
+
+    def test_buffered_preserves_order(self):
+        bus = EventBus()
+        got = []
+        sub = subscribe(lambda e: got.append(e.name), bus=bus, buffered=True)
+        for i in range(100):
+            bus.publish(self._span_event(SPAN_END, f"e{i:03d}"))
+        sub.close()  # close drains the buffer before detaching
+        assert got == [f"e{i:03d}" for i in range(100)]
+
+    def test_live_session_events_filterable_by_trace(self, ensemble, tmp_path):
+        """End to end: one bus, two sessions, per-trace subscriptions see
+        only their own session's spans (the per-request SSE contract)."""
+        app = InferA(
+            ensemble, tmp_path / "w",
+            InferAConfig(error_model=NO_ERRORS, llm_latency_s=0.0),
+        )
+        bus = EventBus()
+        all_events = CollectingSubscriber()
+        bus.subscribe(all_events)
+        with use_bus(bus):
+            r1 = app.run_query("How many halos are in run 0?")
+            r2 = app.run_query("What is the average halo mass at timestep 624?")
+        t1 = r1.trace_spans[0]["trace_id"]
+        t2 = r2.trace_spans[0]["trace_id"]
+        assert t1 != t2
+        mine = [e for e in all_events.of_kind(SPAN_END)
+                if e.data.get("trace_id") == t1]
+        names = {e.name for e in mine}
+        assert "session" in names and "plan.generate" in names
+        assert len(mine) == len(r1.trace_spans)
