@@ -1,0 +1,248 @@
+"""Sandbox fleet — sustained code-execution throughput vs one warm server.
+
+One warm sandbox server executes one request at a time (the execution
+gate exists so a runaway snippet cannot starve its siblings); under
+concurrent agent load every execution queues behind the previous one.
+The fleet (``repro.sandbox.fleet``) pools N warm servers behind
+least-loaded routing, so independent executions overlap.  This benchmark
+measures what that buys and emits ``BENCH_sandbox.json`` (gated by
+``repro slo check``):
+
+* **baseline** — 8 closed-loop clients against a single warm server
+  (``max_concurrent=1``): the per-server throughput floor;
+* **fleet sweep** — the same workload through thread-mode fleets of
+  1, 2, 4 and 8 workers; 4 workers must sustain >= 2x baseline
+  throughput (8 workers shows where 8 closed-loop clients saturate).
+
+The executor pays a **real sleep** per execution (``EXEC_LATENCY_S``,
+via ``LatencyExecutor``) modelling the heavy analysis snippets the agent
+ships to the sandbox; requests are latency-dominated, so on a single
+core the fleet overlaps the sleeps and the speedup measures concurrency
+engineering, not extra CPUs.
+
+Every response is checked byte-for-byte against an in-process reference
+execution: routing decides *where* a snippet runs, never *what* it
+returns, so the speedup gate and the identity gate ship together
+(``fleet.mismatches == 0``).
+
+Runs under pytest (``pytest benchmarks/bench_sandbox_fleet.py``) and as
+a script (``python benchmarks/bench_sandbox_fleet.py --quick`` — the CI
+sandbox-bench configuration: shorter sleeps, fewer requests, a loose
+speedup floor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.frame import Frame
+from repro.sandbox import (
+    InProcessClient,
+    LatencyExecutor,
+    SandboxClient,
+    SandboxExecutor,
+    SandboxFleet,
+    SandboxServer,
+)
+
+EXEC_LATENCY_S = 0.04       # simulated heavy-snippet execution cost
+QUICK_EXEC_LATENCY_S = 0.02
+CLIENTS = 8                 # closed-loop client threads
+PER_CLIENT = 8              # requests per client (full run)
+QUICK_PER_CLIENT = 3
+FLEET_SIZES = (1, 2, 4, 8)
+MIN_SPEEDUP_4W = 2.0        # 4 workers must double single-server throughput
+QUICK_MIN_SPEEDUP_4W = 1.5  # smoke floor: some overlap must be visible
+
+# the deterministic exec workload: (code, tables, expected result)
+WORKLOAD_CODES = (
+    "result = tables['work'].filter(tables['work']['a'] > 2.0)",
+    "result = Frame({'s': np.asarray([float(np.sum(tables['work'].column('a')))])})",
+    "result = Frame({'top': np.sort(tables['work'].column('a'))[::-1][:3].copy()})",
+    "result = Frame({'z': tables['work'].column('a') * 2.0 + "
+    "tables['work'].column('b')})",
+)
+
+
+def build_workload() -> list[tuple[str, dict[str, Frame], "object"]]:
+    """Code snippets + input tables + the in-process reference result."""
+    reference = InProcessClient(SandboxExecutor())
+    workload = []
+    for k, code in enumerate(WORKLOAD_CODES):
+        tables = {
+            "work": Frame(
+                {
+                    "a": np.linspace(0.0, 4.0 + k, 64),
+                    "b": np.linspace(1.0, 2.0, 64) ** (k + 1),
+                }
+            )
+        }
+        expected = reference.execute(code, tables)
+        assert expected.ok, f"reference execution failed: {expected.error}"
+        workload.append((code, tables, expected.result))
+    return workload
+
+
+def matches(result, expected) -> bool:
+    if not result.ok or result.result.columns != expected.columns:
+        return False
+    return all(
+        np.asarray(result.result[name]).tobytes()
+        == np.asarray(expected[name]).tobytes()
+        for name in expected.columns
+    )
+
+
+def run_load(execute, workload, clients: int, per_client: int) -> dict:
+    """Closed-loop clients hammering one ``execute`` callable."""
+    lock = threading.Lock()
+    counts = {"ok": 0, "failed": 0, "mismatches": 0}
+
+    def client(cid: int) -> None:
+        for i in range(per_client):
+            code, tables, expected = workload[(cid * per_client + i) % len(workload)]
+            try:
+                result = execute(code, tables)
+            except Exception:
+                with lock:
+                    counts["failed"] += 1
+                continue
+            with lock:
+                if matches(result, expected):
+                    counts["ok"] += 1
+                else:
+                    counts["mismatches"] += 1
+
+    threads = [
+        threading.Thread(target=client, args=(c,), name=f"exec-client-{c}")
+        for c in range(clients)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+
+    total = clients * per_client
+    return {
+        "requests": total,
+        "wall_s": round(wall, 4),
+        "qps": round(total / wall, 4) if wall > 0 else 0.0,
+        "completed": counts["ok"],
+        "failed": counts["failed"],
+        "mismatches": counts["mismatches"],
+    }
+
+
+def run(output_dir: Path, quick: bool) -> dict:
+    from conftest import emit_json
+
+    latency_s = QUICK_EXEC_LATENCY_S if quick else EXEC_LATENCY_S
+    per_client = QUICK_PER_CLIENT if quick else PER_CLIENT
+    min_speedup = QUICK_MIN_SPEEDUP_4W if quick else MIN_SPEEDUP_4W
+
+    workload = build_workload()
+
+    # -- baseline: one warm server, one execution at a time -------------
+    server = SandboxServer(
+        LatencyExecutor(SandboxExecutor(), latency_s=latency_s),
+        max_concurrent=1,
+    )
+    server.start()
+    try:
+        baseline_client = SandboxClient(server.url)
+        baseline = run_load(baseline_client.execute, workload, CLIENTS, per_client)
+        baseline_client.close()
+    finally:
+        server.stop()
+
+    # -- fleet sweep ----------------------------------------------------
+    sweep: dict[int, dict] = {}
+    respawns = 0
+    for workers in FLEET_SIZES:
+        fleet = SandboxFleet.spawn_local(
+            workers,
+            mode="thread",
+            executor_factory=SandboxExecutor,
+            exec_latency_s=latency_s,
+            max_concurrent=1,
+        )
+        try:
+            probe = fleet.warm()
+            assert probe["healthy"] == workers, f"fleet warmup: {probe}"
+            result = run_load(fleet.execute, workload, CLIENTS, per_client)
+            result["fallbacks"] = fleet.fallbacks_total
+            result["trips"] = fleet.trips_total
+            respawns += fleet.respawns_total
+            sweep[workers] = result
+        finally:
+            fleet.close()
+
+    def speedup(workers: int) -> float:
+        return round(sweep[workers]["qps"] / baseline["qps"], 3) if baseline["qps"] else 0.0
+
+    failed = baseline["failed"] + sum(r["failed"] for r in sweep.values())
+    mismatches = baseline["mismatches"] + sum(r["mismatches"] for r in sweep.values())
+    fleet_summary = {
+        "speedup_1w": speedup(1),
+        "speedup_2w": speedup(2),
+        "speedup_4w": speedup(4),
+        "speedup_8w": speedup(8),
+        "failed": failed,
+        "mismatches": mismatches,
+        "respawns": respawns,
+    }
+
+    assert mismatches == 0, (
+        f"{mismatches} responses differed from the in-process reference: "
+        f"routing must never change *what* an execution returns"
+    )
+    assert failed == 0, f"{failed} executions failed outright"
+    assert fleet_summary["speedup_4w"] >= min_speedup, (
+        f"4-worker fleet QPS {sweep[4]['qps']} is only "
+        f"{fleet_summary['speedup_4w']}x the single-server baseline "
+        f"{baseline['qps']} (need >= {min_speedup}x): the fleet is not "
+        f"overlapping execution latency"
+    )
+
+    payload = {
+        "benchmark": "sandbox_fleet",
+        "quick": quick,
+        "config": {
+            "exec_latency_s": latency_s,
+            "clients": CLIENTS,
+            "requests_per_client": per_client,
+            "fleet_sizes": list(FLEET_SIZES),
+            "min_speedup_4w": min_speedup,
+        },
+        "baseline": baseline,
+        "fleet_sweep": {f"{w}w": r for w, r in sweep.items()},
+        "fleet": fleet_summary,
+    }
+    return emit_json(output_dir, "BENCH_sandbox.json", payload)
+
+
+def test_sandbox_fleet_bench(output_dir):
+    run(output_dir, quick=False)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI sandbox-bench: shorter sleeps, fewer requests")
+    args = parser.parse_args(argv)
+    output_dir = Path(__file__).resolve().parent / "output"
+    output_dir.mkdir(parents=True, exist_ok=True)
+    run(output_dir, quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

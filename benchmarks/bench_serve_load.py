@@ -14,7 +14,12 @@ pool.  This benchmark measures what that buys and emits
   cross-simulation SQL aggregate, and a redo-loop question under the
   calibrated LLM-error model.  Reported: sustained QPS, p50/p95/p99
   end-to-end latency, the queue-wait vs execution split, 429/failed
-  counts, warm-state hit ratios, and warm-up time.
+  counts, warm-state hit ratios, and warm-up time;
+* **fleet configuration** — the load phase again with sandbox
+  executions routed over a 2-worker warm sandbox fleet
+  (``sandbox_workers=2``) instead of in-process: zero failed requests
+  required, fleet routing stats reported (the fleet's own >= 2x
+  throughput gate lives in ``bench_sandbox_fleet.py``).
 
 The mock LLM computes instantly; a hosted model does not.  Each call
 **really sleeps** ``LLM_SLEEP_S`` here (the latency a hosted API would
@@ -198,8 +203,16 @@ def run_clients(url: str, workloads: list[list[str]]) -> dict:
     }
 
 
-def start_server(ensemble, workdir: Path, workers: int, sleep_s: float) -> ReproServer:
-    config = InferAConfig(seed=11, error_model=ErrorModel())
+def start_server(
+    ensemble,
+    workdir: Path,
+    workers: int,
+    sleep_s: float,
+    sandbox_workers: int | None = None,
+) -> ReproServer:
+    config = InferAConfig(
+        seed=11, error_model=ErrorModel(), sandbox_workers=sandbox_workers
+    )
 
     def llm_factory(seed: int) -> SleepingLLM:
         return SleepingLLM(
@@ -259,6 +272,27 @@ def run(root: Path, output_dir: Path, quick: bool) -> dict:
     server_stats = load_server.stats()
     load_server.shutdown()
 
+    # -- fleet configuration: same load, sandbox execs over a warm fleet
+    # instead of in-process; reported alongside the in-process load phase
+    # (the hard speedup gate for the fleet itself lives in
+    # bench_sandbox_fleet.py / BENCH_sandbox.json)
+    fleet_server = start_server(
+        ensemble, root / "fleet", workers=LOAD_WORKERS, sleep_s=sleep_s,
+        sandbox_workers=2,
+    )
+    fleet_warmup = fleet_server.state.report.as_dict()
+    run_clients(fleet_server.url, [[w[0]] for w in workloads])
+    fleet_load = run_clients(fleet_server.url, workloads)
+    fleet_stats = fleet_server.stats().get("sandbox_fleet")
+    fleet_server.shutdown()
+    fleet_load["speedup_vs_serial"] = (
+        round(fleet_load["qps"] / serial["qps"], 3) if serial["qps"] else 0.0
+    )
+    assert fleet_load["failed_requests"] == 0, (
+        f"{fleet_load['failed_requests']} requests failed outright with the "
+        f"sandbox fleet enabled"
+    )
+
     load["speedup_vs_serial"] = (
         round(load["qps"] / serial["qps"], 3) if serial["qps"] else 0.0
     )
@@ -287,8 +321,11 @@ def run(root: Path, output_dir: Path, quick: bool) -> dict:
         },
         "warmup": load_warmup,
         "warmup_serial": serial_warmup,
+        "warmup_fleet": fleet_warmup,
         "serial": serial,
         "load": load,
+        "fleet_load": fleet_load,
+        "sandbox_fleet": fleet_stats,
         "server": {
             "sessions": server_stats["sessions"],
             "queue": server_stats["queue"],

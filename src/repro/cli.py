@@ -12,6 +12,8 @@
 * ``cost``     — report a run's LLM spend (per agent, §4.5 growth curve)
 * ``profile``  — run one query under the sampling profiler (flamegraph)
 * ``slo``      — check a trace/workdir against declarative SLO budgets
+* ``serve``    — long-running multi-tenant HTTP server over one warm process
+* ``sandbox``  — inspect the warm sandbox fleet (topology, per-worker state)
 
 All commands are plain functions over the library API; the CLI adds no
 behaviour of its own, so scripted use and the Python API stay equivalent.
@@ -195,6 +197,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated seconds per LLM call (models a hosted "
                             "API; makes requests latency- rather than "
                             "CPU-bound, which is what the worker pool overlaps)")
+    serve.add_argument("--sandbox-workers", type=int, default=None,
+                       help="warm sandbox fleet size shared by all sessions "
+                            "(0 = one per core; default: REPRO_SANDBOX_WORKERS "
+                            "or no fleet)")
+    serve.add_argument("--sandbox-spawn", choices=("thread", "process"),
+                       default=None,
+                       help="how fleet workers materialize: in-process "
+                            "servers (thread) or separate interpreters "
+                            "(process); default thread")
+
+    sandbox = sub.add_parser("sandbox", help="inspect the warm sandbox fleet")
+    sandbox.add_argument("action", choices=("stats",),
+                         help="stats: fleet topology, per-worker load/breaker "
+                              "state, lifetime route/trip/respawn counters")
+    sandbox.add_argument("--workdir", default="infera_serve",
+                         help="workdir whose sandbox_fleet.json snapshot to "
+                              "report (written by a fleet-enabled serve/app)")
 
     return parser
 
@@ -238,11 +257,14 @@ def cmd_query(args: argparse.Namespace) -> int:
     app = InferA(Ensemble(args.ensemble), args.workdir, config)
     log.info("running query against %s (seed=%d)", args.ensemble, args.seed)
     bus = _live_bus(getattr(args, "live", False), verbose=args.verbose > 0)
-    if bus is not None:
-        with use_bus(bus):
+    try:
+        if bus is not None:
+            with use_bus(bus):
+                report = app.run_query(args.question)
+        else:
             report = app.run_query(args.question)
-    else:
-        report = app.run_query(args.question)
+    finally:
+        app.close()  # stop any sandbox fleet; final stats checkpoint
     log.debug("trace: %d spans recorded under %s", len(report.trace_spans), report.session_dir)
     print(f"completed: {report.completed}")
     print(f"steps: {sum(1 for s in report.run.steps if s.status == 'ok')}/{report.run.plan_size} ok")
@@ -553,6 +575,37 @@ def cmd_slo(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_sandbox(args: argparse.Namespace) -> int:
+    import json
+
+    snapshot = Path(args.workdir) / "sandbox_fleet.json"
+    if not snapshot.is_file():
+        print(f"no sandbox fleet snapshot under {args.workdir} "
+              f"({snapshot.name} not written yet); start a fleet-enabled "
+              f"run first, e.g. repro serve --sandbox-workers 4")
+        return 0
+    try:
+        doc = json.loads(snapshot.read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        print(f"cannot read {snapshot}: {exc}")
+        return 1
+    lifetime = doc.get("lifetime", {})
+    print(f"sandbox fleet: {doc.get('workers', 0)} worker(s), "
+          f"mode={doc.get('mode', '?')}")
+    print(f"{'worker':>6} {'in_flight':>9} {'ewma_s':>10} {'breaker':>9} "
+          f"{'routes':>7} {'trips':>6} {'respawns':>8}  url")
+    for member in doc.get("members", []):
+        print(f"{member.get('index', '?'):>6} {member.get('in_flight', 0):>9} "
+              f"{member.get('ewma_s', 0.0):>10.4f} {member.get('breaker', '?'):>9} "
+              f"{member.get('routes', 0):>7} {member.get('trips', 0):>6} "
+              f"{member.get('respawns', 0):>8}  {member.get('url', '?')}")
+    print(f"lifetime: {lifetime.get('routes', 0)} routed, "
+          f"{lifetime.get('trips', 0)} trips, "
+          f"{lifetime.get('respawns', 0)} respawns, "
+          f"{lifetime.get('fallbacks', 0)} fallbacks")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ReproServer
 
@@ -561,6 +614,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         error_model=NO_ERRORS if args.no_errors else ErrorModel(),
         token_budget=args.token_budget,
         llm_latency_s=args.llm_latency,
+        sandbox_workers=args.sandbox_workers,
+        sandbox_spawn=args.sandbox_spawn,
     )
     server = ReproServer(
         Ensemble(args.ensemble),
@@ -603,6 +658,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "slo": cmd_slo,
     "serve": cmd_serve,
+    "sandbox": cmd_sandbox,
 }
 
 

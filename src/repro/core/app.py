@@ -43,7 +43,13 @@ from repro.obs.tracer import Tracer, current_context, use_tracer
 from repro.resilience import BudgetExceeded
 from repro.provenance import ProvenanceTracker
 from repro.rag import ColumnRetriever, RetrievalArtifactCache
-from repro.sandbox import InProcessClient, SandboxClient, SandboxExecutor
+from repro.sandbox import (
+    InProcessClient,
+    SandboxClient,
+    SandboxExecutor,
+    SandboxFleet,
+    resolve_sandbox_workers,
+)
 from repro.sim.ensemble import Ensemble
 from repro.util.timing import SimulatedClock, WallClock
 from repro.sim.schema import (
@@ -139,6 +145,10 @@ class InferA:
         cache_dir = self.config.retrieval_cache_dir or self.workdir / ".retrieval_cache"
         self._retrieval_cache = RetrievalArtifactCache(cache_dir)
         self._retriever: ColumnRetriever | None = retriever
+        # warm sandbox fleet (config.sandbox_workers / REPRO_SANDBOX_WORKERS):
+        # built lazily on the first query and shared by every query of this
+        # app, like the retriever
+        self._fleet: SandboxFleet | None = None
         # chaos engineering: one injector per app so every query of a run
         # draws from the same deterministic per-fault-point schedule.  An
         # explicit profile wins; otherwise REPRO_FAULT_PROFILE (resolved
@@ -182,10 +192,16 @@ class InferA:
             num_threads=cfg.sql_threads,
         )
         provenance.register_external(db.path)
+        fleet_workers = resolve_sandbox_workers(cfg.sandbox_workers)
         if self._shared_sandbox is not None:
             # a host-provided warm client (serving layer): connections,
             # breaker state, and health history shared across requests
             sandbox = self._shared_sandbox
+        elif fleet_workers:
+            # pooled warm workers with least-loaded routing and tiered
+            # degradation; routing never changes what an execution
+            # computes, so answers match the single-worker paths below
+            sandbox = self._sandbox_fleet(fleet_workers)
         elif cfg.sandbox_url:
             # remote gateway behind the resilience ladder: bounded retries,
             # circuit breaker, and graceful degradation onto an in-process
@@ -208,6 +224,31 @@ class InferA:
             tracer=tracer,
         )
         return context, db
+
+    # ------------------------------------------------------------------
+    def _sandbox_fleet(self, workers: int) -> SandboxFleet:
+        """Build the app's fleet once (under the query-count lock since
+        concurrent first queries may race here)."""
+        with self._count_lock:
+            if self._fleet is None:
+                self._fleet = SandboxFleet.spawn_local(
+                    workers,
+                    mode=self.config.sandbox_spawn or "thread",
+                    fallback=InProcessClient(
+                        SandboxExecutor(tools=default_toolset())
+                    ),
+                    clock=self.clock,
+                    seed=self.config.seed,
+                    stats_path=self.workdir / "sandbox_fleet.json",
+                )
+                self._fleet.warm()
+            return self._fleet
+
+    def close(self) -> None:
+        """Release owned background resources (fleet workers)."""
+        if self._fleet is not None:
+            self._fleet.close()
+            self._fleet = None
 
     # ------------------------------------------------------------------
     def run_query(

@@ -49,6 +49,15 @@ class InferAConfig:
     # when set, generated code executes on a remote sandbox gateway (the
     # paper's ASGI-server deployment) instead of in-process
     sandbox_url: str | None = None
+    # warm sandbox fleet (repro.sandbox.fleet); None defers to the
+    # REPRO_SANDBOX_WORKERS environment variable, then disabled.  0 means
+    # one worker per core.  Routing only ever picks *where* an execution
+    # runs, so fleet answers stay byte-identical to single-worker runs
+    sandbox_workers: int | None = None
+    # how fleet workers materialize: "thread" (in-process servers, cheap
+    # to spawn — tests/benchmarks) or "process" (separate interpreters,
+    # the production isolation boundary); None -> "thread"
+    sandbox_spawn: str | None = None
     # deterministic infrastructure fault injection (repro.faults); None
     # defers to the REPRO_FAULT_PROFILE environment variable, which in
     # turn defaults to off.  Injected faults are absorbed by the

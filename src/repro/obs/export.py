@@ -293,7 +293,33 @@ def summarize(spans: list[SpanLike]) -> str:
             f"{chaos['degraded']} degraded spans, "
             f"{chaos['quarantined']} cache entries quarantined"
         )
+    fleet = fleet_counts(dicts)
+    if fleet["routes"] or fleet["trips"] or fleet["fallbacks"]:
+        lines.append(
+            f"sandbox fleet: {fleet['routes']} routed over "
+            f"{fleet['workers']} worker(s), {fleet['trips']} trips, "
+            f"{fleet['respawns']} respawns, {fleet['fallbacks']} fallbacks"
+        )
     return "\n".join(lines)
+
+
+def fleet_counts(spans: list[SpanLike]) -> dict[str, int]:
+    """Sandbox-fleet accounting stamped on spans by
+    :mod:`repro.sandbox.fleet`: routed executions, breaker trips,
+    reap/respawns, full-degradation fallbacks, and how many distinct
+    workers served traffic in this trace."""
+    counts = {"routes": 0, "trips": 0, "respawns": 0, "fallbacks": 0, "workers": 0}
+    workers: set[int] = set()
+    for span in spans:
+        attrs = _as_dict(span).get("attributes", {})
+        counts["routes"] += int(attrs.get("fleet_routes", 0))
+        counts["trips"] += int(attrs.get("fleet_trips", 0))
+        counts["respawns"] += int(attrs.get("fleet_respawns", 0))
+        counts["fallbacks"] += int(attrs.get("fleet_fallbacks", 0))
+        if "fleet_worker" in attrs:
+            workers.add(int(attrs["fleet_worker"]))
+    counts["workers"] = len(workers)
+    return counts
 
 
 def fault_counts(spans: list[SpanLike]) -> dict[str, int]:

@@ -97,6 +97,12 @@ FAULT_ATTRS = frozenset(
 # given run but only present when a ledger is active, so a metered run
 # must canonicalize equal to an unmetered one
 COST_ATTRS = frozenset({"cost_usd", "model", "budget_tokens"})
+# sandbox-fleet accounting (repro.sandbox.fleet): which worker served an
+# execution, how many times it re-routed/tripped/respawned, and which
+# degradation tier answered — placement details of a byte-identical
+# result, so a fleet run must canonicalize equal to a single-worker one.
+# Matched by prefix (``fleet_*``) like the per-point fault attrs
+FLEET_ATTR_PREFIX = "fleet_"
 
 # spans that exist only when an optional telemetry layer is on; dropped
 # (with their subtrees) from canonical trees
@@ -107,6 +113,10 @@ def is_fault_attr(key: str) -> bool:
     return key in FAULT_ATTRS or key.startswith("fault.")
 
 
+def is_fleet_attr(key: str) -> bool:
+    return key.startswith(FLEET_ATTR_PREFIX)
+
+
 def is_canonical_excluded_attr(key: str) -> bool:
     """True if ``key`` is dropped from a span's canonical form."""
     return (
@@ -114,4 +124,5 @@ def is_canonical_excluded_attr(key: str) -> bool:
         or key in CACHE_ATTRS
         or key in COST_ATTRS
         or is_fault_attr(key)
+        or is_fleet_attr(key)
     )

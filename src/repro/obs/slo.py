@@ -68,6 +68,31 @@ DEFAULT_POLICY: dict[str, Any] = {
             "key": "load.p99_s",
             "max": 30.0,
         },
+        # sandbox-fleet gates: four workers must beat one single-server
+        # baseline by a real margin (the CI smoke runs --quick, so the
+        # policy floor sits below the full run's asserted 2x), every
+        # request must complete with byte-identical results, and a healthy
+        # benchmark run must not burn through its respawn budget
+        {
+            "file": "BENCH_sandbox.json",
+            "key": "fleet.speedup_4w",
+            "min": 1.2,
+        },
+        {
+            "file": "BENCH_sandbox.json",
+            "key": "fleet.failed",
+            "max": 0,
+        },
+        {
+            "file": "BENCH_sandbox.json",
+            "key": "fleet.mismatches",
+            "max": 0,
+        },
+        {
+            "file": "BENCH_sandbox.json",
+            "key": "fleet.respawns",
+            "max": 2,
+        },
     ],
 }
 

@@ -12,18 +12,29 @@ This package provides the same contract:
 * :mod:`repro.sandbox.executor` — a restricted ``exec`` namespace over
   copied Frames, returning a structured :class:`ExecutionResult`;
 * :mod:`repro.sandbox.server` / ``client`` — a stdlib HTTP JSON gateway
-  mirroring the paper's Uvicorn/FastAPI deployment, with an in-process
-  client for tests and the evaluation harness.
+  mirroring the paper's Uvicorn/FastAPI deployment (keep-alive, bounded
+  concurrent executions), with an in-process client for tests and the
+  evaluation harness;
+* :mod:`repro.sandbox.fleet` — N warm gateway workers behind one client
+  interface: least-loaded routing, per-worker circuit breakers, reap/
+  respawn, and tiered degradation down to the in-process executor.
 """
 
 from repro.sandbox.safety import audit_code, SafetyViolation
 from repro.sandbox.executor import SandboxExecutor, ExecutionResult
-from repro.sandbox.server import SandboxServer
+from repro.sandbox.server import LatencyExecutor, SandboxServer
 from repro.sandbox.client import (
     HealthStatus,
     InProcessClient,
     SandboxClient,
     SandboxUnavailable,
+)
+from repro.sandbox.fleet import (
+    FleetMember,
+    ProcessSpawner,
+    SandboxFleet,
+    ThreadSpawner,
+    resolve_sandbox_workers,
 )
 
 __all__ = [
@@ -32,8 +43,14 @@ __all__ = [
     "SandboxExecutor",
     "ExecutionResult",
     "SandboxServer",
+    "LatencyExecutor",
     "SandboxClient",
     "InProcessClient",
     "HealthStatus",
     "SandboxUnavailable",
+    "SandboxFleet",
+    "FleetMember",
+    "ThreadSpawner",
+    "ProcessSpawner",
+    "resolve_sandbox_workers",
 ]

@@ -22,12 +22,24 @@ Without a fallback the ladder ends in a *classified*
 :class:`SandboxUnavailable`, never a raw transport traceback.  Faults
 injected by the ambient :class:`repro.faults.FaultInjector` enter at the
 transport layer, so the whole ladder is exercised by the chaos suite.
+
+Transport is **persistent**: executions reuse pooled keep-alive
+``http.client.HTTPConnection`` sockets (``sandbox.conn.dials`` /
+``sandbox.conn.reuses`` counters), cutting per-exec TCP setup.  A stale
+pooled socket — the server restarted, or reaped the idle connection —
+surfaces as a :class:`TransientSandboxError`, so the normal retry dials
+fresh; staleness is indistinguishable from (and handled exactly like) a
+transient network failure.
 """
 
 from __future__ import annotations
 
+import http.client
+import io
 import json
+import threading
 import urllib.error
+import urllib.parse
 import urllib.request
 from dataclasses import dataclass
 from typing import Any
@@ -122,6 +134,49 @@ class SandboxClient:
             else timeout_s * self.retry_policy.max_attempts
         )
         self._retry_rng = np.random.default_rng(derive_seed(seed, "sandbox.retry", url))
+        # persistent-connection pool: keep-alive sockets to the gateway,
+        # reused across executions (the server speaks HTTP/1.1).  Guarded
+        # by a lock because the serving layer shares one client across
+        # worker threads.  A stale pooled socket (server restarted or
+        # reaped the idle connection) surfaces as a transport error that
+        # is classified retryable — the retry dials a fresh connection.
+        parts = urllib.parse.urlsplit(self.url)
+        self._conn_host = parts.hostname or "127.0.0.1"
+        self._conn_port = parts.port or 80
+        self._conn_path = parts.path.rstrip("/")
+        self._conn_lock = threading.Lock()
+        self._idle_conns: list[http.client.HTTPConnection] = []
+        self._pool_max = 8
+
+    # -- persistent connections ----------------------------------------
+    def _acquire_conn(self, timeout_s: float) -> http.client.HTTPConnection:
+        with self._conn_lock:
+            conn = self._idle_conns.pop() if self._idle_conns else None
+        if conn is not None:
+            get_registry().counter("sandbox.conn.reuses").inc()
+            if conn.sock is not None:
+                conn.sock.settimeout(timeout_s)
+            conn.timeout = timeout_s
+            return conn
+        get_registry().counter("sandbox.conn.dials").inc()
+        return http.client.HTTPConnection(
+            self._conn_host, self._conn_port, timeout=timeout_s
+        )
+
+    def _release_conn(self, conn: http.client.HTTPConnection, reusable: bool) -> None:
+        if reusable:
+            with self._conn_lock:
+                if len(self._idle_conns) < self._pool_max:
+                    self._idle_conns.append(conn)
+                    return
+        conn.close()
+
+    def close(self) -> None:
+        """Drop every pooled connection (idempotent)."""
+        with self._conn_lock:
+            conns, self._idle_conns = self._idle_conns, []
+        for conn in conns:
+            conn.close()
 
     # ------------------------------------------------------------------
     def health(self, timeout_s: float | None = None) -> HealthStatus:
@@ -233,28 +288,43 @@ class SandboxClient:
             "code": code,
             "tables": {name: frame_to_json(f) for name, f in tables.items()},
         }
-        req = urllib.request.Request(
-            f"{self.url}/execute",
-            data=json.dumps(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
+        data = json.dumps(payload).encode("utf-8")
+        conn = self._acquire_conn(deadline.clamp(self.timeout_s))
+        reusable = False
         try:
-            with urllib.request.urlopen(
-                req, timeout=deadline.clamp(self.timeout_s)
-            ) as resp:
-                body = resp.read()
-        except urllib.error.HTTPError as exc:
-            if exc.code >= 500:
-                raise TransientSandboxError(f"http-{exc.code}") from exc
-            raise  # 4xx is a caller bug with a structured body; not transient
-        except urllib.error.URLError as exc:
-            raise TransientSandboxError(
-                f"transport: {type(exc.reason).__name__ if exc.reason else 'URLError'}: "
-                f"{exc.reason}"
-            ) from exc
+            conn.request(
+                "POST",
+                f"{self._conn_path}/execute",
+                body=data,
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            body = resp.read()  # drain fully so the socket can be reused
+            status = resp.status
+            reusable = not resp.will_close
         except TimeoutError as exc:
             raise TransientSandboxError("transport: timeout") from exc
+        except (http.client.HTTPException, ConnectionError, OSError) as exc:
+            # includes RemoteDisconnected from a stale keep-alive socket:
+            # the retry path dials a fresh connection
+            raise TransientSandboxError(
+                f"transport: {type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            self._release_conn(conn, reusable)
+        if status >= 500:
+            raise TransientSandboxError(f"http-{status}")
+        if status >= 400:
+            # caller bug with a structured body; not transient — surface
+            # the same HTTPError urllib used to raise so callers keep
+            # classifying on .code / reading the body
+            raise urllib.error.HTTPError(
+                f"{self.url}/execute",
+                status,
+                resp.reason,
+                resp.headers,
+                io.BytesIO(body),
+            )
         if injector.fire(faults.SANDBOX_5XX):
             raise TransientSandboxError("injected: http-503")
         text = body.decode("utf-8")

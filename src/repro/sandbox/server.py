@@ -17,6 +17,24 @@ executor failures **500** — always with a structured
 scraping tracebacks.  Each connection gets a socket read timeout
 (``read_timeout_s``), so a client that stalls mid-request cannot pin a
 server thread forever.
+
+Connections speak **HTTP/1.1 keep-alive**: every reply carries an exact
+``Content-Length``, so clients can pipeline many executions over one
+socket instead of paying TCP setup per request.  An idle keep-alive
+connection is closed by the same ``read_timeout_s`` socket timeout; a
+client reusing a connection the server already closed sees a reset and
+reconnects (classified retryable on the client side).
+
+``max_concurrent`` bounds how many executions run at once *inside this
+server* (default 1): one sandbox worker models one isolated interpreter
+that runs one job at a time, which is the unit the fleet multiplies.
+HTTP threads still accept/parse concurrently — only the execute step
+serializes.
+
+Run ``python -m repro.sandbox.server`` to start a standalone worker
+process; it prints one ``SANDBOX_URL=<url>`` line on stdout when ready
+(how :class:`~repro.sandbox.fleet.ProcessSpawner` learns the bound
+port).
 """
 
 from __future__ import annotations
@@ -24,11 +42,13 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from repro.sandbox.executor import SandboxExecutor
+from repro.sandbox.executor import ExecutionResult, SandboxExecutor
 from repro.sandbox.serialize import frame_from_json, frame_to_json
+from repro.frame import Frame
 from repro.viz import Figure, Scene3D
 
 DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -37,6 +57,25 @@ DEFAULT_READ_TIMEOUT_S = 30.0
 
 class BadRequest(ValueError):
     """Client-side payload problem → 400 with a structured body."""
+
+
+class LatencyExecutor:
+    """Executor wrapper adding a fixed real-time delay per execution.
+
+    Models a heavy/remote execution cost (container round-trip, large
+    simulation post-processing) so fleet benchmarks measure concurrency
+    engineering honestly on any core count — overlapping N sleeps needs
+    N workers regardless of how many CPUs the host has.
+    """
+
+    def __init__(self, inner: SandboxExecutor | None = None, latency_s: float = 0.02):
+        self.inner = inner or SandboxExecutor()
+        self.latency_s = float(latency_s)
+
+    def execute(self, code: str, tables: dict[str, Frame]) -> ExecutionResult:
+        if self.latency_s > 0:
+            time.sleep(self.latency_s)
+        return self.inner.execute(code, tables)
 
 
 class SandboxServer:
@@ -49,10 +88,15 @@ class SandboxServer:
         port: int = 0,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+        max_concurrent: int = 1,
     ):
         self.executor = executor or SandboxExecutor()
         self.max_body_bytes = int(max_body_bytes)
         self.read_timeout_s = float(read_timeout_s)
+        # one worker = one isolated interpreter: executions serialize here
+        # (HTTP accept/parse stays concurrent); raise to co-host workloads
+        self.max_concurrent = max(1, int(max_concurrent))
+        self._exec_gate = threading.BoundedSemaphore(self.max_concurrent)
         self._httpd = ThreadingHTTPServer((host, port), self._make_handler())
         self._thread: threading.Thread | None = None
 
@@ -69,11 +113,16 @@ class SandboxServer:
         executor = self.executor
         max_body = self.max_body_bytes
         read_timeout = self.read_timeout_s
+        exec_gate = self._exec_gate
 
         class Handler(BaseHTTPRequestHandler):
+            # keep-alive: persistent clients reuse one socket across many
+            # executions (every _reply carries an exact Content-Length)
+            protocol_version = "HTTP/1.1"
             # socket read timeout (applied in StreamRequestHandler.setup):
             # a stalled client raises socket.timeout in rfile.read /
-            # request parsing instead of pinning the thread forever
+            # request parsing instead of pinning the thread forever; the
+            # same timeout reaps idle keep-alive connections
             timeout = read_timeout
 
             def log_message(self, *args: Any) -> None:  # silence request logs
@@ -95,7 +144,8 @@ class SandboxServer:
                         name: frame_from_json(doc)
                         for name, doc in payload.get("tables", {}).items()
                     }
-                    result = executor.execute(payload["code"], tables)
+                    with exec_gate:
+                        result = executor.execute(payload["code"], tables)
                     doc: dict[str, Any] = result.summary()
                     if result.result is not None:
                         doc["result"] = frame_to_json(result.result)
@@ -141,6 +191,10 @@ class SandboxServer:
                 return payload
 
             def _error(self, status: int, err_type: str, message: str) -> None:
+                # on errors the request body may be partially unread (e.g.
+                # 413 refuses before reading); a keep-alive reuse would
+                # misparse the leftover bytes as a new request — close instead
+                self.close_connection = True
                 self._reply(status, {"error": {"type": err_type, "message": message}})
 
             def _reply(self, status: int, doc: dict) -> None:
@@ -176,3 +230,57 @@ class SandboxServer:
 
 class _PayloadTooLarge(BadRequest):
     """Body exceeds ``max_body_bytes`` → 413."""
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone worker entry: ``python -m repro.sandbox.server``.
+
+    Binds (port 0 → ephemeral), prints ``SANDBOX_URL=<url>`` on stdout
+    so a spawning parent (:class:`~repro.sandbox.fleet.ProcessSpawner`)
+    can read the address, then serves until terminated.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Run one sandbox worker process")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    parser.add_argument(
+        "--max-concurrent", type=int, default=1,
+        help="executions allowed at once in this worker (default 1)",
+    )
+    parser.add_argument(
+        "--exec-latency", type=float, default=0.0,
+        help="fixed per-execution delay in seconds (benchmark workloads)",
+    )
+    parser.add_argument(
+        "--read-timeout", type=float, default=DEFAULT_READ_TIMEOUT_S,
+        help="socket read / keep-alive idle timeout in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    # deferred: agents.tools pulls in the agent/sim/viz stack, which this
+    # module must not import at module load (fleet imports server)
+    from repro.agents.tools import default_toolset
+
+    executor: Any = SandboxExecutor(tools=default_toolset())
+    if args.exec_latency > 0:
+        executor = LatencyExecutor(executor, latency_s=args.exec_latency)
+    server = SandboxServer(
+        executor=executor,
+        host=args.host,
+        port=args.port,
+        read_timeout_s=args.read_timeout,
+        max_concurrent=args.max_concurrent,
+    )
+    print(f"SANDBOX_URL={server.url}", flush=True)
+    try:
+        server._httpd.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server._httpd.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

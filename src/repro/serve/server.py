@@ -127,6 +127,9 @@ class ReproServer:
                 state=session.as_dict(),
             )
         manifest = self.registry.checkpoint()
+        # release warm resources that own workers (the sandbox fleet)
+        # after the drain, so in-flight executions finished first
+        self.state.close()
         # 3. stop accepting connections last so in-flight responses finish
         if self._httpd is not None:
             self._httpd.shutdown()
@@ -198,6 +201,13 @@ class ReproServer:
                 "query_memo_misses": rstats.query_memo_misses,
             },
             "bus": self.bus.stats(),
+            # fleet topology + per-worker load/breaker state when the warm
+            # sandbox is a SandboxFleet; None for single-client setups
+            "sandbox_fleet": (
+                self.state.sandbox.stats()
+                if hasattr(self.state.sandbox, "stats")
+                else None
+            ),
         }
 
 

@@ -15,10 +15,12 @@ artifacts across every session it serves:
   sharing correctness-neutral by construction);
 * the **ensemble catalogs**: manifest parsed, the newest halo catalog
   read once so first-request scans hit warm file pages;
-* the **sandbox**: the in-process executor toolset built once, or — with
-  a remote gateway — one warm :class:`~repro.sandbox.SandboxClient`
-  whose connection history, circuit breaker, and health state are shared
-  by all requests (the request path's breaker).
+* the **sandbox**: the in-process executor toolset built once; with a
+  remote gateway, one warm :class:`~repro.sandbox.SandboxClient` whose
+  pooled connections, circuit breaker, and health state are shared by
+  all requests; with ``config.sandbox_workers`` set, a whole warm
+  :class:`~repro.sandbox.SandboxFleet` — every member boot-probed into
+  the warm-up report, requests routed least-loaded across it.
 
 :meth:`WarmState.warm` times each component and returns a
 :class:`WarmupReport` that the server logs at startup and the load
@@ -36,7 +38,13 @@ from repro.llm import HashedEmbedder
 from repro.obs.names import SERVE_WARMUP_SPAN
 from repro.obs.tracer import get_tracer
 from repro.rag import ColumnRetriever, RetrievalArtifactCache
-from repro.sandbox import InProcessClient, SandboxClient, SandboxExecutor
+from repro.sandbox import (
+    InProcessClient,
+    SandboxClient,
+    SandboxExecutor,
+    SandboxFleet,
+    resolve_sandbox_workers,
+)
 from repro.sim.ensemble import Ensemble
 from repro.sim.schema import (
     COLUMN_DESCRIPTIONS,
@@ -166,7 +174,27 @@ class WarmState:
         from repro.agents.tools import default_toolset
 
         with self._timed(report, "sandbox"):
-            if self.config.sandbox_url:
+            fleet_workers = resolve_sandbox_workers(self.config.sandbox_workers)
+            if fleet_workers:
+                # pooled warm workers shared by every request: each member
+                # is boot-probed so the warm-up report says how much of
+                # the fleet actually came up
+                fleet = SandboxFleet.spawn_local(
+                    fleet_workers,
+                    mode=self.config.sandbox_spawn or "thread",
+                    fallback=InProcessClient(
+                        SandboxExecutor(tools=default_toolset())
+                    ),
+                    seed=self.config.seed,
+                    stats_path=self.workdir / "sandbox_fleet.json",
+                )
+                probe = fleet.warm()
+                report.details["sandbox"] = (
+                    f"fleet {probe['healthy']}/{probe['workers']} healthy "
+                    f"({probe['mode']})"
+                )
+                self.sandbox = fleet
+            elif self.config.sandbox_url:
                 client = SandboxClient(
                     self.config.sandbox_url,
                     seed=self.config.seed,
@@ -180,6 +208,13 @@ class WarmState:
                     SandboxExecutor(tools=default_toolset())
                 )
                 report.details["sandbox"] = "in-process"
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release warm resources that own workers (the sandbox fleet)."""
+        close = getattr(self.sandbox, "close", None)
+        if callable(close):
+            close()
 
     # ------------------------------------------------------------------
     def build_app(self, session_workdir: Path, seed: int, llm=None):

@@ -20,6 +20,7 @@ from repro.sandbox import (
     InProcessClient,
     SandboxClient,
     SandboxExecutor,
+    SandboxFleet,
     SandboxServer,
     SandboxUnavailable,
 )
@@ -205,3 +206,138 @@ class TestSandboxChaos:
         chaotic = run_app(ensemble, tmp_path / "chaos", profile,
                           sandbox_url=gateway.url)
         assert_same_answer(baseline, chaotic)
+
+
+class TestFleetChaos:
+    """Kill individual fleet members mid-run: answers stay byte-identical
+    (routing only ever decides *where* an execution runs), or — with the
+    whole fleet down and no fallback — the failure is classified."""
+
+    CODES = [
+        "result = tables['work'].filter(tables['work']['a'] > 1.5)",
+        "result = Frame({'s': np.asarray([float(np.sum(tables['work'].column('a')))])})",
+        "result = Frame({'top': np.sort(tables['work'].column('a'))[::-1][:2].copy()})",
+    ]
+
+    def _tables(self):
+        return {"work": Frame({"a": np.asarray([1.0, 2.0, 3.0, 4.0])})}
+
+    def _reference(self):
+        ref = InProcessClient(SandboxExecutor())
+        return [ref.execute(code, self._tables()) for code in self.CODES * 4]
+
+    @staticmethod
+    def _hard_kill(member):
+        """Emulate a process death for a thread-mode worker.
+
+        ``server.stop()`` only closes the *listening* socket; established
+        keep-alive connections stay alive in their daemon handler threads,
+        so a member with a pooled connection would keep answering.  A real
+        process kill severs those too — drop the client's pool as well.
+        """
+        member.handle.kill()
+        member.client.close()
+        member.ewma.reset()   # make the dead member route-preferred
+
+    def _assert_results_match(self, expected, got):
+        assert len(expected) == len(got)
+        for e, g in zip(expected, got):
+            assert e.ok and g.ok
+            assert e.result.columns == g.result.columns
+            for name in e.result.columns:
+                assert (np.asarray(e.result[name]).tobytes()
+                        == np.asarray(g.result[name]).tobytes())
+
+    def test_member_killed_mid_run_byte_identical(self):
+        expected = self._reference()
+        fleet = SandboxFleet.spawn_local(
+            3, mode="thread", executor_factory=SandboxExecutor,
+            fallback=InProcessClient(SandboxExecutor()),
+        )
+        try:
+            got = []
+            for i, code in enumerate(self.CODES * 4):
+                if i == 4:
+                    # kill one worker mid-run, route-preferred so the dead
+                    # member is really exercised (trip + reroute), not just
+                    # avoided by load
+                    self._hard_kill(fleet.members[1])
+                got.append(fleet.execute(code, self._tables()))
+            self._assert_results_match(expected, got)
+            assert fleet.trips_total >= 1
+            assert fleet.fallbacks_total == 0
+        finally:
+            fleet.close()
+
+    def test_fleet_absorbs_injected_transport_faults(self):
+        """Seeded drop/5xx/garbage faults hit individual members; retries
+        and rerouting keep every answer byte-identical."""
+        expected = self._reference()
+        profile = FaultProfile(seed=11, sandbox_drop=0.3, sandbox_5xx=0.2,
+                               sandbox_garbage=0.2)
+        fleet = SandboxFleet.spawn_local(
+            2, mode="thread", executor_factory=SandboxExecutor,
+            fallback=InProcessClient(SandboxExecutor()),
+        )
+        try:
+            with use_faults(FaultInjector(profile)):
+                got = [fleet.execute(code, self._tables())
+                       for code in self.CODES * 4]
+            self._assert_results_match(expected, got)
+        finally:
+            fleet.close()
+
+    def test_whole_fleet_dead_degrades_to_fallback(self):
+        expected = self._reference()[:3]
+        fleet = SandboxFleet.spawn_local(
+            2, mode="thread", executor_factory=SandboxExecutor,
+            fallback=InProcessClient(SandboxExecutor()),
+        )
+        try:
+            for member in fleet.members:
+                member.handle.kill()
+            got = [fleet.execute(code, self._tables()) for code in self.CODES]
+            self._assert_results_match(expected, got)
+            assert fleet.fallbacks_total >= 1
+        finally:
+            fleet.close()
+
+    def test_whole_fleet_dead_without_fallback_is_classified(self):
+        fleet = SandboxFleet.spawn_local(
+            2, mode="thread", executor_factory=SandboxExecutor,
+        )
+        try:
+            for member in fleet.members:
+                member.handle.kill()
+            with pytest.raises(SandboxUnavailable) as exc:
+                fleet.execute(self.CODES[0], self._tables())
+            assert exc.value.classification == "sandbox-unavailable"
+        finally:
+            fleet.close()
+
+    def test_e2e_app_with_fleet_and_mid_run_member_kill(self, ensemble, tmp_path):
+        """Two queries through a fleet-backed app — one member killed
+        between them — equal the same two queries over the in-process
+        baseline, byte for byte."""
+        base_app = InferA(
+            ensemble, tmp_path / "clean",
+            InferAConfig(error_model=NO_ERRORS, llm_latency_s=0.0,
+                         fault_profile=NO_FAULTS),
+        )
+        b1 = base_app.run_query(QUESTION)
+        b2 = base_app.run_query(QUESTION)
+        fleet_app = InferA(
+            ensemble, tmp_path / "fleet",
+            InferAConfig(error_model=NO_ERRORS, llm_latency_s=0.0,
+                         fault_profile=NO_FAULTS, sandbox_workers=2),
+        )
+        try:
+            f1 = fleet_app.run_query(QUESTION)
+            fleet = fleet_app._fleet
+            self._hard_kill(fleet.members[0])
+            f2 = fleet_app.run_query(QUESTION)
+        finally:
+            fleet_app.close()
+        assert_same_answer(b1, f1)
+        assert_same_answer(b2, f2)
+        assert fleet.trips_total >= 1
