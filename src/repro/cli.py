@@ -14,6 +14,8 @@
 * ``slo``      — check a trace/workdir against declarative SLO budgets
 * ``serve``    — long-running multi-tenant HTTP server over one warm process
 * ``sandbox``  — inspect the warm sandbox fleet (topology, per-worker state)
+* ``ingest``   — append generated snapshots to a live ensemble through the
+  crash-safe WAL commit protocol (locally or via a running server)
 
 All commands are plain functions over the library API; the CLI adds no
 behaviour of its own, so scripted use and the Python API stay equivalent.
@@ -207,6 +209,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "servers (thread) or separate interpreters "
                             "(process); default thread")
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="append generated snapshots to a live ensemble (WAL-protected)",
+    )
+    ingest.add_argument("--ensemble", required=True,
+                        help="ensemble root to extend (must carry a generator "
+                             "block, i.e. written by this repro version)")
+    ingest.add_argument("--db", default=None,
+                        help="live analysis database path "
+                             "(default <ensemble>/live.db)")
+    ingest.add_argument("--step", type=int, default=None,
+                        help="timestep to ingest (default: last + --spacing)")
+    ingest.add_argument("--count", type=int, default=1,
+                        help="how many consecutive snapshots to ingest")
+    ingest.add_argument("--spacing", type=int, default=25,
+                        help="timestep spacing when --step is not given")
+    ingest.add_argument("--bootstrap", action="store_true",
+                        help="first load every already-generated snapshot "
+                             "into empty live tables")
+    ingest.add_argument("--server", default=None,
+                        help="POST to a running `repro serve` at this URL "
+                             "instead of ingesting locally")
+    ingest.add_argument("--chaos", choices=("off", "light", "heavy"),
+                        default="off",
+                        help="arm the simulated-death fault points at the "
+                             "named intensity; the WAL recovery loop must "
+                             "absorb every kill (local mode only)")
+    ingest.add_argument("--seed", type=int, default=0,
+                        help="chaos schedule seed")
+
     sandbox = sub.add_parser("sandbox", help="inspect the warm sandbox fleet")
     sandbox.add_argument("action", choices=("stats",),
                          help="stats: fleet topology, per-worker load/breaker "
@@ -378,9 +410,25 @@ def cmd_cache(args: argparse.Namespace) -> int:
               f"run a query or the eval harness first")
         return 0
 
+    import json as _json
+
     qstats = query_cache.stats_snapshot()
     print(f"query result cache ({store.cache_dir})")
     print(f"  disk: {len(store.disk_entries())} entries, {store.footprint_bytes():,} bytes")
+    # entries published by an older repro version have no CRC sidecar
+    # field; they still load (verified structurally on first read), but
+    # say so instead of letting a missing key look like corruption
+    legacy = 0
+    for entry in store.disk_entries():
+        try:
+            meta = _json.loads((entry / query_cache.SIDECAR_NAME).read_text())
+        except (OSError, ValueError):
+            continue  # unreadable entries are the read path's problem
+        if isinstance(meta, dict) and "crc32" not in meta:
+            legacy += 1
+    if legacy:
+        print(f"  note: {legacy} entries written by an older repro version "
+              f"(no CRC sidecar); verified structurally on first read")
     quarantined_disk = len(store.quarantined_entries())
     if quarantined_disk:
         print(f"  quarantined: {quarantined_disk} corrupt entries moved aside")
@@ -590,6 +638,15 @@ def cmd_sandbox(args: argparse.Namespace) -> int:
         print(f"cannot read {snapshot}: {exc}")
         return 1
     lifetime = doc.get("lifetime", {})
+    schema = doc.get("schema")
+    if schema is None:
+        # pre-schema snapshots (older repro versions) can miss whole
+        # sections; every field below falls back instead of KeyError-ing
+        print("note: snapshot written by an older repro version "
+              "(no schema field); missing counters shown as defaults")
+    elif schema > 2:
+        print(f"note: snapshot schema {schema} is newer than this repro "
+              f"version understands; unknown fields are ignored")
     print(f"sandbox fleet: {doc.get('workers', 0)} worker(s), "
           f"mode={doc.get('mode', '?')}")
     print(f"{'worker':>6} {'in_flight':>9} {'ewma_s':>10} {'breaker':>9} "
@@ -603,6 +660,88 @@ def cmd_sandbox(args: argparse.Namespace) -> int:
           f"{lifetime.get('trips', 0)} trips, "
           f"{lifetime.get('respawns', 0)} respawns, "
           f"{lifetime.get('fallbacks', 0)} fallbacks")
+    return 0
+
+
+def _ingest_remote(args: argparse.Namespace) -> int:
+    """Drive a running server's ``POST /v1/ingest`` (admission-controlled)."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    url = args.server.rstrip("/") + "/v1/ingest"
+    step = args.step
+    for _ in range(max(1, args.count)):
+        body = json.dumps({"step": step} if step is not None else {}).encode()
+        request = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=300.0) as response:
+                doc = json.loads(response.read().decode())
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            print(f"server refused ingest ({exc.code}): {detail}")
+            return 1
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"cannot reach {url}: {exc}")
+            return 1
+        report = doc.get("report", {})
+        print(f"committed step {report.get('step')} "
+              f"(ensemble v{report.get('ensemble_version')}, "
+              f"{sum(report.get('rows', {}).values())} rows, "
+              f"{report.get('kills', 0)} kills absorbed, "
+              f"{report.get('wall_s', 0.0):.3f} s)")
+        step = None if args.step is None else step + args.spacing
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from repro import faults
+    from repro.db.ingest import StreamingIngester
+
+    if args.server:
+        return _ingest_remote(args)
+
+    chaos = args.chaos != "off"
+    ingester = StreamingIngester(
+        args.ensemble,
+        db_path=args.db,
+        arm_faults=chaos,
+    )
+    injector = faults.FaultInjector(faults.FaultProfile.named(args.chaos, seed=args.seed))
+    with faults.use_faults(injector):
+        recovery = ingester.recover()
+        if recovery["replayed"] or recovery["torn_tail"] or recovery["corrupt"]:
+            print(f"recovered interrupted commit: {recovery}")
+        if args.bootstrap:
+            rows = ingester.bootstrap()
+            if rows:
+                loaded = ", ".join(f"{k}={v}" for k, v in sorted(rows.items()))
+                print(f"bootstrapped live tables: {loaded}")
+        step = args.step
+        committed = 0
+        for _ in range(max(1, args.count)):
+            try:
+                report = ingester.ingest_step_resilient(step)
+            except ValueError as exc:
+                # off-grid / exhausted-grid / non-monotonic step requests
+                print(f"ingest refused: {exc}")
+                if not committed:
+                    return 1
+                break
+            committed += 1
+            print(f"committed step {report.step} "
+                  f"(ensemble v{report.ensemble_version}, "
+                  f"{sum(report.rows.values())} rows, "
+                  f"{report.kills} kills absorbed, {report.wall_s:.3f} s)")
+            step = None if args.step is None else report.step + args.spacing
+    doc = ingester.stats()
+    tables = ", ".join(
+        f"{k} v{v['version']} ({v['rows']} rows)"
+        for k, v in sorted(doc["tables"].items())
+    )
+    print(f"live database: {tables or 'no tables'}")
     return 0
 
 
@@ -631,7 +770,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(report.render())
     print(f"serving {args.ensemble} at {server.url} "
           f"({args.app_workers} workers, queue depth {args.queue_depth})")
-    print("POST /v1/query   GET /healthz   GET /stats   (ctrl-c drains and exits)")
+    print("POST /v1/query   POST /v1/ingest   GET /healthz   GET /stats   "
+          "(ctrl-c drains and exits)")
     try:
         while True:
             time.sleep(1.0)
@@ -659,6 +799,7 @@ _COMMANDS = {
     "slo": cmd_slo,
     "serve": cmd_serve,
     "sandbox": cmd_sandbox,
+    "ingest": cmd_ingest,
 }
 
 

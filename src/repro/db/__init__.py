@@ -19,20 +19,28 @@ loop can repair near-miss identifiers, the paper's dominant failure mode.
 """
 
 from repro.db.cache import QueryCacheStats, QueryResultCache
-from repro.db.database import Database
+from repro.db.database import CatalogSnapshot, Database
 from repro.db.errors import (
     DBError,
+    IngestKilled,
     SQLSyntaxError,
     UnknownColumnError,
     UnknownTableError,
 )
+from repro.db.ingest import IngestReport, StreamingIngester
+from repro.db.wal import WriteAheadLog
 
 __all__ = [
+    "CatalogSnapshot",
     "Database",
     "DBError",
+    "IngestKilled",
+    "IngestReport",
     "QueryCacheStats",
     "QueryResultCache",
     "SQLSyntaxError",
+    "StreamingIngester",
     "UnknownColumnError",
     "UnknownTableError",
+    "WriteAheadLog",
 ]

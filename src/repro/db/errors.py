@@ -51,3 +51,19 @@ class UnknownTableError(DBError):
 
 class UnsupportedSQLError(DBError):
     """A syntactically valid construct the engine does not implement."""
+
+
+class IngestKilled(DBError):
+    """A simulated ingester death at a named point of the WAL commit protocol.
+
+    Raised by the commit path when an armed ingest kill fault fires (see
+    :func:`repro.faults.arm_ingest_kills`).  The exception *is* the crash:
+    the operation stops exactly where a SIGKILL would have stopped it, with
+    whatever bytes were already durable left on disk for recovery to judge.
+    """
+
+    def __init__(self, stage: str, detail: str = ""):
+        self.stage = stage
+        super().__init__(
+            f"ingester killed at stage {stage!r}" + (f": {detail}" if detail else "")
+        )

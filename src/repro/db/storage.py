@@ -15,6 +15,7 @@ free, giving zero-copy selective column reads.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 import os
@@ -28,7 +29,7 @@ import numpy as np
 
 from repro import faults
 from repro.db.bloom import BloomFilter
-from repro.db.errors import DBError, UnknownColumnError
+from repro.db.errors import DBError, IngestKilled, UnknownColumnError
 from repro.frame import Frame
 from repro.obs.logsetup import get_logger
 from repro.obs.metrics import get_registry
@@ -81,12 +82,23 @@ def publish_json_verified(
 
 
 class TableStore:
-    """On-disk storage of one table."""
+    """On-disk storage of one table.
 
-    def __init__(self, path: Path):
+    ``clamp_row_groups`` bounds the *visible* row-group prefix: a snapshot
+    reader constructed with the catalog's ``committed_row_groups`` sees
+    exactly the committed prefix — scans, zone maps, blooms, row counts
+    and the content signature all stop there — even while a concurrent
+    writer stages further groups on disk.  Committed segment directories
+    are immutable (appends only ever add higher-numbered groups), which is
+    what makes a clamped prefix a consistent snapshot rather than a racy
+    window.  ``None`` (the default, and the writer's view) clamps nothing.
+    """
+
+    def __init__(self, path: Path, clamp_row_groups: int | None = None):
         self.path = Path(path)
         self._meta: dict = {"columns": {}, "row_groups": []}
         self._bloom_cache: dict[int, dict[str, BloomFilter]] = {}
+        self._clamp = clamp_row_groups
         meta_path = self.path / "meta.json"
         if meta_path.exists():
             try:
@@ -103,11 +115,14 @@ class TableStore:
 
     @property
     def num_rows(self) -> int:
-        return int(sum(self._meta["row_groups"]))
+        return int(sum(self._meta["row_groups"][: self.num_row_groups]))
 
     @property
     def num_row_groups(self) -> int:
-        return len(self._meta["row_groups"])
+        n = len(self._meta["row_groups"])
+        if self._clamp is not None:
+            n = min(n, self._clamp)
+        return n
 
     @property
     def version(self) -> int:
@@ -122,12 +137,16 @@ class TableStore:
         worker processes) that hold byte-identical tables.  Tables written
         before checksums existed return None; callers must then fall back
         to a path-scoped key.
+
+        Computed over the *visible* (clamped) prefix, so a snapshot's
+        signature never changes while a writer stages new groups.
         """
+        n = self.num_row_groups
         checksums = self._meta.get("checksums", [])
-        if len(checksums) != self.num_row_groups:
+        if len(checksums) < n:
             return None
         doc = json.dumps(
-            [self._meta["columns"], self._meta["row_groups"], checksums],
+            [self._meta["columns"], self._meta["row_groups"][:n], checksums[:n]],
             sort_keys=True,
         )
         return hashlib.blake2b(doc.encode(), digest_size=16).hexdigest()
@@ -144,15 +163,39 @@ class TableStore:
 
     # ------------------------------------------------------------------
     def append(self, frame: Frame, row_group_size: int = DEFAULT_ROW_GROUP_SIZE) -> None:
-        """Append a frame, splitting into row groups."""
+        """Append a frame, splitting into row groups.
+
+        Stage + publish in one step — the standalone path for callers
+        without a catalog.  :class:`repro.db.database.Database` instead
+        drives :meth:`stage_append` / :meth:`publish_staged` separately so
+        its WAL commit protocol controls exactly when the new groups
+        become durable metadata.
+        """
+        staged = self.stage_append(frame, row_group_size)
+        if staged is not None:
+            self.publish_staged(staged)
+
+    def stage_append(
+        self, frame: Frame, row_group_size: int = DEFAULT_ROW_GROUP_SIZE
+    ) -> dict | None:
+        """Write the new row-group segments; return the updated metadata
+        doc *without publishing it*.
+
+        Until :meth:`publish_staged` (and, above it, the catalog commit)
+        runs, the staged groups are invisible: readers clamp to the
+        catalog's committed prefix and the on-disk ``meta.json`` is
+        untouched.  A crash mid-stage leaves only orphan segment
+        directories, which recovery discards or overwrites.
+        """
         if frame.num_columns == 0:
-            return
-        if not self._meta["columns"]:
-            self._meta["columns"] = {
+            return None
+        staged = copy.deepcopy(self._meta)
+        if not staged["columns"]:
+            staged["columns"] = {
                 n: np.asarray(frame.column(n)).dtype.str for n in frame.columns
             }
         else:
-            expected = set(self._meta["columns"])
+            expected = set(staged["columns"])
             got = set(frame.columns)
             if expected != got:
                 raise DBError(
@@ -160,24 +203,25 @@ class TableStore:
                     f"frame has {sorted(got)}"
                 )
         self.path.mkdir(parents=True, exist_ok=True)
-        self._meta.setdefault("zone_maps", [])
-        self._meta.setdefault("blooms", [])
-        self._meta.setdefault("checksums", [])
+        staged.setdefault("zone_maps", [])
+        staged.setdefault("blooms", [])
+        staged.setdefault("checksums", [])
         # legacy tables written before a stats kind existed: pad the
         # per-row-group list with empty docs so indexes stay aligned with
         # the groups being appended now (an empty doc never prunes)
         for stats_key in ("zone_maps", "blooms"):
-            while len(self._meta[stats_key]) < len(self._meta["row_groups"]):
-                self._meta[stats_key].append({})
+            while len(staged[stats_key]) < len(staged["row_groups"]):
+                staged[stats_key].append({})
         for start in range(0, frame.num_rows, row_group_size):
             chunk = frame[start : start + row_group_size]
-            rg_index = len(self._meta["row_groups"])
+            rg_index = len(staged["row_groups"])
             rg_dir = self.path / f"rg{rg_index:05d}"
             rg_dir.mkdir(parents=True, exist_ok=True)
             zone_map: dict[str, list[float]] = {}
             blooms: dict[str, dict] = {}
             checksums: dict[str, int] = {}
-            for name in self._meta["columns"]:
+            last_path: Path | None = None
+            for name in staged["columns"]:
                 col = np.asarray(chunk.column(name))
                 if col.dtype == object:
                     col = col.astype(str)
@@ -195,14 +239,58 @@ class TableStore:
                 if bloom is not None:
                     blooms[name] = bloom.to_meta()
                 checksums[name] = zlib.crc32(np.ascontiguousarray(col).tobytes())
-                np.save(rg_dir / f"{name}.npy", col, allow_pickle=False)
-            self._meta["row_groups"].append(chunk.num_rows)
-            self._meta["zone_maps"].append(zone_map)
-            self._meta["blooms"].append(blooms)
-            self._meta["checksums"].append(checksums)
+                last_path = rg_dir / f"{name}.npy"
+                np.save(last_path, col, allow_pickle=False)
+            if last_path is not None and faults.fire_ingest_kill(
+                faults.INGEST_PARTIAL_ROW_GROUP
+            ):
+                # die mid-segment: the last column file survives as a torn
+                # prefix, an orphan the commit never covers
+                injector = faults.get_injector()
+                data = last_path.read_bytes()
+                last_path.write_bytes(
+                    injector.truncate(faults.INGEST_PARTIAL_ROW_GROUP, data)
+                )
+                raise IngestKilled(
+                    "stage-row-group", f"torn segment {last_path.name} in rg{rg_index:05d}"
+                )
+            staged["row_groups"].append(chunk.num_rows)
+            staged["zone_maps"].append(zone_map)
+            staged["blooms"].append(blooms)
+            staged["checksums"].append(checksums)
+        return staged
+
+    def publish_staged(self, staged: dict) -> None:
+        """Atomically publish a staged metadata doc with a version bump."""
+        staged["version"] = self.version + 1
+        self._meta = staged
         self._bloom_cache.clear()
-        self._meta["version"] = self.version + 1
         self._flush_meta()
+
+    def discard_uncommitted(self, committed_groups: int) -> int:
+        """Drop row groups beyond the catalog's committed prefix.
+
+        Used by WAL recovery when a crash left ``meta.json`` (or orphan
+        segment directories) running ahead of the catalog commit point.
+        Returns the number of orphan segment directories removed.
+        """
+        raw_groups = self._meta.get("row_groups", [])
+        if committed_groups < len(raw_groups):
+            for key in ("row_groups", "zone_maps", "blooms", "checksums"):
+                if key in self._meta:
+                    del self._meta[key][committed_groups:]
+            self._bloom_cache.clear()
+            self._flush_meta()
+        dropped = 0
+        for rg_dir in self.path.glob("rg*"):
+            try:
+                index = int(rg_dir.name[2:])
+            except ValueError:
+                continue
+            if index >= committed_groups and rg_dir.is_dir():
+                shutil.rmtree(rg_dir)
+                dropped += 1
+        return dropped
 
     def _flush_meta(self) -> None:
         """Crash-safe metadata publish: temp file + verify + atomic rename.

@@ -48,6 +48,17 @@ STORAGE_TORN_WRITE = "storage.torn_write"      # publish truncated mid-write
 STORAGE_BIT_FLIP = "storage.bit_flip"          # one bit flips on a disk read
 CHECKPOINT_CORRUPT = "checkpoint.corrupt"      # checkpoint blob corrupted on disk
 
+# Ingest-path kill faults.  These simulate the *ingester process dying* at
+# a precise point of the WAL commit protocol (see repro.db.wal), so unlike
+# the fault points above they abort the operation in flight rather than
+# degrade it.  They only ever fire inside an armed scope
+# (:func:`arm_ingest_kills`) — the query path's data-loading appends share
+# the same code but must never host a simulated kill.
+WAL_TORN_TAIL = "ingest.wal.torn_tail"             # die mid-WAL-append: torn tail
+INGEST_KILL_APPLY = "ingest.kill.apply"            # die before staging row groups
+INGEST_PARTIAL_ROW_GROUP = "ingest.partial_row_group"  # die mid-segment: torn .npy
+INGEST_KILL_PUBLISH = "ingest.kill.publish"        # die between meta and catalog publish
+
 FAULT_POINTS = (
     SANDBOX_DROP,
     SANDBOX_HANG,
@@ -56,6 +67,17 @@ FAULT_POINTS = (
     STORAGE_TORN_WRITE,
     STORAGE_BIT_FLIP,
     CHECKPOINT_CORRUPT,
+    WAL_TORN_TAIL,
+    INGEST_KILL_APPLY,
+    INGEST_PARTIAL_ROW_GROUP,
+    INGEST_KILL_PUBLISH,
+)
+
+INGEST_KILL_POINTS = (
+    WAL_TORN_TAIL,
+    INGEST_KILL_APPLY,
+    INGEST_PARTIAL_ROW_GROUP,
+    INGEST_KILL_PUBLISH,
 )
 
 ENV_VAR = "REPRO_FAULT_PROFILE"
@@ -73,6 +95,10 @@ class FaultProfile:
     storage_torn_write: float = 0.0
     storage_bit_flip: float = 0.0
     checkpoint_corrupt: float = 0.0
+    wal_torn_tail: float = 0.0
+    ingest_kill_apply: float = 0.0
+    ingest_partial_row_group: float = 0.0
+    ingest_kill_publish: float = 0.0
 
     _FIELD_BY_POINT = {
         SANDBOX_DROP: "sandbox_drop",
@@ -82,6 +108,10 @@ class FaultProfile:
         STORAGE_TORN_WRITE: "storage_torn_write",
         STORAGE_BIT_FLIP: "storage_bit_flip",
         CHECKPOINT_CORRUPT: "checkpoint_corrupt",
+        WAL_TORN_TAIL: "wal_torn_tail",
+        INGEST_KILL_APPLY: "ingest_kill_apply",
+        INGEST_PARTIAL_ROW_GROUP: "ingest_partial_row_group",
+        INGEST_KILL_PUBLISH: "ingest_kill_publish",
     }
 
     def rate(self, point: str) -> float:
@@ -116,6 +146,10 @@ class FaultProfile:
                 storage_torn_write=0.05,
                 storage_bit_flip=0.05,
                 checkpoint_corrupt=0.05,
+                wal_torn_tail=0.05,
+                ingest_kill_apply=0.05,
+                ingest_partial_row_group=0.05,
+                ingest_kill_publish=0.05,
             )
         if name == "heavy":
             return cls(
@@ -127,6 +161,10 @@ class FaultProfile:
                 storage_torn_write=0.30,
                 storage_bit_flip=0.30,
                 checkpoint_corrupt=0.30,
+                wal_torn_tail=0.25,
+                ingest_kill_apply=0.20,
+                ingest_partial_row_group=0.20,
+                ingest_kill_publish=0.25,
             )
         raise ValueError(f"unknown fault profile {name!r} (off/light/heavy)")
 
@@ -256,3 +294,39 @@ def use_faults(injector: FaultInjector) -> Iterator[FaultInjector]:
         yield injector
     finally:
         _ACTIVE.reset(token)
+
+
+# ----------------------------------------------------------------------
+# ingest kill-fault arming
+# ----------------------------------------------------------------------
+# The WAL commit protocol (repro.db.wal / repro.db.database) is shared by
+# every append in the system, including the query path's data-loading
+# appends.  Kill-style ingest faults must only strike the *live ingester*
+# — a query session dying because the chaos profile shot the loader would
+# prove nothing and fail everything — so the commit protocol consults
+# :func:`ingest_kills_armed` before firing any INGEST_KILL_POINTS, and
+# only :class:`repro.db.ingest.StreamingIngester` (and targeted tests)
+# arm the scope.
+_INGEST_ARMED: ContextVar[bool] = ContextVar("repro_ingest_kills_armed", default=False)
+
+
+def ingest_kills_armed() -> bool:
+    """Whether simulated ingester kills may fire in the calling context."""
+    return _INGEST_ARMED.get()
+
+
+@contextmanager
+def arm_ingest_kills() -> Iterator[None]:
+    """Allow INGEST_KILL_POINTS to fire for the dynamic extent of the block."""
+    token = _INGEST_ARMED.set(True)
+    try:
+        yield
+    finally:
+        _INGEST_ARMED.reset(token)
+
+
+def fire_ingest_kill(point: str) -> bool:
+    """Fire an ingest kill point iff the scope is armed (else always False)."""
+    if not _INGEST_ARMED.get():
+        return False
+    return get_injector().fire(point)

@@ -24,8 +24,10 @@ from typing import Any
 
 from repro.obs.names import (
     CANONICAL_EXCLUDED_SPANS,
+    INGEST_STEP_SPAN,
     LLM_CHAT_SPAN,
     SQL_EXECUTE_SPAN,
+    WAL_RECOVER_SPAN,
     is_canonical_excluded_attr,
 )
 from repro.obs.tracer import Span
@@ -300,7 +302,44 @@ def summarize(spans: list[SpanLike]) -> str:
             f"{fleet['workers']} worker(s), {fleet['trips']} trips, "
             f"{fleet['respawns']} respawns, {fleet['fallbacks']} fallbacks"
         )
+    ingest = ingest_counts(dicts)
+    if ingest["steps"] or ingest["recoveries"]:
+        lines.append(
+            f"live ingest: {ingest['steps']} snapshot(s) committed "
+            f"({ingest['rows']} rows), {ingest['recoveries']} WAL recoveries "
+            f"(replayed {ingest['replayed']}, torn tails {ingest['torn_tail']}, "
+            f"corrupt {ingest['corrupt']}, orphan groups {ingest['orphan_groups']})"
+        )
     return "\n".join(lines)
+
+
+def ingest_counts(spans: list[SpanLike]) -> dict[str, int]:
+    """Live-ingestion accounting from ``ingest.step`` / ``wal.recover``
+    spans: snapshots committed, rows appended, and how each WAL recovery
+    pass classified what it found (replayed commits, torn tails dropped,
+    corrupt records dropped, orphan row groups discarded)."""
+    counts = {
+        "steps": 0,
+        "rows": 0,
+        "recoveries": 0,
+        "replayed": 0,
+        "torn_tail": 0,
+        "corrupt": 0,
+        "orphan_groups": 0,
+    }
+    for span in spans:
+        doc = _as_dict(span)
+        attrs = doc.get("attributes", {})
+        if doc.get("name") == INGEST_STEP_SPAN:
+            counts["steps"] += 1
+            counts["rows"] += int(attrs.get("rows", 0))
+        elif doc.get("name") == WAL_RECOVER_SPAN:
+            counts["recoveries"] += 1
+            counts["replayed"] += int(attrs.get("wal_replayed", 0))
+            counts["torn_tail"] += int(attrs.get("wal_torn_tail", 0))
+            counts["corrupt"] += int(attrs.get("wal_corrupt", 0))
+            counts["orphan_groups"] += int(attrs.get("wal_orphan_groups", 0))
+    return counts
 
 
 def fleet_counts(spans: list[SpanLike]) -> dict[str, int]:

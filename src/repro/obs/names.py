@@ -59,6 +59,29 @@ SERVE_REQUEST_SPAN = "serve.request"
 # read-only state before the first request arrives
 SERVE_WARMUP_SPAN = "serve.warmup"
 
+# one per ingested snapshot (repro.db.ingest.StreamingIngester): wraps
+# ensemble extension plus the WAL-protected table appends; WAL accounting
+# (commits / replays / torn tails) rides on its attributes, which is what
+# ``repro trace summary`` folds into its ingest line
+INGEST_STEP_SPAN = "ingest.step"
+# one per WAL recovery pass (repro.db.database.Database.recover)
+WAL_RECOVER_SPAN = "wal.recover"
+
+# WAL / ingest counter names (repro.obs.metrics registry).  Classified
+# recovery outcomes: a torn tail (short record) and a corrupt record (CRC
+# mismatch on a complete frame) are counted separately so the property
+# tests can assert *why* a tail was dropped, not just that it was.
+WAL_APPENDS = "wal.appends"
+WAL_COMMITS = "wal.commits"
+WAL_REPLAYED = "wal.replayed"
+WAL_SKIPPED_COMMITTED = "wal.skipped_committed"
+WAL_TORN_TAIL_DROPPED = "wal.torn_tail_dropped"
+WAL_CORRUPT_DROPPED = "wal.corrupt_record_dropped"
+WAL_ORPHAN_GROUPS_DROPPED = "wal.orphan_row_groups_dropped"
+INGEST_STEPS = "ingest.steps"
+INGEST_ROWS = "ingest.rows"
+INGEST_KILLS = "ingest.kills"
+
 # ----------------------------------------------------------------------
 # canonical-tree exclusions
 # ----------------------------------------------------------------------

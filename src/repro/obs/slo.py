@@ -93,6 +93,37 @@ DEFAULT_POLICY: dict[str, Any] = {
             "key": "fleet.respawns",
             "max": 2,
         },
+        # live-ingestion gates: queries racing the ingester must stay
+        # within 10% of quiescent p95 (the snapshot-isolation design
+        # promises readers never block on the writer), every raced query
+        # must be byte-identical to its pinned-snapshot baseline, the
+        # writer must make real progress, and crash recovery must be
+        # bounded and lossless
+        {
+            "file": "BENCH_ingest.json",
+            "key": "ingest.concurrent_p95_ratio",
+            "max": 1.10,
+        },
+        {
+            "file": "BENCH_ingest.json",
+            "key": "ingest.mismatches",
+            "max": 0,
+        },
+        {
+            "file": "BENCH_ingest.json",
+            "key": "ingest.append_rows_per_s",
+            "min": 100.0,
+        },
+        {
+            "file": "BENCH_ingest.json",
+            "key": "ingest.recovery_s",
+            "max": 5.0,
+        },
+        {
+            "file": "BENCH_ingest.json",
+            "key": "ingest.recovery_lost_rows",
+            "max": 0,
+        },
     ],
 }
 

@@ -547,6 +547,9 @@ class SandboxFleet:
     def stats(self) -> dict[str, Any]:
         with self._lock:
             return {
+                # bump when the document shape changes: readers (the CLI,
+                # dashboards) use it to stay tolerant of older snapshots
+                "schema": 2,
                 "workers": len(self.members),
                 "mode": self.mode,
                 "members": [m.as_dict() for m in self.members],

@@ -7,8 +7,15 @@ A stdlib-only long-running server over one warm process:
   when full, 503 while draining) and executed by the worker pool over
   the shared warm state; with ``"stream": true`` the response is an SSE
   stream of live progress lines followed by a terminal ``result`` frame.
+* ``POST /v1/ingest`` — append one generated snapshot to the live
+  ensemble (and its live analysis database) through the WAL commit
+  protocol.  Single-writer: concurrent ingests get 409, draining
+  servers 503; queries admitted before, during, and after the commit
+  stay byte-identical to a quiescent run at their pinned snapshot
+  version.
 * ``GET /healthz`` — liveness plus drain state.
-* ``GET /stats`` — queue, session, breaker, cache, and bus telemetry.
+* ``GET /stats`` — queue, session, breaker, cache, bus, and live-ingest
+  (snapshot version + WAL) telemetry.
 
 The HTTP threads (one per connection, via
 :class:`~http.server.ThreadingHTTPServer`) do *admission and waiting*
@@ -46,6 +53,10 @@ from repro.sim.ensemble import Ensemble
 DEFAULT_REQUEST_TIMEOUT_S = 120.0
 
 
+class IngestBusy(Exception):
+    """A snapshot ingest is already in flight (single-writer system)."""
+
+
 class ReproServer:
     """Owns warm state, sessions, queue, workers, and the HTTP listener."""
 
@@ -78,6 +89,12 @@ class ReproServer:
         self.request_timeout_s = float(request_timeout_s)
         self.bus = EventBus()
         self._bus_scope = None
+        # live ingestion: built lazily on the first /v1/ingest (serving a
+        # static ensemble must not pay for a writer it never uses); the
+        # lock makes the server a single-writer system
+        self._ingester = None
+        self._ingest_injector = None
+        self._ingest_lock = threading.Lock()
         self.checkpointer = DurableCheckpointer(self.workdir / "server_checkpoints")
         self._httpd: ThreadingHTTPServer | None = None
         self._http_thread: threading.Thread | None = None
@@ -162,6 +179,70 @@ class ReproServer:
         self.queue.submit(request)
         return request
 
+    # -- live ingestion -------------------------------------------------
+    def _ensure_ingester(self):
+        from repro import faults
+        from repro.db.ingest import StreamingIngester
+
+        if self._ingester is None:
+            self._ingester = StreamingIngester(
+                self.state.ensemble.root,
+                db_path=self.workdir / "live.db",
+                arm_faults=True,
+            )
+            profile = self.config.fault_profile
+            if profile is None:
+                profile = faults.FaultProfile.from_env(seed=self.config.seed)
+            # one injector for the server's lifetime: the kill schedule is
+            # a deterministic function of (profile, seed, attempt number)
+            self._ingest_injector = faults.FaultInjector(profile)
+        return self._ingester
+
+    def run_ingest(self, step: int | None = None) -> dict[str, Any]:
+        """Append one snapshot (admission-controlled, drain-aware).
+
+        Runs under the server's chaos profile with kill faults armed; a
+        simulated death is recovered and retried internally, so the call
+        returns only when the commit landed (the report counts the kills
+        it absorbed).
+        """
+        from repro import faults
+
+        if self._draining:
+            raise QueueClosed()
+        if not self._ingest_lock.acquire(blocking=False):
+            raise IngestBusy()
+        try:
+            ingester = self._ensure_ingester()
+            with use_bus(self.bus), faults.use_faults(self._ingest_injector):
+                report = ingester.ingest_step_resilient(step)
+            # publish the committed manifest to the warm shared handle:
+            # requests admitted from now on pin the new snapshot version
+            self.state.ensemble.reload()
+            return report.as_dict()
+        finally:
+            self._ingest_lock.release()
+
+    def ingest_stats(self) -> dict[str, Any]:
+        """Snapshot + WAL telemetry for ``/stats`` (cheap when no writer)."""
+        from repro.obs import names as obs_names
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        doc: dict[str, Any] = {
+            "ensemble_version": self.state.ensemble.version,
+            "timesteps": len(self.state.ensemble.timesteps),
+            "wal": {
+                "commits": registry.counter(obs_names.WAL_COMMITS).value,
+                "replayed": registry.counter(obs_names.WAL_REPLAYED).value,
+                "torn_tails": registry.counter(obs_names.WAL_TORN_TAIL_DROPPED).value,
+                "corrupt_records": registry.counter(obs_names.WAL_CORRUPT_DROPPED).value,
+                "kills": registry.counter(obs_names.INGEST_KILLS).value,
+            },
+            "live": self._ingester.stats() if self._ingester is not None else None,
+        }
+        return doc
+
     def stats(self) -> dict[str, Any]:
         from repro.db.cache import stats_snapshot as query_cache_stats
         from repro.rag.cache import stats_snapshot as retrieval_cache_stats
@@ -201,6 +282,9 @@ class ReproServer:
                 "query_memo_misses": rstats.query_memo_misses,
             },
             "bus": self.bus.stats(),
+            # snapshot version queries pin against + WAL/kill counters;
+            # "live" carries writer detail once the first ingest ran
+            "ingest": self.ingest_stats(),
             # fleet topology + per-worker load/breaker state when the warm
             # sandbox is a SandboxFleet; None for single-client setups
             "sandbox_fleet": (
@@ -261,6 +345,9 @@ def _make_handler(server: ReproServer):
                 self._send_json(404, {"error": "not-found", "path": self.path})
 
         def do_POST(self):
+            if self.path == "/v1/ingest":
+                self._ingest_response()
+                return
             if self.path != "/v1/query":
                 self._send_json(404, {"error": "not-found", "path": self.path})
                 return
@@ -323,6 +410,37 @@ def _make_handler(server: ReproServer):
             else:
                 self._block_response(request)
 
+        def _ingest_response(self) -> None:
+            doc = self._read_body() or {}
+            step = doc.get("step")
+            if step is not None and not isinstance(step, int):
+                self._send_json(
+                    400,
+                    {"error": "bad-request", "detail": "'step' must be an integer"},
+                )
+                return
+            try:
+                report = server.run_ingest(step)
+            except QueueClosed:
+                self._send_json(
+                    503, {"error": "draining", "detail": "server is shutting down"}
+                )
+                return
+            except IngestBusy:
+                self._send_json(
+                    409,
+                    {
+                        "error": "ingest-busy",
+                        "detail": "a snapshot ingest is already in flight",
+                    },
+                )
+                return
+            except ValueError as exc:
+                # append_snapshot rejects out-of-grid / non-monotonic steps
+                self._send_json(400, {"error": "bad-step", "detail": str(exc)})
+                return
+            self._send_json(200, {"status": "committed", "report": report})
+
         def _result_doc(self, request: ServeRequest) -> dict[str, Any]:
             return {
                 "status": request.status,
@@ -331,6 +449,10 @@ def _make_handler(server: ReproServer):
                 "trace_id": request.trace_id,
                 "result": request.result,
                 "error": request.error,
+                # the snapshot-isolation receipt: which ensemble manifest
+                # version this run was pinned to (outside the byte-compared
+                # answer payload — two runs at the same version must agree)
+                "snapshot": {"ensemble_version": request.snapshot_version},
                 "timing": {
                     "queue_wait_s": round(request.queue_wait_s, 6),
                     "exec_s": round(request.exec_s, 6),

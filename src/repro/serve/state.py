@@ -217,13 +217,18 @@ class WarmState:
             close()
 
     # ------------------------------------------------------------------
-    def build_app(self, session_workdir: Path, seed: int, llm=None):
+    def build_app(self, session_workdir: Path, seed: int, llm=None, ensemble=None):
         """A per-request app wired onto the shared warm components.
 
         Each request gets isolated state — its own workdir, provenance
         session, analysis database, seeded RNG streams — while the
         retriever, sandbox, and both on-disk cache tiers are the
         server-shared instances.
+
+        ``ensemble`` lets the worker hand the app a *pinned* manifest view
+        (:meth:`repro.sim.ensemble.Ensemble.pinned`), so a request racing
+        live ingestion runs start to finish against one consistent
+        snapshot; default is the live shared handle.
         """
         from repro.core.app import InferA
 
@@ -238,7 +243,7 @@ class WarmState:
             }
         )
         return InferA(
-            self.ensemble,
+            ensemble if ensemble is not None else self.ensemble,
             session_workdir,
             config,
             llm=llm,

@@ -86,6 +86,10 @@ class ServeRequest:
     status: str = "queued"
     queue_wait_s: float = 0.0
     exec_s: float = 0.0
+    # the ensemble manifest version this request was pinned to — the
+    # snapshot-isolation receipt a client needs to pick the matching
+    # fault-free baseline for byte-comparison
+    snapshot_version: int | None = None
     done: threading.Event = field(default_factory=threading.Event)
 
     def wait(self, timeout_s: float | None = None) -> bool:
@@ -195,10 +199,16 @@ class WorkerPool:
             )
         if not self.breaker.allow():
             raise ResilienceError("server circuit breaker is open")
+        # pin the ensemble manifest as of *now*: snapshots committed by the
+        # live ingester mid-request cannot shift this run's view, so the
+        # answer is byte-identical to a quiescent run at this version
+        pinned = self.state.ensemble.pinned()
+        request.snapshot_version = pinned.version
         app = self.state.build_app(
             request.session.workdir,
             seed=self.state.config.seed,
             llm=self._llm_factory,
+            ensemble=pinned,
         )
         # the app is fresh, so this request is its query #1: the LLM seed
         # becomes config.seed + request_index via the pre-set counter,

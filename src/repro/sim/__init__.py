@@ -18,7 +18,12 @@ from repro.sim.particles import ParticleField, generate_particles
 from repro.sim.fof import friends_of_friends
 from repro.sim.halos import build_halo_catalog, halo_catalog_from_fof
 from repro.sim.galaxies import build_galaxy_catalog
-from repro.sim.ensemble import EnsembleSpec, Ensemble, generate_ensemble
+from repro.sim.ensemble import (
+    EnsembleSpec,
+    Ensemble,
+    append_snapshot,
+    generate_ensemble,
+)
 from repro.sim.tracking import match_halos, halo_lineage_graph, main_progenitor_line
 from repro.sim.schema import (
     COLUMN_DESCRIPTIONS,
@@ -40,6 +45,7 @@ __all__ = [
     "build_galaxy_catalog",
     "EnsembleSpec",
     "Ensemble",
+    "append_snapshot",
     "generate_ensemble",
     "match_halos",
     "halo_lineage_graph",

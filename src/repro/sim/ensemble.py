@@ -75,6 +75,129 @@ def _mass_history(final_mass: np.ndarray, z: float) -> np.ndarray:
     return final_mass * np.exp(-0.6 * z) * (1.0 + z) ** 0.2
 
 
+def _run_truth(spec: EnsembleSpec, seeds: SeedSequenceFactory, run: int, params) -> dict:
+    """Final-time halo truth + particle population for one run.
+
+    Everything here is a pure function of ``(spec.seed, run)`` through
+    dedicated seed streams, which is what makes live ingestion exact:
+    re-deriving the truth in a later process and writing one more step
+    yields bytes identical to having generated that step up front.
+    """
+    run_rng = seeds.stream("run", run)
+    # final-time halo truth for this run (tags stable across steps)
+    n_halos = spec.n_halos or max(24, spec.n_particles // 150)
+    final_mass = sample_halo_masses(n_halos, run_rng)
+    centers = run_rng.uniform(0.0, spec.box_size, size=(n_halos, 3))
+    bulk_v = run_rng.normal(0.0, 250.0, size=(n_halos, 3))
+    tags = np.arange(n_halos, dtype=np.int64) + run * 1_000_000
+
+    truth = {
+        "params": params,
+        "final_mass": final_mass,
+        "centers": centers,
+        "bulk_v": bulk_v,
+        "tags": tags,
+        "affiliation": None,
+    }
+    # persistent particle population: each particle is affiliated with
+    # one halo (or the field) for the whole run, so particle IDs are
+    # meaningful across snapshots and particle-overlap halo tracking
+    # works exactly as it does on real HACC outputs
+    if spec.write_particles:
+        pop_rng = seeds.stream("run", run, "population")
+        weights = final_mass / final_mass.sum()
+        n_clustered = int(spec.n_particles * 0.75)
+        affiliation = np.full(spec.n_particles, -1, dtype=np.int64)
+        affiliation[:n_clustered] = pop_rng.choice(
+            n_halos, size=n_clustered, p=weights
+        )
+        pop_rng.shuffle(affiliation)
+        truth["affiliation"] = affiliation
+    return truth
+
+
+def _write_run_step(
+    root: Path, spec: EnsembleSpec, seeds: SeedSequenceFactory, run: int,
+    truth: dict, step: int,
+) -> dict:
+    """Write one (run, step) snapshot's files; return its manifest entry."""
+    params = truth["params"]
+    final_mass, centers, bulk_v, tags = (
+        truth["final_mass"], truth["centers"], truth["bulk_v"], truth["tags"]
+    )
+    run_dir = root / f"run_{run:03d}"
+    a = float(spec.cosmology.scale_factor(step))
+    z = 1.0 / a - 1.0
+    masses_t = _mass_history(final_mass, z)
+    exists = masses_t >= 5 * PARTICLE_MASS
+    drift = bulk_v * (a - 1.0) * 0.004  # small comoving drift
+    centers_t = (centers + drift) % spec.box_size
+
+    step_rng = seeds.stream("run", run, "step", step)
+    halos = build_halo_catalog(
+        tags[exists],
+        masses_t[exists],
+        centers_t[exists],
+        bulk_v[exists],
+        params,
+        spec.cosmology,
+        step,
+        step_rng,
+    )
+    galaxies = build_galaxy_catalog(halos, params, a, step_rng)
+
+    step_dir = run_dir / f"step_{step:03d}"
+    attrs = {
+        "run": run,
+        "step": step,
+        "scale_factor": a,
+        "redshift": z,
+        **{f"param_{k}": v for k, v in params.as_dict().items()},
+    }
+    files: dict[str, dict] = {}
+    nbytes = write_gio(step_dir / "halos.gio", {n: halos.column(n) for n in halos.columns}, attrs)
+    files["halos"] = {"file": "halos.gio", "nbytes": nbytes, "rows": halos.num_rows}
+    nbytes = write_gio(
+        step_dir / "galaxies.gio",
+        {n: galaxies.column(n) for n in galaxies.columns},
+        attrs,
+    )
+    files["galaxies"] = {"file": "galaxies.gio", "nbytes": nbytes, "rows": galaxies.num_rows}
+
+    if spec.write_particles:
+        particle_cols = _persistent_particle_snapshot(
+            truth["affiliation"],
+            exists,
+            masses_t,
+            centers_t,
+            bulk_v,
+            tags,
+            spec.box_size,
+            seeds.stream("run", run, "particles", step),
+        )
+        nbytes = write_gio(step_dir / "particles.gio", particle_cols, attrs)
+        files["particles"] = {
+            "file": "particles.gio",
+            "nbytes": nbytes,
+            "rows": len(particle_cols["id"]),
+        }
+
+    return {"step": step, "path": step_dir.name, "files": files}
+
+
+def _publish_manifest(root: Path, manifest: dict) -> None:
+    """Atomic manifest publish — the commit point of ensemble mutation.
+
+    Live ingestion appends snapshots while serve sessions read; a reader
+    must see either the old or the new manifest, never a torn one.
+    Reuses the write-verify-retry publish the DB catalog hardens against
+    ``storage.torn_write``.
+    """
+    from repro.db.storage import publish_json_verified
+
+    publish_json_verified(root, "manifest.json", manifest, what="ensemble manifest", indent=1)
+
+
 def generate_ensemble(root: str | Path, spec: EnsembleSpec) -> "Ensemble":
     """Generate and write the full ensemble; returns an opened handle."""
     spec.validate()
@@ -90,10 +213,19 @@ def generate_ensemble(root: str | Path, spec: EnsembleSpec) -> "Ensemble":
 
     manifest: dict = {
         "kind": "hacc-ensemble",
+        "version": 1,
         "n_runs": spec.n_runs,
         "timesteps": list(spec.timesteps),
         "box_size": spec.box_size,
         "n_particles": spec.n_particles,
+        # generator state: what a later process needs to re-derive the
+        # per-run truth streams and extend the ensemble deterministically
+        # (params are recorded per run, so custom designs survive too)
+        "generator": {
+            "seed": spec.seed,
+            "n_halos": spec.n_halos,
+            "write_particles": spec.write_particles,
+        },
         "structure": FILE_STRUCTURE_DESCRIPTIONS,
         "column_descriptions": COLUMN_DESCRIPTIONS,
         "runs": [],
@@ -101,98 +233,82 @@ def generate_ensemble(root: str | Path, spec: EnsembleSpec) -> "Ensemble":
 
     for run in range(spec.n_runs):
         params = params_list[run]
-        run_rng = seeds.stream("run", run)
         run_dir = root / f"run_{run:03d}"
-
-        # final-time halo truth for this run (tags stable across steps)
-        n_halos = spec.n_halos or max(24, spec.n_particles // 150)
-        final_mass = sample_halo_masses(n_halos, run_rng)
-        centers = run_rng.uniform(0.0, spec.box_size, size=(n_halos, 3))
-        bulk_v = run_rng.normal(0.0, 250.0, size=(n_halos, 3))
-        tags = np.arange(n_halos, dtype=np.int64) + run * 1_000_000
-
+        truth = _run_truth(spec, seeds, run, params)
         run_entry: dict = {
             "run": run,
             "path": run_dir.name,
             "params": params.as_dict(),
             "steps": [],
         }
-
-        # persistent particle population: each particle is affiliated with
-        # one halo (or the field) for the whole run, so particle IDs are
-        # meaningful across snapshots and particle-overlap halo tracking
-        # works exactly as it does on real HACC outputs
-        if spec.write_particles:
-            pop_rng = seeds.stream("run", run, "population")
-            weights = final_mass / final_mass.sum()
-            n_clustered = int(spec.n_particles * 0.75)
-            affiliation = np.full(spec.n_particles, -1, dtype=np.int64)
-            affiliation[:n_clustered] = pop_rng.choice(
-                n_halos, size=n_clustered, p=weights
-            )
-            pop_rng.shuffle(affiliation)
-
         for step in spec.timesteps:
-            a = float(spec.cosmology.scale_factor(step))
-            z = 1.0 / a - 1.0
-            masses_t = _mass_history(final_mass, z)
-            exists = masses_t >= 5 * PARTICLE_MASS
-            drift = bulk_v * (a - 1.0) * 0.004  # small comoving drift
-            centers_t = (centers + drift) % spec.box_size
-
-            step_rng = seeds.stream("run", run, "step", step)
-            halos = build_halo_catalog(
-                tags[exists],
-                masses_t[exists],
-                centers_t[exists],
-                bulk_v[exists],
-                params,
-                spec.cosmology,
-                step,
-                step_rng,
+            run_entry["steps"].append(
+                _write_run_step(root, spec, seeds, run, truth, step)
             )
-            galaxies = build_galaxy_catalog(halos, params, a, step_rng)
-
-            step_dir = run_dir / f"step_{step:03d}"
-            attrs = {
-                "run": run,
-                "step": step,
-                "scale_factor": a,
-                "redshift": z,
-                **{f"param_{k}": v for k, v in params.as_dict().items()},
-            }
-            files: dict[str, dict] = {}
-            nbytes = write_gio(step_dir / "halos.gio", {n: halos.column(n) for n in halos.columns}, attrs)
-            files["halos"] = {"file": "halos.gio", "nbytes": nbytes, "rows": halos.num_rows}
-            nbytes = write_gio(
-                step_dir / "galaxies.gio",
-                {n: galaxies.column(n) for n in galaxies.columns},
-                attrs,
-            )
-            files["galaxies"] = {"file": "galaxies.gio", "nbytes": nbytes, "rows": galaxies.num_rows}
-
-            if spec.write_particles:
-                particle_cols = _persistent_particle_snapshot(
-                    affiliation,
-                    exists,
-                    masses_t,
-                    centers_t,
-                    bulk_v,
-                    tags,
-                    spec.box_size,
-                    seeds.stream("run", run, "particles", step),
-                )
-                nbytes = write_gio(step_dir / "particles.gio", particle_cols, attrs)
-                files["particles"] = {
-                    "file": "particles.gio",
-                    "nbytes": nbytes,
-                    "rows": len(particle_cols["id"]),
-                }
-
-            run_entry["steps"].append({"step": step, "path": step_dir.name, "files": files})
         manifest["runs"].append(run_entry)
 
-    (root / "manifest.json").write_text(json.dumps(manifest, indent=1))
+    _publish_manifest(root, manifest)
+    return Ensemble(root)
+
+
+def append_snapshot(root: str | Path, step: int) -> "Ensemble":
+    """Deterministically extend a live ensemble with one more timestep.
+
+    Re-derives each run's truth from the manifest's recorded generator
+    state and writes the new snapshot's files for every run, then commits
+    via a single atomic manifest publish — the files of
+    ``generate_ensemble(steps + [step])`` and ``generate_ensemble(steps)``
+    + ``append_snapshot(step)`` are byte-identical, so a query pinned to
+    either manifest version has an exact quiescent twin.
+
+    A crash before the manifest publish leaves only orphan step files the
+    manifest never references; retrying the append overwrites them.
+    """
+    root = Path(root)
+    ens = Ensemble(root)
+    manifest = json.loads(json.dumps(ens.manifest))  # private working copy
+    gen = manifest.get("generator")
+    if gen is None:
+        raise ValueError(
+            f"ensemble at {root} was written by an older version (manifest has no "
+            "generator state) and cannot be extended"
+        )
+    timesteps = list(manifest["timesteps"])
+    if step in timesteps:
+        raise ValueError(f"step {step} already present in {timesteps}")
+    if timesteps and step < timesteps[-1]:
+        raise ValueError(f"step {step} must follow the last step {timesteps[-1]}")
+    spec = EnsembleSpec(
+        n_runs=int(manifest["n_runs"]),
+        timesteps=tuple(timesteps) + (int(step),),
+        n_particles=int(manifest["n_particles"]),
+        box_size=float(manifest["box_size"]),
+        seed=int(gen["seed"]),
+        write_particles=bool(gen.get("write_particles", True)),
+        n_halos=gen.get("n_halos"),
+    )
+    spec.validate()
+    seeds = SeedSequenceFactory(spec.seed)
+
+    from repro import faults
+
+    for run_entry in manifest["runs"]:
+        run = int(run_entry["run"])
+        params = SubgridParams(**run_entry["params"])
+        truth = _run_truth(spec, seeds, run, params)
+        step_entry = _write_run_step(root, spec, seeds, run, truth, int(step))
+        if faults.fire_ingest_kill(faults.INGEST_KILL_APPLY):
+            from repro.db.errors import IngestKilled
+
+            raise IngestKilled(
+                "ensemble-append",
+                f"run {run} step {step} written, manifest publish pending",
+            )
+        run_entry["steps"].append(step_entry)
+
+    manifest["timesteps"] = timesteps + [int(step)]
+    manifest["version"] = int(manifest.get("version", 1)) + 1
+    _publish_manifest(root, manifest)
     return Ensemble(root)
 
 
@@ -248,7 +364,14 @@ def _persistent_particle_snapshot(
 
 
 class Ensemble:
-    """Read-only handle over a generated ensemble directory."""
+    """Read-only handle over a generated ensemble directory.
+
+    A handle parses the manifest once; with live ingestion appending
+    snapshots, :meth:`reload` re-reads it (wholesale reference swap, so
+    concurrent readers holding the old dict keep a consistent view) and
+    :meth:`pinned` freezes the currently-parsed manifest into a cheap
+    immutable view for the duration of a request.
+    """
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
@@ -257,7 +380,32 @@ class Ensemble:
             raise FileNotFoundError(f"{self.root} is not an ensemble (no manifest.json)")
         self.manifest: dict = json.loads(manifest_path.read_text())
 
+    def reload(self) -> "Ensemble":
+        """Re-read the manifest (picks up snapshots committed since open)."""
+        manifest_path = self.root / "manifest.json"
+        self.manifest = json.loads(manifest_path.read_text())
+        return self
+
+    def pinned(self) -> "Ensemble":
+        """A snapshot-isolated view over the manifest as currently parsed.
+
+        The returned handle shares this handle's manifest *object*;
+        because :meth:`reload` swaps the reference rather than mutating in
+        place, the pinned view keeps serving the same catalog of runs and
+        steps no matter how many snapshots land after the pin.
+        """
+        view = object.__new__(Ensemble)
+        view.root = self.root
+        view.manifest = self.manifest
+        return view
+
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic manifest version; bumped by every committed snapshot
+        append (1 for ensembles written before versions existed)."""
+        return int(self.manifest.get("version", 1))
+
     @property
     def n_runs(self) -> int:
         return int(self.manifest["n_runs"])

@@ -13,7 +13,13 @@ import pytest
 
 from repro.agents.tools import default_toolset
 from repro.core import InferA, InferAConfig
-from repro.faults import NO_FAULTS, FaultInjector, FaultProfile, use_faults
+from repro.faults import (
+    INGEST_KILL_POINTS,
+    NO_FAULTS,
+    FaultInjector,
+    FaultProfile,
+    use_faults,
+)
 from repro.frame import Frame
 from repro.llm.errors import NO_ERRORS
 from repro.sandbox import (
@@ -341,3 +347,108 @@ class TestFleetChaos:
         assert_same_answer(b1, f1)
         assert_same_answer(b2, f2)
         assert fleet.trips_total >= 1
+
+
+class TestLiveIngestChaos:
+    """Serve sessions query while a chaotic ingester appends snapshots and
+    is killed/restarted mid-protocol (``REPRO_FAULT_PROFILE`` governs the
+    chaos, defaulting to heavy): every answer must be byte-identical to a
+    fault-free one-shot run over the quiescent twin generated up front at
+    the snapshot version the request was pinned to."""
+
+    BASE_STEPS = (0, 124, 249)
+    LIVE_STEPS = (274, 299)
+    LIVE_QUESTION = "How many halos are there in run 0 at the final timestep?"
+
+    def _spec(self, steps):
+        from repro.sim import EnsembleSpec
+
+        return EnsembleSpec(
+            n_runs=2, n_particles=450, timesteps=tuple(steps), seed=97
+        )
+
+    def _profile(self) -> FaultProfile:
+        import os
+
+        name = (os.environ.get("REPRO_FAULT_PROFILE") or "").strip() or "heavy"
+        try:
+            return FaultProfile.named(name, seed=31)
+        except ValueError:  # a JSON rate map in the env var
+            return FaultProfile.from_env(seed=31)
+
+    def test_queries_racing_chaotic_ingest_match_pinned_twins(self, tmp_path):
+        import json
+        import threading
+        import urllib.request
+
+        from repro.serve import ReproServer
+        from repro.serve.worker import answer_payload
+        from repro.sim import generate_ensemble
+        from repro.sim.ensemble import Ensemble
+
+        profile = self._profile()
+        live = generate_ensemble(tmp_path / "live", self._spec(self.BASE_STEPS))
+        server = ReproServer(
+            Ensemble(live.root),
+            tmp_path / "serve",
+            InferAConfig(seed=5, error_model=NO_ERRORS, llm_latency_s=0.0,
+                         fault_profile=profile),
+            app_workers=2,
+            queue_depth=8,
+        )
+        server.start()
+        answers, errors, kills = [], [], 0
+        try:
+            def ask(session: str) -> None:
+                try:
+                    body = json.dumps(
+                        {"question": self.LIVE_QUESTION, "session": session}
+                    ).encode()
+                    request = urllib.request.Request(
+                        f"{server.url}/v1/query", data=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    with urllib.request.urlopen(request, timeout=180.0) as resp:
+                        doc = json.loads(resp.read())
+                    assert doc["status"] == "ok", doc
+                    answers.append(
+                        (session, doc["snapshot"]["ensemble_version"], doc["result"])
+                    )
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            # one query genuinely racing the ingest commits, then one
+            # pinned firmly after every snapshot landed
+            racer = threading.Thread(target=ask, args=("s0",))
+            racer.start()
+            for step in self.LIVE_STEPS:
+                report = server.run_ingest(step)
+                kills += report["kills"]
+            racer.join(timeout=180.0)
+            ask("s1")
+        finally:
+            server.shutdown()
+        assert not errors
+        assert len(answers) == 2
+        assert Ensemble(live.root).version == 1 + len(self.LIVE_STEPS)
+        if any(profile.rate(p) > 0 for p in INGEST_KILL_POINTS):
+            assert kills >= 1, "chaos profile armed but no ingester death fired"
+
+        # replay each answer against a fault-free one-shot app over an
+        # ensemble *generated up front* at the pinned version — the
+        # strictest form of the snapshot-isolation claim
+        twins = {}
+        for _, version, _ in answers:
+            if version not in twins:
+                steps = self.BASE_STEPS + self.LIVE_STEPS[: version - 1]
+                twins[version] = generate_ensemble(
+                    tmp_path / f"quiet_v{version}", self._spec(steps)
+                )
+        clean = InferAConfig(seed=5, error_model=NO_ERRORS, llm_latency_s=0.0)
+        for session, version, result in answers:
+            app = InferA(
+                twins[version], tmp_path / "oneshot" / f"{session}_v{version}", clean
+            )
+            expected = answer_payload(app.run_query(self.LIVE_QUESTION))
+            assert json.dumps(result, sort_keys=True) == \
+                json.dumps(expected, sort_keys=True), (session, version)

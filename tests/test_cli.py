@@ -342,6 +342,50 @@ class TestVerbosity:
         assert "trace:" in err                # the cmd_query debug line
 
 
+class TestArtifactCompat:
+    """Stats commands must tolerate artifacts written by older repro
+    versions: missing schema/CRC fields degrade to defaults with an
+    explicit provenance note, never a KeyError."""
+
+    def test_cache_stats_notes_pre_crc_entries(self, tmp_path, capsys):
+        entry = tmp_path / "w" / ".query_cache" / "q_cafe0000"
+        entry.mkdir(parents=True)
+        (entry / "result.json").write_text(json.dumps(
+            {"key": "q_cafe0000", "columns": [], "dtypes": {}, "num_rows": 0}
+        ))
+        assert main(["cache", "stats", "--workdir", str(tmp_path / "w")]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries written by an older repro version" in out
+        assert "no CRC sidecar" in out
+
+    def test_sandbox_stats_notes_pre_schema_snapshot(self, tmp_path, capsys):
+        (tmp_path / "sandbox_fleet.json").write_text(json.dumps(
+            {"workers": 1, "mode": "thread", "members": [{"index": 0}]}
+        ))
+        assert main(["sandbox", "stats", "--workdir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "written by an older repro version" in out
+        assert "missing counters shown as defaults" in out
+        assert "1 worker(s)" in out  # still renders with defaults
+
+    def test_sandbox_stats_notes_newer_schema(self, tmp_path, capsys):
+        (tmp_path / "sandbox_fleet.json").write_text(json.dumps(
+            {"schema": 9, "workers": 0, "mode": "thread", "members": []}
+        ))
+        assert main(["sandbox", "stats", "--workdir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "schema 9 is newer than this repro version" in out
+
+    def test_sandbox_stats_current_schema_has_no_note(self, tmp_path, capsys):
+        (tmp_path / "sandbox_fleet.json").write_text(json.dumps(
+            {"schema": 2, "workers": 0, "mode": "thread", "members": [],
+             "lifetime": {}}
+        ))
+        assert main(["sandbox", "stats", "--workdir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "older repro version" not in out and "newer" not in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

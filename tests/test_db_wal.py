@@ -1,0 +1,312 @@
+"""WAL framing, the append commit protocol, and crash recovery.
+
+The contract under test: a simulated ingester death at *any* point of the
+commit protocol — mid-WAL-append, before staging, mid-segment, between
+meta and catalog publish — leaves readers on exactly the pre-append
+table, and one recovery pass lands the database on a state byte-identical
+to a quiescent twin (or exactly back on pre-append when the WAL record
+itself was lost).  Damage to the log (truncation at every byte boundary,
+single bit flips) is always classified: torn tail vs corrupt record,
+never a crash or a hybrid table.
+"""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.db.database import Database
+from repro.db.errors import IngestKilled
+from repro.db.wal import WriteAheadLog, make_append_record
+from repro.frame import Frame
+from repro.obs import names as obs_names
+from repro.obs.metrics import get_registry
+
+
+def make_frame(n: int, start: int = 0) -> Frame:
+    idx = np.arange(start, start + n, dtype=np.int64)
+    return Frame({"a": idx, "b": idx.astype(np.float64) * 0.5})
+
+
+def counter(name: str) -> float:
+    return get_registry().counter(name).value
+
+
+def open_db(path) -> Database:
+    return Database(path, result_cache=False)
+
+
+def killing(point_field: str):
+    """An armed injector firing one ingest kill point with certainty."""
+    profile = faults.FaultProfile(seed=7, **{point_field: 1.0})
+    return faults.use_faults(faults.FaultInjector(profile))
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def test_append_scan_roundtrip(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log", fsync=False)
+    records = [
+        make_append_record("t", "append", base_version=i, row_group_size=64,
+                           columns={"a": np.arange(i + 1, dtype=np.int64)})
+        for i in range(3)
+    ]
+    for record in records:
+        wal.append(record)
+    result = wal.scan()
+    assert not result.torn_tail and not result.corrupt_record
+    assert result.good_bytes == wal.size_bytes()
+    assert [r["base_version"] for r in result.records] == [0, 1, 2]
+    for got, sent in zip(result.records, records):
+        assert np.array_equal(got["columns"]["a"], sent["columns"]["a"])
+
+
+def test_pending_on_missing_or_empty_log(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log", fsync=False)
+    records, scan = wal.pending()
+    assert records == [] and not scan.torn_tail and not scan.corrupt_record
+    wal.path.write_bytes(b"")
+    records, scan = wal.pending()
+    assert records == [] and scan.good_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# commit protocol: kills at every stage
+# ----------------------------------------------------------------------
+class TestCommitProtocol:
+    def _seeded(self, path) -> tuple[Database, Frame, Frame]:
+        db = open_db(path)
+        base, extra = make_frame(40), make_frame(24, start=40)
+        db.create_table("t", base, row_group_size=16)
+        return db, base, extra
+
+    def _twin_signature(self, path, base: Frame, extra: Frame) -> str:
+        twin = open_db(path)
+        twin.create_table("t", base, row_group_size=16)
+        twin.append("t", extra)
+        return twin.store("t").content_signature()
+
+    @pytest.mark.parametrize(
+        "point_field",
+        ["ingest_kill_apply", "ingest_partial_row_group", "ingest_kill_publish"],
+    )
+    def test_kill_is_invisible_then_recovery_completes(self, tmp_path, point_field):
+        """Regression for the commit-ordering bug: meta.json may publish
+        ahead of the commit, but readers clamp to the catalog's committed
+        prefix — a kill anywhere leaves exactly the pre-append table, and
+        recovery replays the WAL record to the exact post-append state."""
+        db, base, extra = self._seeded(tmp_path / "db")
+        pre_version = db.table_version("t")
+        pre_signature = db.store("t").content_signature()
+
+        with killing(point_field), faults.arm_ingest_kills():
+            with pytest.raises(IngestKilled):
+                db.append("t", extra)
+
+        # a fresh handle (= a reader process) sees only the committed state
+        reader = open_db(tmp_path / "db")
+        assert reader.table_version("t") == pre_version
+        assert reader.store("t").num_rows == base.num_rows
+        assert reader.store("t").content_signature() == pre_signature
+        count = reader.query("SELECT COUNT(*) AS n FROM t")
+        assert int(count.column("n")[0]) == base.num_rows
+
+        # recovery replays the durable intent and lands post-append
+        report = db.recover()
+        assert report["replayed"] == 1
+        after = open_db(tmp_path / "db")
+        assert after.table_version("t") == pre_version + 1
+        assert after.store("t").num_rows == base.num_rows + extra.num_rows
+        assert after.store("t").content_signature() == self._twin_signature(
+            tmp_path / "twin", base, extra
+        )
+
+    def test_torn_wal_append_recovers_to_pre_append(self, tmp_path):
+        """Dying mid-WAL-append loses the record itself: recovery drops the
+        torn tail and the table stays exactly pre-append; the retried
+        append then lands the same bytes as a never-killed twin."""
+        db, base, extra = self._seeded(tmp_path / "db")
+        pre_signature = db.store("t").content_signature()
+
+        before = counter(obs_names.WAL_TORN_TAIL_DROPPED)
+        with killing("wal_torn_tail"), faults.arm_ingest_kills():
+            with pytest.raises(IngestKilled):
+                db.append("t", extra)
+        report = db.recover()
+        assert report["torn_tail"] == 1 and report["replayed"] == 0
+        assert counter(obs_names.WAL_TORN_TAIL_DROPPED) == before + 1
+        assert open_db(tmp_path / "db").store("t").content_signature() == pre_signature
+
+        db.append("t", extra)  # the supervised retry
+        assert db.store("t").content_signature() == self._twin_signature(
+            tmp_path / "twin", base, extra
+        )
+
+    def test_next_write_settles_interrupted_commit_first(self, tmp_path):
+        """A writer reopening after a kill need not call recover() by hand:
+        the first write replays the pending record before its own."""
+        db, base, extra = self._seeded(tmp_path / "db")
+        with killing("ingest_kill_publish"), faults.arm_ingest_kills():
+            with pytest.raises(IngestKilled):
+                db.append("t", extra)
+
+        writer = open_db(tmp_path / "db")
+        tail = make_frame(8, start=64)
+        writer.append("t", tail)  # triggers recovery, then appends
+
+        twin = open_db(tmp_path / "twin")
+        twin.create_table("t", base, row_group_size=16)
+        twin.append("t", extra)
+        twin.append("t", tail)
+        assert writer.store("t").content_signature() == \
+            twin.store("t").content_signature()
+
+    def test_recovery_skips_already_committed_record(self, tmp_path):
+        """A crash *after* the catalog publish but before the WAL truncate
+        leaves a stale record; replay must not double-apply it."""
+        db, base, extra = self._seeded(tmp_path / "db")
+        db.append("t", extra)
+        committed = db.store("t").content_signature()
+
+        # re-plant the already-committed record (base_version is stale now)
+        stale = make_append_record(
+            "t", "append", base_version=1, row_group_size=16,
+            columns={c: extra.column(c) for c in extra.columns},
+        )
+        WriteAheadLog(tmp_path / "db" / "wal.log", fsync=False).append(stale)
+
+        before = counter(obs_names.WAL_SKIPPED_COMMITTED)
+        report = open_db(tmp_path / "db").recover()
+        assert report["replayed"] == 0 and report["skipped"] == 1
+        assert counter(obs_names.WAL_SKIPPED_COMMITTED) == before + 1
+        assert open_db(tmp_path / "db").store("t").content_signature() == committed
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        db, _, extra = self._seeded(tmp_path / "db")
+        with killing("ingest_kill_publish"), faults.arm_ingest_kills():
+            with pytest.raises(IngestKilled):
+                db.append("t", extra)
+        first = db.recover()
+        assert first["replayed"] == 1
+        second = db.recover()
+        assert second == {"replayed": 0, "skipped": 0, "torn_tail": 0,
+                          "corrupt": 0, "orphan_groups": 0}
+
+    def test_killed_create_restarts_from_nothing(self, tmp_path):
+        """A create killed after staging must not double its row groups on
+        replay (replay drops the orphan staged segments first)."""
+        db = open_db(tmp_path / "db")
+        frame = make_frame(40)
+        with killing("ingest_kill_publish"), faults.arm_ingest_kills():
+            with pytest.raises(IngestKilled):
+                db.create_table("t", frame, row_group_size=16)
+        assert not open_db(tmp_path / "db").has_table("t")
+        report = db.recover()
+        assert report["replayed"] == 1
+        twin = open_db(tmp_path / "twin")
+        twin.create_table("t", frame, row_group_size=16)
+        assert open_db(tmp_path / "db").store("t").content_signature() == \
+            twin.store("t").content_signature()
+
+
+# ----------------------------------------------------------------------
+# damage property tests: every truncation point, single bit flips
+# ----------------------------------------------------------------------
+def _damage_log(tmp_path):
+    """A three-record log plus the byte offsets of its frame boundaries."""
+    wal = WriteAheadLog(tmp_path / "wal.log", fsync=False)
+    boundaries = [0]
+    for i in range(3):
+        wal.append(
+            make_append_record(
+                "t", "append", base_version=i, row_group_size=32,
+                columns={"a": np.arange(10 * (i + 1), dtype=np.int64)},
+            )
+        )
+        boundaries.append(wal.size_bytes())
+    return wal.path.read_bytes(), boundaries
+
+
+def test_truncation_at_every_byte_boundary_classified(tmp_path):
+    """Cut the log at *every* byte offset: recovery must keep exactly the
+    frames wholly before the cut, classify the remainder as a torn tail,
+    and leave the log physically truncated to the good prefix."""
+    data, boundaries = _damage_log(tmp_path)
+    path = tmp_path / "cut.log"
+    for cut in range(len(data) + 1):
+        path.write_bytes(data[:cut])
+        wal = WriteAheadLog(path, fsync=False)
+        torn_before = counter(obs_names.WAL_TORN_TAIL_DROPPED)
+        corrupt_before = counter(obs_names.WAL_CORRUPT_DROPPED)
+        records, scan = wal.pending()
+
+        keep = max(i for i, b in enumerate(boundaries) if b <= cut)
+        assert [r["base_version"] for r in records] == list(range(keep)), cut
+        assert scan.good_bytes == boundaries[keep]
+        assert path.stat().st_size == boundaries[keep]  # tail truncated away
+        if cut in boundaries:
+            assert not scan.torn_tail and not scan.corrupt_record
+            assert counter(obs_names.WAL_TORN_TAIL_DROPPED) == torn_before
+        else:
+            assert scan.torn_tail and not scan.corrupt_record, cut
+            assert counter(obs_names.WAL_TORN_TAIL_DROPPED) == torn_before + 1
+            assert counter(obs_names.WAL_CORRUPT_DROPPED) == corrupt_before
+
+
+def test_single_bit_flips_classified_and_recovered(tmp_path):
+    """Flip one bit anywhere in the log: the scan never crashes, keeps
+    exactly the frames before the damaged one, classifies the damage
+    (corrupt record, or torn tail when a length field inflates), and a
+    second pass over the truncated log is clean."""
+    data, boundaries = _damage_log(tmp_path)
+    path = tmp_path / "flip.log"
+    rng = np.random.default_rng(2024)
+    positions = rng.choice(len(data), size=min(160, len(data)), replace=False)
+    for pos in sorted(int(p) for p in positions):
+        flipped = bytearray(data)
+        flipped[pos] ^= 1 << int(rng.integers(8))
+        path.write_bytes(bytes(flipped))
+        wal = WriteAheadLog(path, fsync=False)
+        torn_before = counter(obs_names.WAL_TORN_TAIL_DROPPED)
+        corrupt_before = counter(obs_names.WAL_CORRUPT_DROPPED)
+        records, scan = wal.pending()
+
+        # the damaged frame and everything after it are dropped
+        damaged = max(i for i, b in enumerate(boundaries) if b <= pos)
+        assert [r["base_version"] for r in records] == list(range(damaged)), pos
+        assert scan.torn_tail != scan.corrupt_record, pos  # exactly one class
+        assert scan.good_bytes == boundaries[damaged]
+        dropped = (counter(obs_names.WAL_TORN_TAIL_DROPPED) - torn_before) + (
+            counter(obs_names.WAL_CORRUPT_DROPPED) - corrupt_before
+        )
+        assert dropped == 1
+
+        # idempotence: the truncated log now scans clean
+        again, rescan = wal.pending()
+        assert [r["base_version"] for r in again] == list(range(damaged))
+        assert not rescan.torn_tail and not rescan.corrupt_record
+
+
+def test_corrupt_record_mid_log_drops_suffix(tmp_path):
+    """Damage to an *interior* record drops it and every later record —
+    replay order is the append order, so a suffix cannot replay over a
+    hole — and the database-level recovery classifies it."""
+    db = open_db(tmp_path / "db")
+    db.create_table("t", make_frame(20), row_group_size=16)
+    # plant two pending records, then damage the second one's payload
+    wal = WriteAheadLog(tmp_path / "db" / "wal.log", fsync=False)
+    for i in range(2):
+        wal.append(
+            make_append_record(
+                "t", "append", base_version=1 + i, row_group_size=16,
+                columns={c: make_frame(8, start=100 + 8 * i).column(c)
+                         for c in ("a", "b")},
+            )
+        )
+    raw = bytearray(wal.path.read_bytes())
+    raw[len(raw) - 10] ^= 0xFF  # inside the second record's payload
+    wal.path.write_bytes(bytes(raw))
+
+    report = open_db(tmp_path / "db").recover()
+    assert report["corrupt"] == 1
+    assert report["replayed"] == 1  # only the undamaged first record
